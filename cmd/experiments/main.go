@@ -1,0 +1,274 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment writes its dataset as CSV files under -out and prints a
+// human-readable summary to stdout.
+//
+// Usage:
+//
+//	experiments -run all -out results/
+//	experiments -run table1
+//	experiments -run fig3,fig7
+//	experiments -run ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"conscale/internal/experiment"
+)
+
+var runners = []struct {
+	name string
+	desc string
+	fn   func(seed uint64, outDir string) error
+}{
+	{"fig1", "EC2-AutoScaling RT fluctuations under the Large Variations trace", runFig1},
+	{"fig3", "Tomcat concurrency sweeps: 1-core / 2-core / enlarged dataset", runFig3},
+	{"fig5", "MySQL fine-grained 50 ms series during the 1/1/1 -> 1/2/1 scaling", runFig5},
+	{"fig6", "MySQL scatter correlation and rational concurrency range", runFig6},
+	{"fig7", "Optimal-concurrency shifts: cores, dataset size, workload type", runFig7},
+	{"fig9", "The six bursty workload traces", runFig9},
+	{"fig10", "EC2-AutoScaling vs ConScale full timelines", runFig10},
+	{"table1", "Tail latencies, EC2 vs ConScale, all six traces", runTable1},
+	{"fig11", "DCM (stale profile) vs ConScale after a system-state change", runFig11},
+	{"ablations", "A1 window size, A2 Qupper, A3 LB policy, A4 cooldown", runAblations},
+}
+
+func main() {
+	var (
+		run  = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		out  = flag.String("out", "results", "output directory for CSV datasets")
+		seed = flag.Uint64("seed", 1, "experiment seed")
+		list = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-10s %s\n", r.name, r.desc)
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	want := map[string]bool{}
+	all := *run == "all"
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if !all && !want[r.name] {
+			continue
+		}
+		fmt.Printf("== %s: %s\n", r.name, r.desc)
+		start := time.Now()
+		if err := r.fn(*seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *run)
+		os.Exit(2)
+	}
+}
+
+func writeCSV(outDir, name string, write func(f *os.File) error) error {
+	path := filepath.Join(outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("   wrote %s\n", path)
+	return nil
+}
+
+func runFig1(seed uint64, outDir string) error {
+	res := experiment.Fig1(seed)
+	fmt.Printf("   maxRT=%.0fms p99=%.0fms, %d scaling events\n",
+		res.MaxRT()*1000, res.P99*1000, len(res.Events))
+	return writeCSV(outDir, "fig1_ec2_timeline.csv", func(f *os.File) error {
+		return experiment.WriteTimelineCSV(f, res)
+	})
+}
+
+func runFig3(seed uint64, outDir string) error {
+	res := experiment.Fig3(seed)
+	fmt.Printf("   knees: 1-core=%d, 2-core=%d, 2-core enlarged=%d (paper: 10/20/15)\n",
+		res.OneCore.Qlower, res.TwoCore.Qlower, res.TwoCoreEnlarged.Qlower)
+	for _, p := range []struct {
+		file  string
+		sweep experiment.SweepResult
+	}{
+		{"fig3a_tomcat_1core.csv", res.OneCore},
+		{"fig3b_tomcat_2core.csv", res.TwoCore},
+		{"fig3c_tomcat_2core_enlarged.csv", res.TwoCoreEnlarged},
+	} {
+		if err := writeCSV(outDir, p.file, func(f *os.File) error {
+			return experiment.WriteSweepCSV(f, p.sweep)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig5(seed uint64, outDir string) error {
+	res := experiment.Fig5(seed)
+	fmt.Printf("   %d windows over [%.0fs, %.0fs)\n", len(res.Samples), float64(res.From), float64(res.To))
+	return writeCSV(outDir, "fig5_mysql_finegrained.csv", func(f *os.File) error {
+		return experiment.WriteSamplesCSV(f, res)
+	})
+}
+
+func runFig6(seed uint64, outDir string) error {
+	res := experiment.Fig6(seed)
+	if res.OK {
+		fmt.Printf("   rational range [%d, %d], plateau %.0f q/s, optimal setting %d\n",
+			res.Estimate.Qlower, res.Estimate.Qupper, res.Estimate.PlateauTP, res.Estimate.Optimal())
+	} else {
+		fmt.Println("   estimate unavailable")
+	}
+	return writeCSV(outDir, "fig6_mysql_scatter.csv", func(f *os.File) error {
+		if _, err := fmt.Fprintln(f, "concurrency,throughput_rps,rt_ms"); err != nil {
+			return err
+		}
+		for i := range res.TPPoints {
+			rt := 0.0
+			if i < len(res.RTPoints) {
+				rt = res.RTPoints[i].Value * 1000
+			}
+			if _, err := fmt.Fprintf(f, "%.2f,%.1f,%.2f\n",
+				res.TPPoints[i].Concurrency, res.TPPoints[i].Value, rt); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func runFig7(seed uint64, outDir string) error {
+	panels := experiment.Fig7(seed)
+	for i, p := range panels {
+		fmt.Printf("   %s: Qlower=%d TPmax=%.0f\n", p.Label, p.Sweep.Qlower, p.Sweep.MaxTP)
+		file := fmt.Sprintf("fig7%c_%s.csv", 'a'+i, sanitize(p.Label))
+		if err := writeCSV(outDir, file, func(f *os.File) error {
+			return experiment.WriteSweepCSV(f, p.Sweep)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(label string) string {
+	s := strings.ToLower(label)
+	s = strings.NewReplacer(":", "", " ", "_", "(", "", ")", "", "/", "-").Replace(s)
+	return s
+}
+
+func runFig9(_ uint64, outDir string) error {
+	return writeCSV(outDir, "fig9_traces.csv", func(f *os.File) error {
+		return experiment.WriteTraceCSV(f, experiment.Fig9())
+	})
+}
+
+func runFig10(seed uint64, outDir string) error {
+	res := experiment.Fig10(seed)
+	experiment.RenderCompare(os.Stdout, res)
+	if err := writeCSV(outDir, "fig10_ec2_timeline.csv", func(f *os.File) error {
+		return experiment.WriteTimelineCSV(f, res.Baseline)
+	}); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "fig10_conscale_timeline.csv", func(f *os.File) error {
+		return experiment.WriteTimelineCSV(f, res.ConScale)
+	})
+}
+
+func runFig11(seed uint64, outDir string) error {
+	res := experiment.Fig11(seed)
+	experiment.RenderCompare(os.Stdout, res)
+	if err := writeCSV(outDir, "fig11_dcm_timeline.csv", func(f *os.File) error {
+		return experiment.WriteTimelineCSV(f, res.Baseline)
+	}); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "fig11_conscale_timeline.csv", func(f *os.File) error {
+		return experiment.WriteTimelineCSV(f, res.ConScale)
+	})
+}
+
+func runTable1(seed uint64, outDir string) error {
+	rows := experiment.Table1(seed)
+	experiment.RenderTable1(os.Stdout, rows)
+	return writeCSV(outDir, "table1_tail_latency.csv", func(f *os.File) error {
+		if _, err := fmt.Fprintln(f, "trace,ec2_p95_ms,ec2_p99_ms,conscale_p95_ms,conscale_p99_ms"); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(f, "%s,%.0f,%.0f,%.0f,%.0f\n",
+				r.Trace, r.EC2P95*1000, r.EC2P99*1000, r.ConScaleP95*1000, r.ConScaleP99*1000); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func runAblations(seed uint64, outDir string) error {
+	studies := []struct {
+		title string
+		file  string
+		rows  []experiment.AblationRow
+	}{
+		{"A1: SCT measurement window", "ablation_a1_window.csv", experiment.AblationWindowSize(seed)},
+		{"A2: Qlower vs Qupper setting", "ablation_a2_qupper.csv", experiment.AblationQupper(seed)},
+		{"A3: load-balancer policy", "ablation_a3_lb.csv", experiment.AblationLBPolicy(seed)},
+		{"A4: scale-in cooldown", "ablation_a4_cooldown.csv", experiment.AblationCooldown(seed)},
+		{"A5: horizontal vs vertical DB scaling", "ablation_a5_vertical.csv", experiment.AblationVertical(seed)},
+		{"A6: optional Memcached cache tier", "ablation_a6_cache.csv", experiment.AblationCacheTier(seed)},
+		{"A7: SLA trigger vs CPU threshold under a stale profile", "ablation_a7_sla.csv", experiment.AblationSLATrigger(seed)},
+	}
+	for _, st := range studies {
+		experiment.RenderAblation(os.Stdout, st.title, st.rows)
+		rows := st.rows
+		if err := writeCSV(outDir, st.file, func(f *os.File) error {
+			if _, err := fmt.Fprintln(f, "label,p95_ms,p99_ms,detail"); err != nil {
+				return err
+			}
+			for _, r := range rows {
+				if _, err := fmt.Fprintf(f, "%s,%.0f,%.0f,%s\n",
+					r.Label, r.P95*1000, r.P99*1000, r.Detail); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runReport(seed uint64, outDir string) error {
+	rep := experiment.BuildReport(seed)
+	return writeCSV(outDir, "REPORT.md", func(f *os.File) error {
+		return rep.WriteMarkdown(f)
+	})
+}

@@ -1,0 +1,90 @@
+// Command sct-sweep reproduces the paper's fixed-concurrency profiling
+// experiments (Fig. 3 and Fig. 7): it stresses one server at controlled
+// concurrency levels and emits the measured concurrency-throughput-RT
+// curve as CSV, with the knee (Qlower) reported on stderr.
+//
+// Usage:
+//
+//	sct-sweep -target db -cores 1 > mysql_1core.csv
+//	sct-sweep -target app -cores 2 -dataset 2 -levels 5,10,15,20,30
+//	sct-sweep -target db -mix readwrite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"conscale/internal/experiment"
+	"conscale/internal/plot"
+	"conscale/internal/rubbos"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "db", "server under test: app (Tomcat) or db (MySQL)")
+		cores    = flag.Int("cores", 1, "vCPU count of the target server")
+		mix      = flag.String("mix", "browse", "workload mix: browse or readwrite")
+		dataset  = flag.Float64("dataset", 1, "dataset scale (1 = original RUBBoS)")
+		levels   = flag.String("levels", "", "comma-separated concurrency levels (default: the paper's 5..100)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		showPlot = flag.Bool("plot", false, "render the concurrency-throughput curve as an ASCII chart on stderr")
+	)
+	flag.Parse()
+
+	var cfg experiment.SweepConfig
+	switch strings.ToLower(*target) {
+	case "app", "tomcat":
+		cfg = experiment.DefaultSweepConfig(experiment.TargetApp)
+	case "db", "mysql":
+		cfg = experiment.DefaultSweepConfig(experiment.TargetDB)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown target %q\n", *target)
+		os.Exit(2)
+	}
+	cfg.Cores = *cores
+	cfg.DatasetScale = *dataset
+	cfg.Seed = *seed
+	switch strings.ToLower(*mix) {
+	case "browse", "browse-only":
+		cfg.Mix = rubbos.BrowseOnly
+	case "readwrite", "read-write", "rw":
+		cfg.Mix = rubbos.ReadWrite
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mix %q\n", *mix)
+		os.Exit(2)
+	}
+	if *levels != "" {
+		cfg.Levels = nil
+		for _, part := range strings.Split(*levels, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad level %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Levels = append(cfg.Levels, n)
+		}
+	}
+
+	res := experiment.Sweep(cfg)
+	fmt.Fprintf(os.Stderr, "%s %d-core %s dataset=%.1f: Qlower=%d TPmax=%.0f req/s\n",
+		*target, *cores, cfg.Mix, *dataset, res.Qlower, res.MaxTP)
+	if *showPlot {
+		var xs, tps, rts []float64
+		for _, p := range res.Points {
+			xs = append(xs, float64(p.Level))
+			tps = append(tps, p.Throughput)
+			rts = append(rts, p.MeanRT*1000)
+		}
+		fmt.Fprintln(os.Stderr, plot.New("throughput vs concurrency", 80, 14).
+			Labels("concurrency", "req/s").Line("tp", xs, tps, '*').Render())
+		fmt.Fprintln(os.Stderr, plot.New("response time vs concurrency", 80, 10).
+			Labels("concurrency", "ms").Line("rt", xs, rts, '+').Render())
+	}
+	if err := experiment.WriteSweepCSV(os.Stdout, res); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

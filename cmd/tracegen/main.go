@@ -1,0 +1,36 @@
+// Command tracegen emits the six realistic bursty workload traces of the
+// paper's Fig. 9 as CSV (one column per trace, one row per second).
+//
+// Usage:
+//
+//	tracegen > traces.csv
+//	tracegen -users 7500 -duration 720
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"conscale/internal/des"
+	"conscale/internal/experiment"
+	"conscale/internal/workload"
+)
+
+func main() {
+	var (
+		users    = flag.Int("users", 7500, "maximum concurrent users")
+		duration = flag.Float64("duration", 720, "trace length in seconds")
+	)
+	flag.Parse()
+
+	var traces []experiment.TraceSeries
+	for _, name := range workload.Names() {
+		tr := workload.NewTrace(name, *users, des.Time(*duration))
+		traces = append(traces, experiment.TraceSeries{Name: name, Users: tr.Series(des.Second)})
+	}
+	if err := experiment.WriteTraceCSV(os.Stdout, traces); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

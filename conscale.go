@@ -1,0 +1,289 @@
+// Package conscale is a faithful, self-contained reproduction of
+// "Mitigating Large Response Time Fluctuations through Fast Concurrency
+// Adapting in Clouds" (Liu, Zhang, Wang, Wei — IEEE IPDPS 2020).
+//
+// It provides, as a library:
+//
+//   - a deterministic discrete-event simulator of an n-tier web system
+//     (the RUBBoS benchmark on a private cloud: web / app / DB tiers of
+//     VM-hosted servers behind least-connection balancers, with bounded
+//     thread pools, DB connection pools, synchronous thread-holding RPC,
+//     and a multithreading-overhead model);
+//   - the paper's online Scatter-Concurrency-Throughput (SCT) model,
+//     which estimates each server's rational concurrency range
+//     [Qlower, Qupper] from fine-grained (50 ms) measurements;
+//   - three scaling frameworks — hardware-only EC2-AutoScaling, the
+//     offline-profiled DCM baseline, and the paper's ConScale — sharing
+//     one threshold engine;
+//   - the six bursty workload traces of the evaluation and a closed-loop
+//     user-population generator;
+//   - an experiment harness that regenerates every table and figure of
+//     the paper's evaluation section.
+//
+// # Quick start
+//
+//	cfg := conscale.DefaultClusterConfig()
+//	c := conscale.NewCluster(cfg)
+//	fw := conscale.NewFramework(c, conscale.DefaultScalingConfig(conscale.ModeConScale))
+//	fw.Start()
+//	tr := conscale.NewTrace(conscale.TraceLargeVariations, 7500, 720*conscale.Second)
+//	gen := conscale.NewGenerator(c.Eng, conscale.NewRand(1), conscale.GeneratorConfig{
+//		Trace: tr, ThinkTime: 3,
+//	}, c.Submit)
+//	gen.Start()
+//	c.Eng.RunUntil(720 * conscale.Second)
+//	fmt.Printf("p99 = %.0f ms\n", gen.TailLatency(99, 0)*1000)
+//
+// Everything is seeded and runs in virtual time: a 12-minute evaluation
+// completes in a few seconds of wall clock, bit-identically on every run.
+package conscale
+
+import (
+	"conscale/internal/cluster"
+	"conscale/internal/des"
+	"conscale/internal/experiment"
+	"conscale/internal/lb"
+	"conscale/internal/metrics"
+	"conscale/internal/mgmt"
+	"conscale/internal/rng"
+	"conscale/internal/rubbos"
+	"conscale/internal/scaling"
+	"conscale/internal/sct"
+	"conscale/internal/workload"
+)
+
+// Virtual time.
+type (
+	// Time is virtual simulation time in seconds.
+	Time = des.Time
+	// Engine is the discrete-event simulation engine.
+	Engine = des.Engine
+)
+
+// Time units.
+const (
+	Millisecond = des.Millisecond
+	Second      = des.Second
+)
+
+// NewEngine returns a fresh simulation engine.
+func NewEngine() *Engine { return des.New() }
+
+// Randomness.
+type (
+	// Rand is the deterministic, splittable random source.
+	Rand = rng.Source
+)
+
+// NewRand returns a seeded random source.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Cluster: the n-tier system under test.
+type (
+	// Cluster is the simulated n-tier deployment.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures topology, soft resources, and VM shapes.
+	ClusterConfig = cluster.Config
+	// Tier identifies web, app, or DB tier.
+	Tier = cluster.Tier
+)
+
+// Tier constants.
+const (
+	TierWeb = cluster.Web
+	TierApp = cluster.App
+	TierDB  = cluster.DB
+)
+
+// NewCluster builds the initial topology on a fresh engine.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// DefaultClusterConfig returns the paper's evaluation setup (1/1/1,
+// soft resources 1000-60-40, 1-core VMs, leastconn, 15 s VM preparation).
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// Load balancing.
+type (
+	// Balancer is the HAProxy-substitute load balancer.
+	Balancer = lb.Balancer
+	// Policy selects the dispatch algorithm.
+	Policy = lb.Policy
+)
+
+// Balancer policies.
+const (
+	RoundRobin = lb.RoundRobin
+	LeastConn  = lb.LeastConn
+)
+
+// RUBBoS application model.
+type (
+	// Mix selects the RUBBoS workload mode.
+	Mix = rubbos.Mix
+	// Servlet is one RUBBoS interaction with per-tier demands.
+	Servlet = rubbos.Servlet
+	// RubbosWorkload is a calibrated servlet mix.
+	RubbosWorkload = rubbos.Workload
+)
+
+// Workload mixes.
+const (
+	BrowseOnly = rubbos.BrowseOnly
+	ReadWrite  = rubbos.ReadWrite
+)
+
+// NewRubbosWorkload builds the calibrated servlet mix for a mode and
+// dataset scale.
+func NewRubbosWorkload(mix Mix, datasetScale float64) *RubbosWorkload {
+	return rubbos.NewWorkload(mix, datasetScale)
+}
+
+// Traces and load generation.
+type (
+	// Trace is a time-varying concurrent-user curve.
+	Trace = workload.Trace
+	// Generator replays a trace as a closed-loop user population.
+	Generator = workload.Generator
+	// GeneratorConfig configures the population.
+	GeneratorConfig = workload.GeneratorConfig
+	// TimelinePoint is one second of client-observed behaviour.
+	TimelinePoint = workload.TimelinePoint
+)
+
+// The six bursty trace names of the paper's Fig. 9.
+const (
+	TraceLargeVariations = workload.LargeVariations
+	TraceQuicklyVarying  = workload.QuicklyVarying
+	TraceSlowlyVarying   = workload.SlowlyVarying
+	TraceBigSpike        = workload.BigSpike
+	TraceDualPhase       = workload.DualPhase
+	TraceSteepTriPhase   = workload.SteepTriPhase
+)
+
+// NewTrace builds one of the six standard traces.
+func NewTrace(name string, maxUsers int, duration Time) *Trace {
+	return workload.NewTrace(name, maxUsers, duration)
+}
+
+// NewConstantTrace holds a fixed population (profiling sweeps).
+func NewConstantTrace(users int, duration Time) *Trace {
+	return workload.NewConstantTrace(users, duration)
+}
+
+// TraceNames lists the six standard trace names in the paper's order.
+func TraceNames() []string { return workload.Names() }
+
+// NewGenerator wires a closed-loop generator onto an engine.
+func NewGenerator(eng *Engine, rnd *Rand, cfg GeneratorConfig, submit func(done func(ok bool))) *Generator {
+	return workload.NewGenerator(eng, rnd, cfg, submit)
+}
+
+// Metrics.
+type (
+	// WindowSample is one fine-grained {Q, TP, RT} tuple.
+	WindowSample = metrics.WindowSample
+	// Warehouse is the Metric Warehouse of the ConScale architecture.
+	Warehouse = metrics.Warehouse
+)
+
+// NewWarehouse returns a warehouse with the given retention span.
+func NewWarehouse(retention Time) *Warehouse { return metrics.NewWarehouse(retention) }
+
+// SCT model.
+type (
+	// SCTEstimator turns window samples into rational-range estimates.
+	SCTEstimator = sct.Estimator
+	// SCTConfig tunes the estimator.
+	SCTConfig = sct.Config
+	// SCTEstimate is one rational-concurrency-range estimate.
+	SCTEstimate = sct.Estimate
+)
+
+// NewSCTEstimator returns an estimator (zero-value config uses the paper's
+// defaults: 3-minute collection window, 5% plateau tolerance).
+func NewSCTEstimator(cfg SCTConfig) *SCTEstimator { return sct.New(cfg) }
+
+// DefaultSCTConfig returns the paper's estimator configuration.
+func DefaultSCTConfig() SCTConfig { return sct.DefaultConfig() }
+
+// Scaling frameworks.
+type (
+	// Framework drives a cluster with one scaling strategy.
+	Framework = scaling.Framework
+	// ScalingConfig tunes a framework.
+	ScalingConfig = scaling.Config
+	// Mode selects EC2-AutoScaling, DCM, or ConScale behaviour.
+	Mode = scaling.Mode
+	// DCMProfile is the offline-trained soft-resource recommendation.
+	DCMProfile = scaling.DCMProfile
+	// ScalingEvent is one entry of the scaling log.
+	ScalingEvent = scaling.Event
+)
+
+// Framework modes.
+const (
+	ModeEC2      = scaling.EC2
+	ModeDCM      = scaling.DCM
+	ModeConScale = scaling.ConScale
+)
+
+// NewFramework attaches a scaling framework to a cluster.
+func NewFramework(c *Cluster, cfg ScalingConfig) *Framework { return scaling.New(c, cfg) }
+
+// DefaultScalingConfig returns the shared evaluation settings for a mode.
+func DefaultScalingConfig(mode Mode) ScalingConfig { return scaling.DefaultConfig(mode) }
+
+// Experiments: the paper's tables and figures.
+type (
+	// RunConfig describes one full scaling run.
+	RunConfig = experiment.RunConfig
+	// RunResult captures a run's series and summary statistics.
+	RunResult = experiment.RunResult
+	// SweepConfig describes a fixed-concurrency profiling sweep.
+	SweepConfig = experiment.SweepConfig
+	// SweepResult is a measured concurrency-throughput curve.
+	SweepResult = experiment.SweepResult
+	// Table1Row is one row of the paper's Table I.
+	Table1Row = experiment.Table1Row
+)
+
+// Run executes one full scaling experiment.
+func Run(cfg RunConfig) *RunResult { return experiment.Run(cfg) }
+
+// DefaultRunConfig returns the paper's evaluation parameters for a mode
+// and trace.
+func DefaultRunConfig(mode Mode, trace string) RunConfig {
+	return experiment.DefaultRunConfig(mode, trace)
+}
+
+// Sweep measures a server's concurrency-throughput curve.
+func Sweep(cfg SweepConfig) SweepResult { return experiment.Sweep(cfg) }
+
+// Table1 regenerates the paper's Table I.
+func Table1(seed uint64) []Table1Row { return experiment.Table1(seed) }
+
+// TrainDCM derives the DCM baseline's offline profile.
+func TrainDCM(seed uint64, cfg ClusterConfig) DCMProfile {
+	return experiment.TrainDCM(seed, cfg)
+}
+
+// Management agent (the JMX substitute).
+type (
+	// MgmtAgent serves the runtime-reconfiguration protocol over TCP.
+	MgmtAgent = mgmt.Agent
+	// MgmtClient is the matching client.
+	MgmtClient = mgmt.Client
+	// MgmtStore is a thread-safe key registry backing an agent.
+	MgmtStore = mgmt.Store
+)
+
+// NewMgmtStore returns an empty management store.
+func NewMgmtStore() *MgmtStore { return mgmt.NewStore() }
+
+// NewMgmtAgent starts a management agent on addr.
+func NewMgmtAgent(addr string, target mgmt.Target) (*MgmtAgent, error) {
+	return mgmt.NewAgent(addr, target)
+}
+
+// MgmtDial connects to a management agent.
+func MgmtDial(addr string) (*MgmtClient, error) { return mgmt.Dial(addr) }

@@ -1,0 +1,164 @@
+package conscale_test
+
+import (
+	"strconv"
+	"testing"
+
+	"conscale"
+)
+
+// These tests exercise the public facade exactly as a downstream user
+// would — no internal imports.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	c := conscale.NewCluster(conscale.DefaultClusterConfig())
+	w := conscale.NewWarehouse(120 * conscale.Second)
+	c.Eng.Every(conscale.Second, func() { c.CollectInto(w) })
+
+	gen := conscale.NewGenerator(c.Eng, conscale.NewRand(1), conscale.GeneratorConfig{
+		Trace:     conscale.NewConstantTrace(500, 30*conscale.Second),
+		ThinkTime: 3,
+	}, c.Submit)
+	gen.Start()
+	c.Eng.RunUntil(30 * conscale.Second)
+
+	if gen.GoodputTotal() == 0 {
+		t.Fatal("no requests completed through the public API")
+	}
+	if p99 := gen.TailLatency(99, 0); p99 <= 0 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if len(w.Servers()) != 3 {
+		t.Fatalf("warehouse servers = %v", w.Servers())
+	}
+}
+
+func TestPublicScalingFramework(t *testing.T) {
+	cfg := conscale.DefaultClusterConfig()
+	cfg.PrepDelay = 5 * conscale.Second
+	c := conscale.NewCluster(cfg)
+	fw := conscale.NewFramework(c, conscale.DefaultScalingConfig(conscale.ModeEC2))
+	fw.Start()
+
+	gen := conscale.NewGenerator(c.Eng, conscale.NewRand(2), conscale.GeneratorConfig{
+		Trace:     conscale.NewTrace(conscale.TraceSlowlyVarying, 2500, 120*conscale.Second),
+		ThinkTime: 1,
+	}, c.Submit)
+	gen.Start()
+	c.Eng.RunUntil(120 * conscale.Second)
+	fw.Stop()
+
+	if c.ReadyCount(conscale.TierApp) < 2 {
+		t.Fatalf("framework never scaled: %d app VMs", c.ReadyCount(conscale.TierApp))
+	}
+	if len(fw.Events()) == 0 {
+		t.Fatal("no events logged")
+	}
+}
+
+func TestPublicSCTEstimator(t *testing.T) {
+	est := conscale.NewSCTEstimator(conscale.DefaultSCTConfig())
+	var samples []conscale.WindowSample
+	for q := 1; q <= 40; q++ {
+		tp := 1000.0
+		if q < 10 {
+			tp = 1000 * float64(q) / 10
+		} else if q > 25 {
+			tp = 1000 * (1 - 0.03*float64(q-25))
+		}
+		for i := 0; i < 4; i++ {
+			samples = append(samples, conscale.WindowSample{
+				Concurrency: float64(q),
+				Throughput:  tp,
+				RT:          float64(q) / tp,
+				Completions: int(tp / 20),
+			})
+		}
+	}
+	e, ok := est.Estimate(samples)
+	if !ok {
+		t.Fatal("estimate failed")
+	}
+	if e.Optimal() < 7 || e.Optimal() > 13 {
+		t.Fatalf("Optimal = %d, want ~10", e.Optimal())
+	}
+}
+
+func TestPublicTraceNames(t *testing.T) {
+	names := conscale.TraceNames()
+	if len(names) != 6 {
+		t.Fatalf("TraceNames = %v", names)
+	}
+	for _, n := range names {
+		tr := conscale.NewTrace(n, 1000, 60*conscale.Second)
+		if tr.Peak() <= 0 {
+			t.Fatalf("trace %s has no load", n)
+		}
+	}
+}
+
+func TestPublicRubbosWorkload(t *testing.T) {
+	w := conscale.NewRubbosWorkload(conscale.ReadWrite, 1)
+	if len(w.Servlets) != 24 {
+		t.Fatalf("servlets = %d, want 24", len(w.Servlets))
+	}
+	sv := w.Pick(conscale.NewRand(3))
+	if sv.Name == "" || sv.Queries < 1 {
+		t.Fatalf("bad servlet %+v", sv)
+	}
+}
+
+func TestPublicMgmtAgent(t *testing.T) {
+	store := conscale.NewMgmtStore()
+	val := 60
+	store.Register("app.threads",
+		func() string { return strconv.Itoa(val) },
+		func(raw string) error {
+			n, err := strconv.Atoi(raw)
+			if err != nil {
+				return err
+			}
+			val = n
+			return nil
+		})
+	agent, err := conscale.NewMgmtAgent("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	client, err := conscale.MgmtDial(agent.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Set("app.threads", "12"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get("app.threads")
+	if err != nil || got != "12" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestPublicRunAndSweep(t *testing.T) {
+	cfg := conscale.DefaultRunConfig(conscale.ModeConScale, conscale.TraceBigSpike)
+	cfg.Duration = 120 * conscale.Second
+	cfg.MaxUsers = 2000
+	res := conscale.Run(cfg)
+	if res.Goodput == 0 {
+		t.Fatal("run produced nothing")
+	}
+
+	scfg := conscale.SweepConfig{Levels: []int{5, 10}, Measure: 2 * conscale.Second}
+	sres := conscale.Sweep(scfg)
+	if len(sres.Points) != 2 {
+		t.Fatalf("sweep points = %d", len(sres.Points))
+	}
+}
+
+func TestPublicTrainDCM(t *testing.T) {
+	p := conscale.TrainDCM(1, conscale.DefaultClusterConfig())
+	if p.AppThreads <= 0 || p.DBTotal <= 0 {
+		t.Fatalf("profile %+v", p)
+	}
+}

@@ -1,0 +1,74 @@
+package conscale_test
+
+import (
+	"fmt"
+
+	"conscale"
+)
+
+// ExampleNewCluster shows the minimal end-to-end loop: build the paper's
+// 1/1/1 deployment, replay load, and read the tail latency. Runs are
+// deterministic, so the output is stable.
+func ExampleNewCluster() {
+	c := conscale.NewCluster(conscale.DefaultClusterConfig())
+	gen := conscale.NewGenerator(c.Eng, conscale.NewRand(1), conscale.GeneratorConfig{
+		Trace:     conscale.NewConstantTrace(300, 20*conscale.Second),
+		ThinkTime: 3,
+	}, c.Submit)
+	gen.Start()
+	c.Eng.RunUntil(20 * conscale.Second)
+	fmt.Printf("served %v requests: %v\n", gen.GoodputTotal() > 1000, gen.ErrorRate() == 0)
+	// Output: served true requests: true
+}
+
+// ExampleSCTEstimator feeds synthetic three-stage tuples to the SCT model
+// and reads back the rational concurrency range.
+func ExampleSCTEstimator() {
+	var samples []conscale.WindowSample
+	for q := 1; q <= 40; q++ {
+		tp := 1000.0
+		if q < 10 {
+			tp = 100 * float64(q) // ascending stage
+		} else if q > 25 {
+			tp = 1000 - 30*float64(q-25) // descending stage
+		}
+		for i := 0; i < 4; i++ {
+			samples = append(samples, conscale.WindowSample{
+				Concurrency: float64(q),
+				Throughput:  tp,
+				RT:          float64(q) / tp,
+				Completions: 10,
+			})
+		}
+	}
+	est := conscale.NewSCTEstimator(conscale.DefaultSCTConfig())
+	e, ok := est.Estimate(samples)
+	fmt.Println(ok, e.Optimal() >= 8 && e.Optimal() <= 12, e.Saturated)
+	// Output: true true true
+}
+
+// ExampleNewTrace samples one of the six bursty evaluation traces.
+func ExampleNewTrace() {
+	tr := conscale.NewTrace(conscale.TraceBigSpike, 7500, 720*conscale.Second)
+	fmt.Println(tr.Peak() > 6000, tr.UsersAt(0) < 3000)
+	// Output: true true
+}
+
+// ExampleNewFramework runs ConScale against a short burst and reports that
+// scaling actions happened.
+func ExampleNewFramework() {
+	cfg := conscale.DefaultClusterConfig()
+	cfg.PrepDelay = 5 * conscale.Second
+	c := conscale.NewCluster(cfg)
+	fw := conscale.NewFramework(c, conscale.DefaultScalingConfig(conscale.ModeConScale))
+	fw.Start()
+	gen := conscale.NewGenerator(c.Eng, conscale.NewRand(2), conscale.GeneratorConfig{
+		Trace:     conscale.NewTrace(conscale.TraceSlowlyVarying, 2500, 150*conscale.Second),
+		ThinkTime: 1,
+	}, c.Submit)
+	gen.Start()
+	c.Eng.RunUntil(150 * conscale.Second)
+	fw.Stop()
+	fmt.Println(len(fw.Events()) > 0, c.ReadyCount(conscale.TierApp) >= 2)
+	// Output: true true
+}

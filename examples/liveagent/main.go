@@ -1,0 +1,145 @@
+// Live agent: the runtime soft-resource reconfiguration path of the
+// paper's Section IV-A. The paper extends Tomcat's JMX service so the
+// thread pool and DB connection pool can be resized without a restart;
+// here the equivalent TCP management agent fronts a running simulation,
+// and a client shrinks the Tomcat pool mid-run while load is flowing.
+//
+// Run with:
+//
+//	go run ./examples/liveagent
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"sync"
+
+	"conscale"
+)
+
+func main() {
+	c := conscale.NewCluster(conscale.DefaultClusterConfig())
+
+	// The simulation is single-threaded; the agent serves real TCP
+	// connections. Bridge the two with a mutex-protected pending-change
+	// list that the simulation applies at its next 1-second tick —
+	// exactly how a real agent thread hands work to a server's event loop.
+	var (
+		mu      sync.Mutex
+		pending []func()
+	)
+	queue := func(fn func()) {
+		mu.Lock()
+		pending = append(pending, fn)
+		mu.Unlock()
+	}
+	c.Eng.Every(conscale.Second, func() {
+		mu.Lock()
+		jobs := pending
+		pending = nil
+		mu.Unlock()
+		for _, fn := range jobs {
+			fn()
+		}
+	})
+
+	// Expose the soft resources through the management store. Reads are
+	// also queued through the simulation tick for a consistent view.
+	store := conscale.NewMgmtStore()
+	var view struct {
+		sync.Mutex
+		appThreads, dbConns int
+	}
+	refreshView := func() {
+		_, app, db := c.SoftResources()
+		view.Lock()
+		view.appThreads, view.dbConns = app, db
+		view.Unlock()
+	}
+	refreshView()
+	c.Eng.Every(conscale.Second, refreshView)
+
+	store.Register("app.threads",
+		func() string {
+			view.Lock()
+			defer view.Unlock()
+			return strconv.Itoa(view.appThreads)
+		},
+		func(raw string) error {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("app.threads must be a positive integer, got %q", raw)
+			}
+			queue(func() { c.SetAppThreads(n) })
+			return nil
+		})
+	store.Register("db.conns",
+		func() string {
+			view.Lock()
+			defer view.Unlock()
+			return strconv.Itoa(view.dbConns)
+		},
+		func(raw string) error {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("db.conns must be a positive integer, got %q", raw)
+			}
+			queue(func() { c.SetDBConns(n) })
+			return nil
+		})
+
+	agent, err := conscale.NewMgmtAgent("127.0.0.1:0", store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+	fmt.Printf("management agent listening on %s\n", agent.Addr())
+
+	// Load the system while we reconfigure it.
+	gen := conscale.NewGenerator(c.Eng, conscale.NewRand(7), conscale.GeneratorConfig{
+		Trace:     conscale.NewConstantTrace(1200, 120*conscale.Second),
+		ThinkTime: 3,
+	}, c.Submit)
+	gen.Start()
+
+	client, err := conscale.MgmtDial(agent.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	keys, err := client.Keys()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agent exposes keys: %v\n", keys)
+
+	// First simulated minute at the (over-provisioned) default pool.
+	c.Eng.RunUntil(60 * conscale.Second)
+	before, err := client.Get("app.threads")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=60s: app.threads=%s, tomcat1 active=%d\n",
+		before, c.Servers(conscale.TierApp)[0].Active())
+
+	// Shrink the Tomcat pool to the SCT-style optimum — live.
+	if err := client.Set("app.threads", "12"); err != nil {
+		log.Fatal(err)
+	}
+	// And reject a bad value to show validation.
+	if err := client.Set("db.conns", "-1"); err != nil {
+		fmt.Printf("rejected bad update as expected: %v\n", err)
+	}
+
+	c.Eng.RunUntil(120 * conscale.Second)
+	after, err := client.Get("app.threads")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=120s: app.threads=%s, tomcat1 active=%d\n",
+		after, c.Servers(conscale.TierApp)[0].Active())
+	fmt.Printf("run completed: %d requests, p95=%.1fms\n",
+		gen.GoodputTotal(), gen.TailLatency(95, 0)*1000)
+}

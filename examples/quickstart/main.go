@@ -1,0 +1,61 @@
+// Quickstart: build the paper's 1/1/1 RUBBoS deployment, drive it with a
+// closed-loop user population for one simulated minute, and ask the SCT
+// model for MySQL's rational concurrency range.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"conscale"
+)
+
+func main() {
+	// The paper's evaluation setup: one Apache, one Tomcat, one MySQL,
+	// each on a 1-vCPU VM, soft resources 1000-60-40, leastconn balancing.
+	c := conscale.NewCluster(conscale.DefaultClusterConfig())
+
+	// A metric warehouse plays the role of the per-VM monitoring agents:
+	// it receives each server's 50 ms {concurrency, throughput, RT} tuples.
+	warehouse := conscale.NewWarehouse(300 * conscale.Second)
+	c.Eng.Every(conscale.Second, func() { c.CollectInto(warehouse) })
+
+	// 4000 concurrent users with 3 s mean think time — enough to push the
+	// single-Tomcat deployment through all three stages of its curve.
+	trace := conscale.NewConstantTrace(4000, 60*conscale.Second)
+	gen := conscale.NewGenerator(c.Eng, conscale.NewRand(42), conscale.GeneratorConfig{
+		Trace:     trace,
+		ThinkTime: 3,
+	}, c.Submit)
+	gen.Start()
+
+	// One simulated minute runs in well under a second of wall clock.
+	c.Eng.RunUntil(60 * conscale.Second)
+	c.CollectInto(warehouse)
+
+	fmt.Printf("completed %d requests, p95 = %.1f ms, p99 = %.1f ms\n",
+		gen.GoodputTotal(),
+		gen.TailLatency(95, 0)*1000,
+		gen.TailLatency(99, 0)*1000)
+
+	// Feed each server's fine-grained tuples to the SCT model.
+	est := conscale.NewSCTEstimator(conscale.SCTConfig{
+		CollectionWindow: 60 * conscale.Second,
+		MinTotalSamples:  30,
+		MinDistinctBins:  3,
+	})
+	for _, name := range []string{"tomcat1", "mysql1"} {
+		e, ok := est.Estimate(warehouse.FineSince(name, 0))
+		if !ok {
+			fmt.Printf("%s: not enough concurrency diversity for an estimate yet\n", name)
+			continue
+		}
+		fmt.Printf("%s rational concurrency range: [%d, %d], plateau %.0f req/s\n",
+			name, e.Qlower, e.Qupper, e.PlateauTP)
+		fmt.Printf("%s recommended pool size: %d (saturation observed: %v)\n",
+			name, e.Optimal(), e.Saturated)
+	}
+}

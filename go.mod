@@ -1,0 +1,3 @@
+module conscale
+
+go 1.22

@@ -1,0 +1,570 @@
+// Package cluster assembles the n-tier system under test: web, application,
+// and database tiers of VM-hosted servers behind HAProxy-style balancers
+// (paper Fig. 2b), the end-to-end request path for RUBBoS servlets, and the
+// VM lifecycle used by the scaling frameworks — including the 15-second
+// preparation period before a new VM serves traffic and connection draining
+// when a VM retires (paper Section IV-A).
+package cluster
+
+import (
+	"fmt"
+
+	"conscale/internal/des"
+	"conscale/internal/lb"
+	"conscale/internal/metrics"
+	"conscale/internal/rng"
+	"conscale/internal/rubbos"
+	"conscale/internal/server"
+)
+
+// Tier identifies one of the three tiers.
+type Tier int
+
+// The tiers of the system. Cache is the optional Memcached tier the paper
+// mentions as configurable on demand ("more tiers can be configured
+// on-demand ... or cache tier like Memcached").
+const (
+	Web Tier = iota
+	App
+	DB
+	Cache
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case Web:
+		return "web"
+	case App:
+		return "tomcat"
+	case DB:
+		return "mysql"
+	case Cache:
+		return "memcached"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Tiers lists all tiers in request-path order (including the optional
+// cache tier; a cluster without caches simply has no servers there).
+func Tiers() []Tier { return []Tier{Web, App, Cache, DB} }
+
+// Config describes the initial deployment. The zero value is not valid;
+// use DefaultConfig and override.
+type Config struct {
+	Seed         uint64
+	Mix          rubbos.Mix
+	DatasetScale float64
+
+	// Initial topology #Web/#App/#DB (paper notation).
+	Web, App, DB int
+
+	// Soft resources: the paper's #Wthreads-#Athreads-#DBconnections
+	// (e.g. 1000-60-40 in the Fig. 10 evaluation). DBConns is the DB
+	// connection pool size of each app server.
+	WebThreads, AppThreads, DBConns int
+
+	// Cores per VM in each tier (the paper's VMs have 1 vCPU).
+	WebCores, AppCores, DBCores int
+
+	// DiskChans is the DB VM's disk channel count (1 = single SATA disk).
+	DiskChans int
+
+	// CacheServers enables the optional Memcached tier with that many
+	// VMs (0 = no cache tier). With a cache, each DB query first looks
+	// up the cache and only goes to the DB on a miss.
+	CacheServers int
+	// CacheHitRatio is the probability a lookup hits (default 0.8 when
+	// the tier is enabled).
+	CacheHitRatio float64
+	// CacheCores is the cache VM's vCPU count (default 1).
+	CacheCores int
+
+	// MaxVMsPerTier bounds scale-out (the private cloud's capacity).
+	MaxVMsPerTier int
+
+	LBPolicy lb.Policy
+
+	// PrepDelay is the VM preparation period before a new instance can
+	// serve (dataset replication etc.; paper uses 15 s).
+	PrepDelay des.Time
+
+	// AcceptQueue is the per-server pending-request bound.
+	AcceptQueue int
+
+	// DemandCV is the lognormal jitter of service demands.
+	DemandCV float64
+
+	// Per-tier multithreading-overhead models. Apache's worker threads
+	// are far lighter than Tomcat's or MySQL's (no business logic, no
+	// locks), so the web tier gets a much higher knee.
+	WebOverhead, AppOverhead, DBOverhead server.Overhead
+
+	// Window is the fine-grained measurement interval (50 ms default).
+	Window des.Time
+}
+
+// DefaultConfig returns the paper's evaluation setup: 1/1/1 topology,
+// soft resources 1000-60-40, 1-core VMs, leastconn balancing, 15 s VM
+// preparation.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		Mix:           rubbos.BrowseOnly,
+		DatasetScale:  1,
+		Web:           1,
+		App:           1,
+		DB:            1,
+		WebThreads:    1000,
+		AppThreads:    60,
+		DBConns:       40,
+		WebCores:      1,
+		AppCores:      1,
+		DBCores:       1,
+		DiskChans:     1,
+		MaxVMsPerTier: 8,
+		LBPolicy:      lb.LeastConn,
+		PrepDelay:     15 * des.Second,
+		AcceptQueue:   3000,
+		DemandCV:      0.3,
+		WebOverhead:   server.Overhead{Alpha: 0.0005, KneePerCore: 1200, Power: 1.1},
+		AppOverhead:   server.DefaultOverhead(),
+		DBOverhead:    server.DefaultOverhead(),
+	}
+}
+
+// vm couples a server with its lifecycle state.
+type vm struct {
+	srv   *server.Server
+	ready bool // false until the preparation period elapses
+}
+
+// Cluster is the system under test.
+type Cluster struct {
+	Eng *des.Engine
+
+	cfg Config
+	rnd *rng.Source
+	wl  *rubbos.Workload
+
+	webLB, appLB, dbLB, cacheLB *lb.Balancer
+
+	vms     map[Tier][]*vm
+	counter map[Tier]int
+
+	// Current soft-resource settings; new VMs inherit them.
+	webThreads, appThreads, dbConns int
+
+	pendingBoots map[Tier]int // VMs in their preparation period
+}
+
+// New builds the initial topology on a fresh engine.
+func New(cfg Config) *Cluster {
+	if cfg.Web <= 0 || cfg.App <= 0 || cfg.DB <= 0 {
+		panic("cluster: every tier needs at least one VM")
+	}
+	if cfg.DatasetScale <= 0 {
+		cfg.DatasetScale = 1
+	}
+	c := &Cluster{
+		Eng:          des.New(),
+		cfg:          cfg,
+		rnd:          rng.New(cfg.Seed),
+		wl:           rubbos.NewWorkload(cfg.Mix, cfg.DatasetScale),
+		webLB:        lb.New("web-lb", cfg.LBPolicy),
+		appLB:        lb.New("app-lb", cfg.LBPolicy),
+		dbLB:         lb.New("db-lb", cfg.LBPolicy),
+		cacheLB:      lb.New("cache-lb", cfg.LBPolicy),
+		vms:          make(map[Tier][]*vm),
+		counter:      make(map[Tier]int),
+		webThreads:   cfg.WebThreads,
+		appThreads:   cfg.AppThreads,
+		dbConns:      cfg.DBConns,
+		pendingBoots: make(map[Tier]int),
+	}
+	for i := 0; i < cfg.Web; i++ {
+		c.boot(Web)
+	}
+	for i := 0; i < cfg.App; i++ {
+		c.boot(App)
+	}
+	for i := 0; i < cfg.DB; i++ {
+		c.boot(DB)
+	}
+	if cfg.CacheServers > 0 {
+		if c.cfg.CacheHitRatio <= 0 || c.cfg.CacheHitRatio >= 1 {
+			c.cfg.CacheHitRatio = 0.8
+		}
+		for i := 0; i < cfg.CacheServers; i++ {
+			c.boot(Cache)
+		}
+	}
+	return c
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Workload returns the active servlet mix.
+func (c *Cluster) Workload() *rubbos.Workload { return c.wl }
+
+// SetDatasetScale changes the system state mid-run (the paper's
+// "continuous dataset updates"): subsequent requests use demands for the
+// new dataset size.
+func (c *Cluster) SetDatasetScale(scale float64) {
+	c.wl = rubbos.NewWorkload(c.cfg.Mix, scale)
+}
+
+// SetMix switches the workload mode mid-run (paper Section III-C.3).
+func (c *Cluster) SetMix(mix rubbos.Mix) {
+	c.cfg.Mix = mix
+	c.wl = rubbos.NewWorkload(mix, c.wl.DatasetScale)
+}
+
+// boot creates a VM immediately (initial topology, before the run starts).
+func (c *Cluster) boot(t Tier) *vm {
+	v := c.newVM(t)
+	v.ready = true
+	c.balancer(t).Add(v.srv.Name(), v.srv)
+	return v
+}
+
+func (c *Cluster) newVM(t Tier) *vm {
+	c.counter[t]++
+	name := fmt.Sprintf("%s%d", t, c.counter[t])
+	cfg := server.Config{
+		Name:        name,
+		AcceptQueue: c.cfg.AcceptQueue,
+		DemandCV:    c.cfg.DemandCV,
+		Window:      c.cfg.Window,
+	}
+	switch t {
+	case Web:
+		cfg.Cores = c.cfg.WebCores
+		cfg.ThreadLimit = c.webThreads
+		cfg.Overhead = c.cfg.WebOverhead
+	case App:
+		cfg.Cores = c.cfg.AppCores
+		cfg.ThreadLimit = c.appThreads
+		cfg.Overhead = c.cfg.AppOverhead
+	case Cache:
+		cores := c.cfg.CacheCores
+		if cores <= 0 {
+			cores = 1
+		}
+		cfg.Cores = cores
+		// Memcached is event-driven: effectively unbounded worker slots
+		// and negligible per-connection overhead.
+		cfg.ThreadLimit = 2000
+		cfg.Overhead = server.Overhead{Alpha: 0.0005, KneePerCore: 1500, Power: 1.1}
+	case DB:
+		cfg.Cores = c.cfg.DBCores
+		cfg.DiskChans = c.cfg.DiskChans
+		// MySQL's own thread table is effectively unbounded in the
+		// paper's setup; its concurrency is governed by the app tier's
+		// connection pools.
+		cfg.ThreadLimit = 1000
+		cfg.Overhead = c.cfg.DBOverhead
+	}
+	srv := server.New(c.Eng, c.rnd.Split(), cfg)
+	if t == App {
+		srv.SetCallPool(server.NewConnPool(c.dbConns))
+	}
+	v := &vm{srv: srv}
+	c.vms[t] = append(c.vms[t], v)
+	return v
+}
+
+func (c *Cluster) balancer(t Tier) *lb.Balancer {
+	switch t {
+	case Web:
+		return c.webLB
+	case App:
+		return c.appLB
+	case Cache:
+		return c.cacheLB
+	default:
+		return c.dbLB
+	}
+}
+
+// Servers returns the tier's live servers (including booting and draining
+// VMs, which still need metric collection).
+func (c *Cluster) Servers(t Tier) []*server.Server {
+	out := make([]*server.Server, 0, len(c.vms[t]))
+	for _, v := range c.vms[t] {
+		out = append(out, v.srv)
+	}
+	return out
+}
+
+// ReadyCount returns the number of VMs serving traffic in the tier.
+func (c *Cluster) ReadyCount(t Tier) int {
+	n := 0
+	for _, v := range c.vms[t] {
+		if v.ready && !v.srv.Draining() {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalVMs returns the count of VMs across all tiers, including those
+// still in their preparation period (they consume resources already) —
+// the "# of VMs" series of Fig. 1/10/11.
+func (c *Cluster) TotalVMs() int {
+	n := 0
+	for _, t := range Tiers() {
+		for _, v := range c.vms[t] {
+			if !v.srv.Draining() {
+				n++
+			}
+		}
+		n += c.pendingBoots[t]
+	}
+	return n
+}
+
+// AddVM provisions a new VM in the tier. The VM becomes ready after the
+// preparation period (PrepDelay); onReady (optional) fires at that moment
+// with the new server. It returns false when the tier is at capacity.
+func (c *Cluster) AddVM(t Tier, onReady func(srv *server.Server)) bool {
+	live := 0
+	for _, v := range c.vms[t] {
+		if !v.srv.Draining() {
+			live++
+		}
+	}
+	if live+c.pendingBoots[t] >= c.cfg.MaxVMsPerTier {
+		return false
+	}
+	c.pendingBoots[t]++
+	c.Eng.After(c.cfg.PrepDelay, func() {
+		c.pendingBoots[t]--
+		v := c.newVM(t)
+		v.ready = true
+		c.balancer(t).Add(v.srv.Name(), v.srv)
+		if onReady != nil {
+			onReady(v.srv)
+		}
+	})
+	return true
+}
+
+// RemoveVM retires the most recently added ready VM of the tier, keeping
+// at least one. The VM drains: it stops receiving traffic immediately and
+// is destroyed once idle. It returns the retired server name, or "".
+func (c *Cluster) RemoveVM(t Tier) string {
+	vmsOfTier := c.vms[t]
+	live := 0
+	for _, v := range vmsOfTier {
+		if v.ready && !v.srv.Draining() {
+			live++
+		}
+	}
+	if live <= 1 {
+		return ""
+	}
+	for i := len(vmsOfTier) - 1; i >= 0; i-- {
+		v := vmsOfTier[i]
+		if !v.ready || v.srv.Draining() {
+			continue
+		}
+		v.srv.SetDraining(true)
+		c.balancer(t).Remove(v.srv.Name())
+		c.reap(t, v)
+		return v.srv.Name()
+	}
+	return ""
+}
+
+// reap destroys a draining VM once its in-flight work completes.
+func (c *Cluster) reap(t Tier, v *vm) {
+	c.Eng.After(des.Second, func() {
+		if v.srv.Active() > 0 || v.srv.QueueLen() > 0 {
+			c.reap(t, v)
+			return
+		}
+		for i, cand := range c.vms[t] {
+			if cand == v {
+				c.vms[t] = append(c.vms[t][:i], c.vms[t][i+1:]...)
+				break
+			}
+		}
+	})
+}
+
+// SoftResources returns the current settings (web threads, app threads,
+// per-app DB connections).
+func (c *Cluster) SoftResources() (web, app, db int) {
+	return c.webThreads, c.appThreads, c.dbConns
+}
+
+// SetWebThreads adjusts the web tier's thread pools at runtime.
+func (c *Cluster) SetWebThreads(n int) {
+	c.webThreads = n
+	for _, v := range c.vms[Web] {
+		v.srv.SetThreadLimit(n)
+	}
+}
+
+// SetAppThreads adjusts the app tier's thread pools at runtime (the
+// Tomcat thread pool actuator).
+func (c *Cluster) SetAppThreads(n int) {
+	c.appThreads = n
+	for _, v := range c.vms[App] {
+		v.srv.SetThreadLimit(n)
+	}
+}
+
+// SetDBConns adjusts every app server's DB connection pool (the extended
+// JMX actuator of Section IV-A); this caps the concurrency reaching the
+// DB tier at n × #app.
+func (c *Cluster) SetDBConns(n int) {
+	c.dbConns = n
+	for _, v := range c.vms[App] {
+		if p := v.srv.CallPool(); p != nil {
+			p.SetLimit(n)
+		}
+	}
+}
+
+// TierCPU returns the mean 1-second CPU utilization across the tier's
+// ready VMs — the signal the threshold scalers act on.
+func (c *Cluster) TierCPU(t Tier) float64 {
+	sum, n := 0.0, 0
+	for _, v := range c.vms[t] {
+		if v.ready && !v.srv.Draining() {
+			sum += v.srv.CPUUtilization()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CollectInto flushes every server's fine-grained and CPU metrics into the
+// warehouse (the per-VM monitoring agents of Fig. 8, step 1).
+func (c *Cluster) CollectInto(w *metrics.Warehouse) {
+	for _, t := range Tiers() {
+		for _, v := range c.vms[t] {
+			name := v.srv.Name()
+			w.PutFine(name, v.srv.FlushFine())
+			w.PutCPU(name, v.srv.FlushCPU())
+		}
+	}
+}
+
+// Submit issues one end-to-end client request (a workload.Submitter).
+func (c *Cluster) Submit(done func(ok bool)) {
+	sv := c.wl.Pick(c.rnd)
+	c.webLB.Submit(&server.Request{
+		Phases: c.webPhases(sv),
+		Done:   done,
+	})
+}
+
+// webPhases builds the web tier visit: static processing then the
+// synchronous call into the app tier.
+func (c *Cluster) webPhases(sv *rubbos.Servlet) []server.Phase {
+	return []server.Phase{
+		{Kind: server.PhaseCPU, Duration: des.Time(sv.WebCPU)},
+		{Kind: server.PhaseCall, Call: &server.OutCall{
+			Target: c.appLB,
+			Build:  func() []server.Phase { return c.appPhases(sv) },
+		}},
+	}
+}
+
+// appPhases builds the app tier visit: business-logic CPU slices
+// interleaved with synchronous DB queries gated by the server's own
+// connection pool.
+func (c *Cluster) appPhases(sv *rubbos.Servlet) []server.Phase {
+	q := sv.Queries
+	slice := des.Time(sv.AppCPU / float64(q+1))
+	halfWait := des.Time(sv.AppWait / 2)
+	phases := make([]server.Phase, 0, 2*q+4)
+	phases = append(phases,
+		server.Phase{Kind: server.PhaseSleep, Duration: halfWait},
+		server.Phase{Kind: server.PhaseCPU, Duration: slice},
+	)
+	for i := 0; i < q; i++ {
+		phases = append(phases, c.queryPhases(sv)...)
+		phases = append(phases, server.Phase{Kind: server.PhaseCPU, Duration: slice})
+	}
+	return append(phases, server.Phase{Kind: server.PhaseSleep, Duration: halfWait})
+}
+
+// queryPhases builds one logical DB query from the app tier's point of
+// view. Without a cache tier it is a single synchronous DB call gated by
+// the server's connection pool. With a cache tier, the query first looks
+// up Memcached; only misses (and all writes, which must reach the DB)
+// continue to the DB call.
+func (c *Cluster) queryPhases(sv *rubbos.Servlet) []server.Phase {
+	dbCall := server.Phase{Kind: server.PhaseCall, Call: &server.OutCall{
+		Target:        c.dbLB,
+		UseServerPool: true,
+		Build:         func() []server.Phase { return c.dbPhases(sv) },
+	}}
+	if c.cacheLB.Len() == 0 {
+		return []server.Phase{dbCall}
+	}
+	lookup := server.Phase{Kind: server.PhaseCall, Call: &server.OutCall{
+		Target: c.cacheLB,
+		Build:  func() []server.Phase { return cachePhases() },
+	}}
+	if !sv.Write && c.rnd.Float64() < c.cfg.CacheHitRatio {
+		return []server.Phase{lookup} // cache hit serves the query
+	}
+	return []server.Phase{lookup, dbCall}
+}
+
+// cachePhases is one Memcached lookup: sub-millisecond CPU plus network
+// dwell.
+func cachePhases() []server.Phase {
+	return []server.Phase{
+		{Kind: server.PhaseSleep, Duration: 0.0002},
+		{Kind: server.PhaseCPU, Duration: 0.00006},
+	}
+}
+
+// dbPhases builds one DB query visit: protocol dwell around the CPU work,
+// plus disk I/O for write/scan queries.
+func (c *Cluster) dbPhases(sv *rubbos.Servlet) []server.Phase {
+	halfWait := des.Time(sv.QueryWait / 2)
+	phases := []server.Phase{
+		{Kind: server.PhaseSleep, Duration: halfWait},
+		{Kind: server.PhaseCPU, Duration: des.Time(sv.QueryCPU)},
+	}
+	if sv.QueryDisk > 0 {
+		phases = append(phases, server.Phase{Kind: server.PhaseDisk, Duration: des.Time(sv.QueryDisk)})
+	}
+	return append(phases, server.Phase{Kind: server.PhaseSleep, Duration: halfWait})
+}
+
+// KillVM abruptly terminates a tier's most recently added ready VM
+// (failure injection): the balancer stops routing to it immediately, its
+// queued and in-flight requests fail, and the VM is removed. It returns
+// the killed server's name, or "" when the tier has no ready VM to kill
+// (the last instance may be killed — unlike RemoveVM, crashes don't ask
+// for permission).
+func (c *Cluster) KillVM(t Tier) string {
+	vmsOfTier := c.vms[t]
+	for i := len(vmsOfTier) - 1; i >= 0; i-- {
+		v := vmsOfTier[i]
+		if !v.ready || v.srv.Draining() {
+			continue
+		}
+		c.balancer(t).Remove(v.srv.Name())
+		v.srv.Kill()
+		c.vms[t] = append(c.vms[t][:i], c.vms[t][i+1:]...)
+		return v.srv.Name()
+	}
+	return ""
+}
+
+// Balancer exposes a tier's balancer (tests, diagnostics).
+func (c *Cluster) Balancer(t Tier) *lb.Balancer { return c.balancer(t) }

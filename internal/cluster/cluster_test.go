@@ -1,0 +1,539 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"conscale/internal/des"
+	"conscale/internal/metrics"
+	"conscale/internal/rubbos"
+	"conscale/internal/server"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PrepDelay = 2 * des.Second
+	return cfg
+}
+
+func TestNewBuildsTopology(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Web, cfg.App, cfg.DB = 1, 2, 3
+	c := New(cfg)
+	if got := len(c.Servers(Web)); got != 1 {
+		t.Fatalf("web servers = %d", got)
+	}
+	if got := len(c.Servers(App)); got != 2 {
+		t.Fatalf("app servers = %d", got)
+	}
+	if got := len(c.Servers(DB)); got != 3 {
+		t.Fatalf("db servers = %d", got)
+	}
+	if c.TotalVMs() != 6 {
+		t.Fatalf("TotalVMs = %d", c.TotalVMs())
+	}
+	if c.Balancer(DB).Len() != 3 {
+		t.Fatalf("db balancer backends = %d", c.Balancer(DB).Len())
+	}
+}
+
+func TestInvalidTopologyPanics(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DB = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(cfg)
+}
+
+func TestServerNaming(t *testing.T) {
+	c := New(smallConfig())
+	if c.Servers(App)[0].Name() != "tomcat1" {
+		t.Fatalf("app server name = %s", c.Servers(App)[0].Name())
+	}
+	if c.Servers(DB)[0].Name() != "mysql1" {
+		t.Fatalf("db server name = %s", c.Servers(DB)[0].Name())
+	}
+	if c.Servers(Web)[0].Name() != "web1" {
+		t.Fatalf("web server name = %s", c.Servers(Web)[0].Name())
+	}
+}
+
+func TestEndToEndRequestCompletes(t *testing.T) {
+	c := New(smallConfig())
+	okCount := 0
+	for i := 0; i < 50; i++ {
+		c.Submit(func(ok bool) {
+			if ok {
+				okCount++
+			}
+		})
+	}
+	c.Eng.Run()
+	if okCount != 50 {
+		t.Fatalf("completed %d/50", okCount)
+	}
+}
+
+func TestEndToEndResponseTimeReasonable(t *testing.T) {
+	c := New(smallConfig())
+	var rts []float64
+	var start des.Time
+	issue := func() {
+		start = c.Eng.Now()
+		c.Submit(func(ok bool) {
+			rts = append(rts, float64(c.Eng.Now()-start))
+		})
+	}
+	// One at a time: unloaded RT = web + app + queries (sequential).
+	var next func()
+	next = func() {
+		if len(rts) >= 20 {
+			return
+		}
+		issue()
+	}
+	_ = next
+	for i := 0; i < 20; i++ {
+		c.Eng.After(des.Time(i)*des.Second, issue)
+	}
+	c.Eng.Run()
+	mean := 0.0
+	for _, rt := range rts {
+		mean += rt
+	}
+	mean /= float64(len(rts))
+	// Analytic unloaded RT ≈ web 0.3ms + appWait 2.8 + appCPU 0.8 +
+	// 2×(query 1.8) ≈ 7.5ms. Allow generous spread for jitter.
+	if mean < 0.004 || mean > 0.020 {
+		t.Fatalf("mean unloaded RT = %v s, want ~0.0075", mean)
+	}
+}
+
+func TestAddVMHasPreparationDelay(t *testing.T) {
+	c := New(smallConfig())
+	var readyAt des.Time
+	if !c.AddVM(App, func(srv *server.Server) { readyAt = c.Eng.Now() }) {
+		t.Fatal("AddVM refused")
+	}
+	if c.ReadyCount(App) != 1 {
+		t.Fatalf("new VM ready before preparation: %d", c.ReadyCount(App))
+	}
+	if c.TotalVMs() != 4 {
+		t.Fatalf("pending VM not counted: TotalVMs = %d", c.TotalVMs())
+	}
+	c.Eng.RunUntil(5)
+	if readyAt != 2 {
+		t.Fatalf("VM ready at %v, want 2 (PrepDelay)", readyAt)
+	}
+	if c.ReadyCount(App) != 2 {
+		t.Fatalf("ReadyCount = %d after preparation", c.ReadyCount(App))
+	}
+	if c.Balancer(App).Len() != 2 {
+		t.Fatal("new VM not in balancer")
+	}
+}
+
+func TestAddVMRespectsCapacity(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxVMsPerTier = 2
+	c := New(cfg)
+	if !c.AddVM(DB, nil) {
+		t.Fatal("first AddVM refused")
+	}
+	if c.AddVM(DB, nil) {
+		t.Fatal("AddVM exceeded MaxVMsPerTier")
+	}
+}
+
+func TestNewAppVMInheritsSoftResources(t *testing.T) {
+	c := New(smallConfig())
+	c.SetAppThreads(25)
+	c.SetDBConns(15)
+	c.AddVM(App, func(srv *server.Server) {
+		if srv.ThreadLimit() != 25 {
+			t.Errorf("new VM thread limit = %d, want 25", srv.ThreadLimit())
+		}
+		if srv.CallPool().Limit() != 15 {
+			t.Errorf("new VM conn pool = %d, want 15", srv.CallPool().Limit())
+		}
+	})
+	c.Eng.RunUntil(5)
+}
+
+func TestRemoveVMDrains(t *testing.T) {
+	cfg := smallConfig()
+	cfg.App = 2
+	c := New(cfg)
+	name := c.RemoveVM(App)
+	if name == "" {
+		t.Fatal("RemoveVM returned empty")
+	}
+	if c.Balancer(App).Len() != 1 {
+		t.Fatal("removed VM still in balancer")
+	}
+	c.Eng.RunUntil(10)
+	if len(c.Servers(App)) != 1 {
+		t.Fatalf("drained VM not reaped: %d servers", len(c.Servers(App)))
+	}
+}
+
+func TestRemoveVMKeepsLastInstance(t *testing.T) {
+	c := New(smallConfig())
+	if name := c.RemoveVM(DB); name != "" {
+		t.Fatalf("removed the last DB VM: %s", name)
+	}
+}
+
+func TestSetSoftResourcesApplyToAll(t *testing.T) {
+	cfg := smallConfig()
+	cfg.App = 3
+	c := New(cfg)
+	c.SetAppThreads(17)
+	for _, s := range c.Servers(App) {
+		if s.ThreadLimit() != 17 {
+			t.Fatalf("server %s limit = %d", s.Name(), s.ThreadLimit())
+		}
+	}
+	c.SetDBConns(9)
+	for _, s := range c.Servers(App) {
+		if s.CallPool().Limit() != 9 {
+			t.Fatalf("server %s pool = %d", s.Name(), s.CallPool().Limit())
+		}
+	}
+	web, app, db := c.SoftResources()
+	if web != 1000 || app != 17 || db != 9 {
+		t.Fatalf("SoftResources = %d-%d-%d", web, app, db)
+	}
+}
+
+func TestDBConnPoolCapsDBConcurrency(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DBConns = 3
+	cfg.AppThreads = 100
+	c := New(cfg)
+	dbSrv := c.Servers(DB)[0]
+	maxActive := 0
+	for i := 0; i < 60; i++ {
+		c.Submit(func(bool) {})
+	}
+	c.Eng.Every(0.001, func() {
+		if dbSrv.Active() > maxActive {
+			maxActive = dbSrv.Active()
+		}
+		if c.Eng.Now() > 3 {
+			c.Eng.Stop()
+		}
+	})
+	c.Eng.Run()
+	if maxActive > 3 {
+		t.Fatalf("DB concurrency %d exceeded single app pool of 3", maxActive)
+	}
+	if maxActive == 0 {
+		t.Fatal("no DB activity observed")
+	}
+}
+
+func TestCollectIntoWarehouse(t *testing.T) {
+	c := New(smallConfig())
+	for i := 0; i < 100; i++ {
+		c.Submit(func(bool) {})
+	}
+	c.Eng.Run()
+	c.Eng.RunUntil(c.Eng.Now() + 2)
+	w := metrics.NewWarehouse(600 * des.Second)
+	c.CollectInto(w)
+	if len(w.Servers()) != 3 {
+		t.Fatalf("warehouse has %d servers, want 3", len(w.Servers()))
+	}
+	mysqlSamples := w.FineSince("mysql1", 0)
+	if len(mysqlSamples) == 0 {
+		t.Fatal("no mysql samples collected")
+	}
+	total := 0
+	for _, s := range mysqlSamples {
+		total += s.Completions
+	}
+	// 100 requests × ~2 queries each ≈ 200 DB completions.
+	if total < 100 {
+		t.Fatalf("mysql completions = %d, want >= 100", total)
+	}
+	if _, ok := w.MeanCPU("mysql1", 0); !ok {
+		t.Fatal("no mysql CPU samples")
+	}
+}
+
+func TestTierCPUUnderLoad(t *testing.T) {
+	c := New(smallConfig())
+	stop := false
+	var pump func()
+	pump = func() {
+		if stop {
+			return
+		}
+		for i := 0; i < 20; i++ {
+			c.Submit(func(bool) {})
+		}
+		c.Eng.After(0.01, pump) // 2000 req/s offered: saturates 1/1/1
+	}
+	c.Eng.At(0, pump)
+	c.Eng.At(5, func() { stop = true })
+	c.Eng.RunUntil(5)
+	if cpu := c.TierCPU(App); cpu < 0.5 {
+		t.Fatalf("app tier CPU = %v under saturation, want high", cpu)
+	}
+}
+
+func TestSetDatasetScaleChangesDemand(t *testing.T) {
+	c := New(smallConfig())
+	before := c.Workload().Means().AppCPU
+	c.SetDatasetScale(2)
+	after := c.Workload().Means().AppCPU
+	if after <= before {
+		t.Fatalf("dataset enlarge did not raise app demand: %v -> %v", before, after)
+	}
+}
+
+func TestSetMixSwitchesWorkload(t *testing.T) {
+	c := New(smallConfig())
+	c.SetMix(rubbos.ReadWrite)
+	if c.Workload().MixMode != rubbos.ReadWrite {
+		t.Fatal("mix not switched")
+	}
+	if c.Workload().Means().QueryDisk == 0 {
+		t.Fatal("read-write mix should have disk demand")
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if Web.String() != "web" || App.String() != "tomcat" || DB.String() != "mysql" {
+		t.Fatal("tier names wrong")
+	}
+	if Tier(9).String() == "" {
+		t.Fatal("unknown tier should format")
+	}
+}
+
+func TestRequestFailurePropagatesToClient(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AcceptQueue = 1
+	cfg.AppThreads = 1
+	cfg.WebThreads = 1000
+	c := New(cfg)
+	ok, fail := 0, 0
+	for i := 0; i < 200; i++ {
+		c.Submit(func(o bool) {
+			if o {
+				ok++
+			} else {
+				fail++
+			}
+		})
+	}
+	c.Eng.Run()
+	if fail == 0 {
+		t.Fatal("expected overflow failures with tiny accept queue")
+	}
+	if ok+fail != 200 {
+		t.Fatalf("lost requests: ok=%d fail=%d", ok, fail)
+	}
+}
+
+func TestThroughputMatchesOfferedLoadWhenUnderCapacity(t *testing.T) {
+	c := New(smallConfig())
+	done := 0
+	var arrivals int
+	stop := false
+	var pump func()
+	pump = func() {
+		if stop {
+			return
+		}
+		c.Submit(func(ok bool) {
+			if ok {
+				done++
+			}
+		})
+		arrivals++
+		c.Eng.After(0.005, pump) // 200 req/s, well under ~1250/s capacity
+	}
+	c.Eng.At(0, pump)
+	c.Eng.At(10, func() { stop = true })
+	c.Eng.RunUntil(12)
+	if math.Abs(float64(done-arrivals)) > float64(arrivals)/20 {
+		t.Fatalf("done=%d arrivals=%d; under-capacity load should all complete", done, arrivals)
+	}
+}
+
+func TestCacheTierServesHits(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CacheServers = 1
+	cfg.CacheHitRatio = 0.8
+	c := New(cfg)
+	if len(c.Servers(Cache)) != 1 {
+		t.Fatalf("cache servers = %d", len(c.Servers(Cache)))
+	}
+	if c.Servers(Cache)[0].Name() != "memcached1" {
+		t.Fatalf("cache name = %s", c.Servers(Cache)[0].Name())
+	}
+	ok := 0
+	for i := 0; i < 400; i++ {
+		c.Submit(func(o bool) {
+			if o {
+				ok++
+			}
+		})
+	}
+	c.Eng.Run()
+	c.Eng.RunUntil(c.Eng.Now() + 2)
+	if ok != 400 {
+		t.Fatalf("completed %d/400 with cache tier", ok)
+	}
+	// The cache handled lookups; the DB saw far fewer queries than the
+	// no-cache case would produce (~2 per request).
+	cacheSrv := c.Servers(Cache)[0]
+	_, cacheDone, _ := cacheSrv.Recorder().Totals()
+	_, dbDone, _ := c.Servers(DB)[0].Recorder().Totals()
+	if cacheDone == 0 {
+		t.Fatal("cache never used")
+	}
+	if dbDone >= cacheDone {
+		t.Fatalf("db completions %d >= cache lookups %d with 80%% hit ratio", dbDone, cacheDone)
+	}
+}
+
+func TestCacheMissesReachDB(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CacheServers = 1
+	cfg.CacheHitRatio = 0.5
+	c := New(cfg)
+	for i := 0; i < 300; i++ {
+		c.Submit(func(bool) {})
+	}
+	c.Eng.Run()
+	_, dbDone, _ := c.Servers(DB)[0].Recorder().Totals()
+	if dbDone == 0 {
+		t.Fatal("no DB queries despite 50% miss ratio")
+	}
+}
+
+func TestNoCacheTierByDefault(t *testing.T) {
+	c := New(smallConfig())
+	if len(c.Servers(Cache)) != 0 {
+		t.Fatal("cache tier present without being enabled")
+	}
+	if c.Balancer(Cache).Len() != 0 {
+		t.Fatal("cache balancer has backends")
+	}
+}
+
+func TestKillVMFailsInFlight(t *testing.T) {
+	cfg := smallConfig()
+	cfg.App = 2
+	c := New(cfg)
+	okCount, failCount := 0, 0
+	for i := 0; i < 200; i++ {
+		c.Submit(func(o bool) {
+			if o {
+				okCount++
+			} else {
+				failCount++
+			}
+		})
+	}
+	var killed string
+	c.Eng.At(0.005, func() { killed = c.KillVM(App) })
+	c.Eng.Run()
+	if killed == "" {
+		t.Fatal("KillVM returned empty")
+	}
+	if failCount == 0 {
+		t.Fatal("crash produced no client-visible failures")
+	}
+	if okCount+failCount != 200 {
+		t.Fatalf("lost requests: ok=%d fail=%d", okCount, failCount)
+	}
+	if len(c.Servers(App)) != 1 {
+		t.Fatalf("killed VM still listed: %d app servers", len(c.Servers(App)))
+	}
+}
+
+func TestSystemRecoversAfterKill(t *testing.T) {
+	cfg := smallConfig()
+	cfg.App = 2
+	c := New(cfg)
+	c.KillVM(App)
+	// The survivor carries new traffic.
+	ok := 0
+	for i := 0; i < 100; i++ {
+		c.Submit(func(o bool) {
+			if o {
+				ok++
+			}
+		})
+	}
+	c.Eng.Run()
+	if ok != 100 {
+		t.Fatalf("only %d/100 completed after kill", ok)
+	}
+}
+
+func TestKillLastVMAllowed(t *testing.T) {
+	c := New(smallConfig())
+	if got := c.KillVM(DB); got != "mysql1" {
+		t.Fatalf("KillVM = %q", got)
+	}
+	// Requests now fail fast at the empty balancer.
+	failed := false
+	c.Submit(func(o bool) { failed = !o })
+	c.Eng.Run()
+	if !failed {
+		t.Fatal("request succeeded with no DB tier")
+	}
+}
+
+// TestDoneExactlyOnceUnderChaos is the system's conservation law: every
+// submitted request receives exactly one completion callback, even while
+// VMs boot, drain, crash, and soft resources are resized mid-flight.
+func TestDoneExactlyOnceUnderChaos(t *testing.T) {
+	cfg := smallConfig()
+	cfg.App = 2
+	cfg.DB = 2
+	cfg.Seed = 99
+	c := New(cfg)
+
+	const total = 3000
+	doneCount := make([]int, total)
+	issued := 0
+	var pump func()
+	pump = func() {
+		for i := 0; i < 20 && issued < total; i++ {
+			idx := issued
+			issued++
+			c.Submit(func(bool) { doneCount[idx]++ })
+		}
+		if issued < total {
+			c.Eng.After(0.02, pump)
+		}
+	}
+	c.Eng.At(0, pump)
+
+	// Chaos: scaling actions and crashes while requests are in flight.
+	c.Eng.At(0.3, func() { c.AddVM(App, nil) })
+	c.Eng.At(0.6, func() { c.KillVM(DB) })
+	c.Eng.At(0.9, func() { c.SetAppThreads(5) })
+	c.Eng.At(1.2, func() { c.RemoveVM(App) })
+	c.Eng.At(1.5, func() { c.SetAppThreads(80) })
+	c.Eng.At(1.8, func() { c.SetDBConns(3) })
+	c.Eng.At(2.1, func() { c.AddVM(DB, nil) })
+	c.Eng.At(2.4, func() { c.KillVM(App) })
+
+	c.Eng.Run()
+	for i, n := range doneCount {
+		if n != 1 {
+			t.Fatalf("request %d completed %d times", i, n)
+		}
+	}
+}

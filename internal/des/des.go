@@ -1,0 +1,205 @@
+// Package des implements the discrete-event simulation engine that every
+// other simulator package runs on.
+//
+// The engine maintains a virtual clock and an event heap. Components
+// schedule closures at absolute or relative virtual times; Run drains the
+// heap in time order, breaking ties by scheduling order so simulations are
+// deterministic. The engine is single-goroutine by design: the paper's
+// testbed behaviour is reproduced by explicit queueing in the server model,
+// not by goroutine interleaving, which keeps every experiment replayable.
+package des
+
+import "container/heap"
+
+// Time is virtual simulation time in seconds.
+type Time float64
+
+// Millisecond and Second are convenient Time spans.
+const (
+	Millisecond Time = 1e-3
+	Second      Time = 1
+)
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct {
+	ev *event
+}
+
+// Cancel removes the event from the schedule. Cancelling an already-fired
+// or already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (h *Handle) Cancel() bool {
+	if h == nil || h.ev == nil || h.ev.fn == nil {
+		return false
+	}
+	h.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h *Handle) Pending() bool { return h != nil && h.ev != nil && h.ev.fn != nil }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (useful for tests and
+// progress reporting).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled, including cancelled
+// events that have not yet been popped.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past panics:
+// it is always a simulation bug and silently reordering would corrupt the
+// causality of the run.
+func (e *Engine) At(t Time, fn func()) *Handle {
+	if t < e.now {
+		panic("des: event scheduled in the past")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Handle{ev: ev}
+}
+
+// After schedules fn d seconds of virtual time from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Handle {
+	if d < 0 {
+		panic("des: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn at now+d, then every d thereafter, until the returned
+// Ticker is stopped. fn observes the tick time via Engine.Now.
+func (e *Engine) Every(d Time, fn func()) *Ticker {
+	if d <= 0 {
+		panic("des: non-positive tick interval")
+	}
+	t := &Ticker{engine: e, period: d, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeats an event at a fixed virtual period.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      func()
+	handle  *Handle
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.engine.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Step executes the next pending event, advancing the clock to it. It
+// returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run drains all events. It returns the final clock value.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock
+// to the deadline even if the heap still holds later events.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Stop makes the current Run or RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() (Time, bool) {
+	for len(e.events) > 0 {
+		if e.events[0].fn == nil {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}

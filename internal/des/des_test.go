@@ -1,0 +1,302 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []Time
+	times := []Time{5, 1, 3, 2, 4}
+	for _, at := range times {
+		at := at
+		e.At(at, func() { order = append(order, at) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(order), len(times))
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order wrong: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	e.At(2.5, func() {
+		if e.Now() != 2.5 {
+			t.Fatalf("Now() = %v inside event at 2.5", e.Now())
+		}
+	})
+	end := e.Run()
+	if end != 2.5 {
+		t.Fatalf("Run returned %v, want 2.5", end)
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := New()
+	var at Time
+	e.At(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	h := e.At(1, func() { fired = true })
+	if !h.Cancel() {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if h.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := New()
+	h := e.At(1, func() {})
+	e.Run()
+	if h.Cancel() {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+func TestPendingReflectsState(t *testing.T) {
+	e := New()
+	h := e.At(1, func() {})
+	if !h.Pending() {
+		t.Fatal("fresh event not pending")
+	}
+	e.Run()
+	if h.Pending() {
+		t.Fatal("fired event still pending")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by t=3, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events by t=10, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockPastLastEvent(t *testing.T) {
+	e := New()
+	e.At(1, func() {})
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+func TestStopInterruptsRun(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New()
+	var ticks []Time
+	tk := e.Every(2, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 4 {
+			e.Stop()
+		}
+	})
+	e.Run()
+	tk.Stop()
+	want := []Time{2, 4, 6, 8}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopPreventsFutureTicks(t *testing.T) {
+	e := New()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(1, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.At(10, func() {}) // keep the sim alive past stopped ticks
+	e.Run()
+	if count != 2 {
+		t.Fatalf("ticker fired %d times after Stop, want 2", count)
+	}
+}
+
+func TestEveryNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	New().Every(0, func() {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	h := e.At(10, func() {})
+	h.Cancel()
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5 (cancelled events must not count)", e.Fired())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, recurse)
+		}
+	}
+	e.At(0, recurse)
+	end := e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if end != 99 {
+		t.Fatalf("end time = %v, want 99", end)
+	}
+}
+
+// Property: for any set of event times, execution order is a sorted
+// permutation of the input.
+func TestQuickExecutionSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil never executes an event beyond the deadline.
+func TestQuickRunUntilRespectsDeadline(t *testing.T) {
+	f := func(raw []uint16, deadline uint16) bool {
+		e := New()
+		ok := true
+		d := Time(deadline)
+		for _, r := range raw {
+			at := Time(r)
+			e.At(at, func() {
+				if at > d {
+					ok = false
+				}
+			})
+		}
+		e.RunUntil(d)
+		return ok && e.Now() >= d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+}

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"conscale/internal/cluster"
+	"conscale/internal/des"
+)
+
+// WriteTimelineCSV emits a run's per-second series (the data behind the
+// Fig. 1/10/11 timelines): time, users, throughput, mean RT (ms), errors,
+// VM count, app/db tier CPU, and the soft-resource settings.
+func WriteTimelineCSV(w io.Writer, r *RunResult) error {
+	if _, err := fmt.Fprintln(w, "time_s,users,throughput_rps,mean_rt_ms,errors,vms,app_cpu,db_cpu,app_threads,db_conns"); err != nil {
+		return err
+	}
+	for i, p := range r.Timeline {
+		vms, appCPU, dbCPU := 0, 0.0, 0.0
+		threads, conns := 0, 0
+		if i < len(r.VMs) {
+			vms = r.VMs[i]
+		}
+		if i < len(r.TierCPU[cluster.App]) {
+			appCPU = r.TierCPU[cluster.App][i]
+		}
+		if i < len(r.TierCPU[cluster.DB]) {
+			dbCPU = r.TierCPU[cluster.DB][i]
+		}
+		if i < len(r.SoftHistory) {
+			threads, conns = r.SoftHistory[i][0], r.SoftHistory[i][1]
+		}
+		rt := p.MeanRT * 1000
+		if math.IsNaN(rt) {
+			rt = 0
+		}
+		if _, err := fmt.Fprintf(w, "%.0f,%d,%.1f,%.1f,%d,%d,%.3f,%.3f,%d,%d\n",
+			float64(p.Time), p.Users, p.Throughput, rt, p.Errors, vms, appCPU, dbCPU, threads, conns); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSweepCSV emits a profiling sweep (Fig. 3/7 panels) as CSV.
+func WriteSweepCSV(w io.Writer, s SweepResult) error {
+	if _, err := fmt.Fprintln(w, "level,concurrency,throughput_rps,mean_rt_ms"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%d,%.2f,%.1f,%.2f\n",
+			p.Level, p.Concurrency, p.Throughput, p.MeanRT*1000); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSamplesCSV emits 50 ms window samples (Fig. 5/6 raw data) as CSV.
+func WriteSamplesCSV(w io.Writer, res Fig5Result) error {
+	if _, err := fmt.Fprintln(w, "time_s,concurrency,throughput_rps,rt_ms,completions,errors"); err != nil {
+		return err
+	}
+	for _, s := range res.Samples {
+		rt := s.RT * 1000
+		if math.IsNaN(rt) {
+			rt = 0
+		}
+		if _, err := fmt.Fprintf(w, "%.3f,%.2f,%.1f,%.2f,%d,%d\n",
+			float64(s.Start), s.Concurrency, s.Throughput, rt, s.Completions, s.Errors); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTraceCSV emits the Fig. 9 trace curves side by side.
+func WriteTraceCSV(w io.Writer, traces []TraceSeries) error {
+	header := []string{"time_s"}
+	for _, tr := range traces {
+		header = append(header, tr.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	maxLen := 0
+	for _, tr := range traces {
+		if len(tr.Users) > maxLen {
+			maxLen = len(tr.Users)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := []string{fmt.Sprintf("%d", i)}
+		for _, tr := range traces {
+			v := 0
+			if i < len(tr.Users) {
+				v = tr.Users[i]
+			}
+			row = append(row, fmt.Sprintf("%d", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTable1 formats Table I in the paper's layout.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-20s %14s %14s\n", "Trace", "EC2 p95/p99", "ConScale p95/p99")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %6.0f/%6.0f  %6.0f/%6.0f ms\n",
+			r.Trace, r.EC2P95*1000, r.EC2P99*1000, r.ConScaleP95*1000, r.ConScaleP99*1000)
+	}
+}
+
+// RenderSweep prints a sweep as an aligned table with the knee marked.
+func RenderSweep(w io.Writer, label string, s SweepResult) {
+	fmt.Fprintf(w, "%s (Qlower=%d, TPmax=%.0f req/s)\n", label, s.Qlower, s.MaxTP)
+	fmt.Fprintf(w, "  %6s %12s %10s\n", "conc", "throughput", "rt")
+	for _, p := range s.Points {
+		marker := " "
+		if p.Level == s.Qlower {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "%s %6d %10.0f/s %8.2fms\n", marker, p.Level, p.Throughput, p.MeanRT*1000)
+	}
+}
+
+// RenderAblation prints ablation rows.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintln(w, title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s p95=%6.0fms p99=%6.0fms %s\n", r.Label, r.P95*1000, r.P99*1000, r.Detail)
+	}
+}
+
+// RenderCompare summarises a baseline-vs-ConScale pair.
+func RenderCompare(w io.Writer, c CompareResult) {
+	for _, r := range []*RunResult{c.Baseline, c.ConScale} {
+		fmt.Fprintf(w, "%-16s p50=%5.0fms p95=%6.0fms p99=%6.0fms maxRT=%6.0fms err=%.3f goodput=%d\n",
+			r.Mode, r.P50*1000, r.P95*1000, r.P99*1000, r.MaxRT()*1000, r.ErrorRate, r.Goodput)
+	}
+}
+
+// RenderRunSummary prints one run's headline numbers and scaling events.
+func RenderRunSummary(w io.Writer, r *RunResult) {
+	fmt.Fprintf(w, "%s on %s: p95=%.0fms p99=%.0fms maxRT=%.0fms err=%.3f goodput=%d\n",
+		r.Mode, r.Trace, r.P95*1000, r.P99*1000, r.MaxRT()*1000, r.ErrorRate, r.Goodput)
+	for _, e := range r.Events {
+		fmt.Fprintf(w, "  t=%5.0fs %-10s %-6s %s\n", float64(e.Time), e.Kind, e.Tier, e.Detail)
+	}
+}
+
+// ShortDuration is a reduced run length used by tests and smoke runs.
+const ShortDuration = 240 * des.Second

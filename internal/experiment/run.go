@@ -1,0 +1,320 @@
+// Package experiment contains the evaluation harness: one runner per table
+// and figure of the paper (see DESIGN.md's per-experiment index), built on
+// the cluster simulator, the workload traces, and the scaling frameworks.
+// Each runner returns plain data structures that the cmd/experiments tool
+// renders as CSV or ASCII tables, and that the bench suite asserts shapes
+// against (who wins, where knees fall).
+package experiment
+
+import (
+	"math"
+
+	"conscale/internal/cluster"
+	"conscale/internal/des"
+	"conscale/internal/metrics"
+	"conscale/internal/qnet"
+	"conscale/internal/rng"
+	"conscale/internal/rubbos"
+	"conscale/internal/scaling"
+	"conscale/internal/sct"
+	"conscale/internal/workload"
+)
+
+// RunConfig describes one full scaling run (a Fig. 1/10/11 style
+// experiment).
+type RunConfig struct {
+	Mode      scaling.Mode
+	TraceName string
+	MaxUsers  int
+	Duration  des.Time
+	Seed      uint64
+
+	// ThinkTime is the mean user think time (7 s, the RUBBoS default).
+	ThinkTime float64
+
+	// Cluster overrides; zero values take cluster.DefaultConfig.
+	Cluster *cluster.Config
+
+	// Framework overrides; zero value takes scaling.DefaultConfig(Mode).
+	Framework *scaling.Config
+
+	// DatasetChangeAt (if > 0) switches the dataset scale mid-run to
+	// DatasetChangeTo — the system-state change of Fig. 11.
+	DatasetChangeAt des.Time
+	DatasetChangeTo float64
+
+	// WarmupSkip excludes the initial span from tail-latency statistics.
+	WarmupSkip des.Time
+}
+
+// DefaultRunConfig returns the paper's evaluation parameters: 7500 users,
+// 12 minutes, 7 s think time, 1/1/1 start, soft resources 1000-60-40.
+func DefaultRunConfig(mode scaling.Mode, traceName string) RunConfig {
+	return RunConfig{
+		Mode:      mode,
+		TraceName: traceName,
+		MaxUsers:  7500,
+		Duration:  720 * des.Second,
+		Seed:      1,
+		ThinkTime: 3,
+	}
+}
+
+// TierSeries is a per-second series for one tier.
+type TierSeries struct {
+	CPU []float64 // mean utilization (0..1) per second
+}
+
+// RunResult captures everything the figures and tables need from one run.
+type RunResult struct {
+	Mode  scaling.Mode
+	Trace string
+
+	// Timeline is the client-observed per-second series (RT, TP, errors).
+	Timeline []workload.TimelinePoint
+	// VMs is the total VM count per second.
+	VMs []int
+	// TierCPU holds per-second CPU utilization for the app and DB tiers.
+	TierCPU map[cluster.Tier][]float64
+	// SoftHistory tracks the (appThreads, dbConns) setting per second.
+	SoftHistory [][2]int
+
+	Events []scaling.Event
+
+	// Tail latencies in seconds over the post-warmup window.
+	P50, P95, P99 float64
+	// MeanRT is the mean response time (seconds).
+	MeanRT float64
+	// Goodput is the count of successful requests; ErrorRate the failed
+	// fraction.
+	Goodput   int
+	ErrorRate float64
+
+	// Warehouse retains the per-server fine-grained samples for scatter
+	// analyses (Fig. 5/6).
+	Warehouse *metrics.Warehouse
+
+	// FinalEstimates is ConScale's per-server SCT view at the end.
+	FinalEstimates map[string]sct.Estimate
+}
+
+// Run executes one full scaling experiment.
+func Run(cfg RunConfig) *RunResult {
+	ccfg := cluster.DefaultConfig()
+	if cfg.Cluster != nil {
+		ccfg = *cfg.Cluster
+	}
+	ccfg.Seed = cfg.Seed
+	c := cluster.New(ccfg)
+
+	fcfg := scaling.DefaultConfig(cfg.Mode)
+	if cfg.Framework != nil {
+		fcfg = *cfg.Framework
+		fcfg.Mode = cfg.Mode
+	}
+	// Retain the whole run so post-hoc scatter analysis sees everything.
+	if fcfg.WarehouseRetention < cfg.Duration+60*des.Second {
+		fcfg.WarehouseRetention = cfg.Duration + 60*des.Second
+	}
+	f := scaling.New(c, fcfg)
+	f.Start()
+
+	think := cfg.ThinkTime
+	if think == 0 {
+		think = 7
+	}
+	tr := workload.NewTrace(cfg.TraceName, cfg.MaxUsers, cfg.Duration)
+	gen := workload.NewGenerator(c.Eng, rng.New(cfg.Seed^0x9e3779b9), workload.GeneratorConfig{
+		Trace:     tr,
+		ThinkTime: think,
+	}, c.Submit)
+
+	res := &RunResult{
+		Mode:    cfg.Mode,
+		Trace:   cfg.TraceName,
+		TierCPU: map[cluster.Tier][]float64{cluster.App: nil, cluster.DB: nil},
+	}
+
+	// Per-second system sampling (VM count, tier CPU, soft resources).
+	sampler := c.Eng.Every(des.Second, func() {
+		res.VMs = append(res.VMs, c.TotalVMs())
+		res.TierCPU[cluster.App] = append(res.TierCPU[cluster.App], c.TierCPU(cluster.App))
+		res.TierCPU[cluster.DB] = append(res.TierCPU[cluster.DB], c.TierCPU(cluster.DB))
+		_, app, db := c.SoftResources()
+		res.SoftHistory = append(res.SoftHistory, [2]int{app, db})
+	})
+
+	if cfg.DatasetChangeAt > 0 {
+		c.Eng.At(cfg.DatasetChangeAt, func() { c.SetDatasetScale(cfg.DatasetChangeTo) })
+	}
+
+	gen.Start()
+	c.Eng.RunUntil(cfg.Duration)
+	sampler.Stop()
+	f.Stop()
+	// Drain in-flight work briefly so final samples are complete.
+	c.Eng.RunUntil(cfg.Duration + 5*des.Second)
+	c.CollectInto(f.Warehouse())
+
+	res.Timeline = trimTimeline(gen.Timeline(), cfg.Duration)
+	res.Events = f.Events()
+	res.Warehouse = f.Warehouse()
+	res.FinalEstimates = f.Estimates()
+
+	warm := cfg.WarmupSkip
+	res.P50 = gen.TailLatency(50, warm)
+	res.P95 = gen.TailLatency(95, warm)
+	res.P99 = gen.TailLatency(99, warm)
+	res.ErrorRate = gen.ErrorRate()
+	res.Goodput = gen.GoodputTotal()
+
+	sum, n := 0.0, 0
+	for _, s := range gen.Samples() {
+		if s.OK && s.Finish >= warm {
+			sum += s.RT
+			n++
+		}
+	}
+	if n > 0 {
+		res.MeanRT = sum / float64(n)
+	} else {
+		res.MeanRT = math.NaN()
+	}
+	return res
+}
+
+func trimTimeline(tl []workload.TimelinePoint, dur des.Time) []workload.TimelinePoint {
+	out := tl[:0:0]
+	for _, p := range tl {
+		if p.Time < dur {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MaxRT returns the largest per-second mean response time in the timeline
+// — the "response time spike" magnitude of Fig. 1/10/11.
+func (r *RunResult) MaxRT() float64 {
+	max := 0.0
+	for _, p := range r.Timeline {
+		if !math.IsNaN(p.MeanRT) && p.MeanRT > max {
+			max = p.MeanRT
+		}
+	}
+	return max
+}
+
+// RTOverThreshold returns the fraction of seconds whose mean RT exceeds
+// the threshold — a stability measure for the comparison figures.
+func (r *RunResult) RTOverThreshold(threshold float64) float64 {
+	over, n := 0, 0
+	for _, p := range r.Timeline {
+		if math.IsNaN(p.MeanRT) {
+			continue
+		}
+		n++
+		if p.MeanRT > threshold {
+			over++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(over) / float64(n)
+}
+
+// ScaleOutTimes returns the times of ScaleOut events for a tier (the
+// annotation arrows of Fig. 10c/d).
+func (r *RunResult) ScaleOutTimes(tier cluster.Tier) []des.Time {
+	var out []des.Time
+	for _, e := range r.Events {
+		if e.Kind == scaling.ScaleOut && e.Tier == tier {
+			out = append(out, e.Time)
+		}
+	}
+	return out
+}
+
+// TrainDCM derives the DCM baseline's offline profile by running the
+// system under the training conditions (original dataset, browse-only,
+// steady high load) with ConScale's estimator observing, then freezing the
+// resulting recommendation — exactly the "offline training for a specific
+// workload" the paper describes.
+func TrainDCM(seed uint64, clusterCfg cluster.Config) scaling.DCMProfile {
+	clusterCfg.Seed = seed
+	c := cluster.New(clusterCfg)
+	fcfg := scaling.DefaultConfig(scaling.ConScale)
+	fcfg.SCT.CollectionWindow = 120 * des.Second
+	fcfg.SCT.MinTotalSamples = 30
+	fcfg.SCT.MinDistinctBins = 3
+	f := scaling.New(c, fcfg)
+	f.Start()
+
+	tr := workload.NewTrace(workload.SlowlyVarying, 4000, 300*des.Second)
+	gen := workload.NewGenerator(c.Eng, rng.New(seed+17), workload.GeneratorConfig{
+		Trace:     tr,
+		ThinkTime: 3,
+	}, c.Submit)
+	gen.Start()
+	c.Eng.RunUntil(300 * des.Second)
+	f.Stop()
+
+	// Freeze the tier-level recommendation.
+	appOpt, dbOpt := 0, 0
+	nApp, nDB := 0, 0
+	for name, est := range f.Estimates() {
+		switch {
+		case len(name) >= 6 && name[:6] == "tomcat":
+			appOpt += est.Optimal()
+			nApp++
+		case len(name) >= 5 && name[:5] == "mysql":
+			dbOpt += est.Optimal()
+			nDB++
+		}
+	}
+	profile := scaling.DCMProfile{}
+	if nApp > 0 {
+		profile.AppThreads = appOpt / nApp
+	}
+	if nDB > 0 {
+		perDB := dbOpt / nDB
+		profile.DBTotal = perDB * c.ReadyCount(cluster.DB)
+	}
+	// Fall back to the paper's trained values if the estimator could not
+	// converge (tiny training runs in tests).
+	if profile.AppThreads == 0 {
+		profile.AppThreads = 20
+	}
+	if profile.DBTotal == 0 {
+		profile.DBTotal = 40
+	}
+	// Sanity floors: a trained profile below the hardware parallelism is
+	// always an estimation failure.
+	if profile.AppThreads < 8 {
+		profile.AppThreads = 8
+	}
+	if profile.DBTotal < 8 {
+		profile.DBTotal = 8
+	}
+	return profile
+}
+
+// AnalyticDCMProfile derives the DCM profile from the closed
+// queueing-network model instead of a measurement run — the purely
+// analytic offline path ("offline profiling on various concurrency
+// workloads through a queueing network model is widely adopted", paper
+// Section II-B). It solves the MVA model of a single app server and a
+// single DB server of the given deployment and freezes each tier's
+// 95%-saturation population.
+func AnalyticDCMProfile(clusterCfg cluster.Config) scaling.DCMProfile {
+	wl := rubbos.NewWorkload(clusterCfg.Mix, clusterCfg.DatasetScale)
+	profile := scaling.DCMProfile{AppThreads: 20, DBTotal: 40}
+	if n, ok := qnet.AppServerNetwork(wl, clusterCfg.AppCores).SaturationPopulation(0.95, 400); ok {
+		profile.AppThreads = n
+	}
+	if n, ok := qnet.DBServerNetwork(wl, clusterCfg.DBCores, clusterCfg.DiskChans).SaturationPopulation(0.95, 400); ok {
+		profile.DBTotal = n * clusterCfg.DB
+	}
+	return profile
+}

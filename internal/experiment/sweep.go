@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"conscale/internal/cluster"
+	"conscale/internal/des"
+	"conscale/internal/lb"
+	"conscale/internal/rubbos"
+	"conscale/internal/server"
+	"conscale/internal/workload"
+
+	"conscale/internal/rng"
+)
+
+// SweepTarget selects which server the fixed-concurrency profiling sweep
+// stresses (paper Section II-B: "a modified RUBBoS workload generator ...
+// zero think time ... precisely control the request processing
+// concurrency").
+type SweepTarget int
+
+// Sweep targets.
+const (
+	TargetApp SweepTarget = iota // Tomcat
+	TargetDB                     // MySQL
+)
+
+// SweepConfig describes one profiling sweep.
+type SweepConfig struct {
+	Target       SweepTarget
+	Mix          rubbos.Mix
+	DatasetScale float64
+	Cores        int   // target server's vCPU count
+	Levels       []int // concurrency levels to visit
+	// Warmup and Measure are per-level spans.
+	Warmup  des.Time
+	Measure des.Time
+	Seed    uint64
+}
+
+// DefaultLevels is the paper's Fig. 3 x-axis.
+func DefaultLevels() []int { return []int{5, 10, 15, 20, 30, 40, 60, 80, 100} }
+
+// DefaultSweepConfig returns a browse-only 1-core sweep over the standard
+// levels.
+func DefaultSweepConfig(target SweepTarget) SweepConfig {
+	return SweepConfig{
+		Target:       target,
+		Mix:          rubbos.BrowseOnly,
+		DatasetScale: 1,
+		Cores:        1,
+		Levels:       DefaultLevels(),
+		Warmup:       3 * des.Second,
+		Measure:      10 * des.Second,
+		Seed:         1,
+	}
+}
+
+// SweepPoint is one measured level.
+type SweepPoint struct {
+	Level       int     // controlled concurrency
+	Concurrency float64 // measured mean concurrency at the target
+	Throughput  float64 // target-server completions/s
+	MeanRT      float64 // target-server response time (seconds)
+}
+
+// SweepResult is a full concurrency-throughput curve plus the knee.
+type SweepResult struct {
+	Config SweepConfig
+	Points []SweepPoint
+	// Qlower is the smallest level achieving >= 95% of the maximum
+	// throughput (the paper's optimal concurrency setting).
+	Qlower int
+	// QlowerTP is the throughput at that level.
+	QlowerTP float64
+	// MaxTP is the maximum observed throughput.
+	MaxTP float64
+}
+
+// Sweep measures the target server's throughput and response time at each
+// controlled concurrency level, one fresh deterministic run per level.
+func Sweep(cfg SweepConfig) SweepResult {
+	if len(cfg.Levels) == 0 {
+		cfg.Levels = DefaultLevels()
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 3 * des.Second
+	}
+	if cfg.Measure <= 0 {
+		cfg.Measure = 10 * des.Second
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.DatasetScale <= 0 {
+		cfg.DatasetScale = 1
+	}
+	res := SweepResult{Config: cfg}
+	for _, level := range cfg.Levels {
+		res.Points = append(res.Points, sweepLevel(cfg, level))
+	}
+	// Knee: smallest level within 5% of the peak.
+	for _, p := range res.Points {
+		if p.Throughput > res.MaxTP {
+			res.MaxTP = p.Throughput
+		}
+	}
+	for _, p := range res.Points {
+		if p.Throughput >= 0.95*res.MaxTP {
+			res.Qlower = p.Level
+			res.QlowerTP = p.Throughput
+			break
+		}
+	}
+	return res
+}
+
+// sweepLevel runs one fixed-concurrency measurement.
+func sweepLevel(cfg SweepConfig, level int) SweepPoint {
+	ccfg := cluster.DefaultConfig()
+	ccfg.Seed = cfg.Seed + uint64(level)*1000
+	ccfg.Mix = cfg.Mix
+	ccfg.DatasetScale = cfg.DatasetScale
+	ccfg.LBPolicy = lb.LeastConn
+	ccfg.AcceptQueue = 100000
+
+	users := level
+	switch cfg.Target {
+	case TargetApp:
+		// Tomcat is the bottleneck under test: generous web and DB tiers,
+		// Tomcat pool pinned at the level so its concurrency is the
+		// controlled variable.
+		ccfg.AppCores = cfg.Cores
+		ccfg.WebCores = 8
+		ccfg.DBCores = 8
+		ccfg.DiskChans = 8
+		ccfg.AppThreads = level
+		ccfg.DBConns = level
+		ccfg.WebThreads = 10000
+		users = level
+	case TargetDB:
+		// MySQL under test: generous web/app tiers; the DB connection
+		// pool pins MySQL's concurrency, with excess users keeping the
+		// pool saturated (paper: pool size yields the max concurrent
+		// requests flowing downstream).
+		ccfg.DBCores = cfg.Cores
+		ccfg.WebCores = 8
+		ccfg.AppCores = 16
+		ccfg.DiskChans = 1
+		ccfg.AppThreads = level * 6
+		ccfg.DBConns = level
+		ccfg.WebThreads = 10000
+		users = level * 5
+	}
+
+	c := cluster.New(ccfg)
+	var target *server.Server
+	switch cfg.Target {
+	case TargetApp:
+		target = c.Servers(cluster.App)[0]
+	case TargetDB:
+		target = c.Servers(cluster.DB)[0]
+	}
+
+	total := cfg.Warmup + cfg.Measure
+	tr := constantTrace(users, total)
+	gen := workload.NewGenerator(c.Eng, rng.New(ccfg.Seed+7), workload.GeneratorConfig{
+		Trace:     tr,
+		ThinkTime: 0,
+	}, c.Submit)
+	gen.Start()
+
+	// Discard warmup samples, then measure.
+	c.Eng.RunUntil(cfg.Warmup)
+	target.FlushFine()
+	c.Eng.RunUntil(total)
+
+	point := SweepPoint{Level: level}
+	samples := target.FlushFine()
+	var completions int
+	var rtSum float64
+	var concSum float64
+	for _, w := range samples {
+		completions += w.Completions
+		if w.Completions > 0 {
+			rtSum += w.RT * float64(w.Completions)
+		}
+		concSum += w.Concurrency
+	}
+	if len(samples) > 0 {
+		point.Concurrency = concSum / float64(len(samples))
+	}
+	point.Throughput = float64(completions) / float64(cfg.Measure)
+	if completions > 0 {
+		point.MeanRT = rtSum / float64(completions)
+	}
+	return point
+}
+
+// constantTrace holds a fixed user population for the duration.
+func constantTrace(users int, dur des.Time) *workload.Trace {
+	return workload.NewConstantTrace(users, dur)
+}

@@ -1,0 +1,313 @@
+// Package live is the reproduction's "real mode": actual HTTP servers
+// with real goroutine thread pools, real CPU burn, and real synchronous
+// downstream calls — a miniature of the paper's Apache/Tomcat/MySQL stack
+// built on net/http. It exists to show that the SCT measurement pipeline
+// and estimator (which the simulator exercises at scale) work unchanged on
+// genuine concurrency: a live server's 50 ms {Q, TP, RT} tuples feed the
+// same sct.Estimator.
+//
+// Everything here runs in real time on real cores, so tests built on it
+// assert shapes (ascending-then-flat throughput, pool limits respected),
+// not exact numbers.
+package live
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"conscale/internal/des"
+	"conscale/internal/metrics"
+)
+
+// ServerConfig describes one live tier server.
+type ServerConfig struct {
+	Name string
+	// CPUPerRequest is busy-spun on a core per request (service demand).
+	CPUPerRequest time.Duration
+	// DwellPerRequest is slept per request (non-CPU protocol time).
+	DwellPerRequest time.Duration
+	// Downstream, when non-empty, is the next tier's URL; each request
+	// performs DownstreamCalls sequential GETs against it while holding
+	// its thread (the paper's synchronous RPC).
+	Downstream      string
+	DownstreamCalls int
+	// ThreadLimit bounds concurrently processing requests (the soft
+	// resource). QueueLimit bounds waiters beyond that; overflow gets 503.
+	ThreadLimit int
+	QueueLimit  int
+	// Window is the metrics aggregation interval (default 50 ms).
+	Window time.Duration
+}
+
+// Server is a live tier server.
+type Server struct {
+	cfg      ServerConfig
+	httpSrv  *http.Server
+	listener net.Listener
+	client   *http.Client
+
+	mu      sync.Mutex
+	limit   int
+	active  int
+	waiting int
+	cond    *sync.Cond
+	closed  bool
+
+	recMu sync.Mutex
+	rec   *metrics.Recorder
+	start time.Time
+}
+
+// StartServer launches the server on an ephemeral localhost port.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	if cfg.ThreadLimit <= 0 {
+		return nil, fmt.Errorf("live: thread limit must be positive")
+	}
+	if cfg.QueueLimit < 0 {
+		return nil, fmt.Errorf("live: negative queue limit")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 50 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: ln,
+		limit:    cfg.ThreadLimit,
+		rec:      metrics.NewRecorder(des.Time(cfg.Window.Seconds())),
+		start:    time.Now(),
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 256,
+				MaxConnsPerHost:     0,
+			},
+		},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handle)
+	s.httpSrv = &http.Server{Handler: mux}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.listener.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	s.httpSrv.Shutdown(ctx) //nolint:errcheck // best-effort
+}
+
+// ThreadLimit returns the current pool size.
+func (s *Server) ThreadLimit() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limit
+}
+
+// SetThreadLimit resizes the pool at runtime (the mgmt-agent actuator
+// path); growth wakes queued waiters.
+func (s *Server) SetThreadLimit(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.limit = n
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Active returns the requests currently holding threads.
+func (s *Server) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// now returns the elapsed virtual-format timestamp for the recorder.
+func (s *Server) now() des.Time { return des.Time(time.Since(s.start).Seconds()) }
+
+// Samples drains the server's completed measurement windows — the same
+// tuples the simulator produces, ready for sct.Estimator.
+func (s *Server) Samples() []metrics.WindowSample {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.rec.Flush(s.now())
+}
+
+// acquire claims a thread, queueing up to QueueLimit. It reports false on
+// overflow or shutdown.
+func (s *Server) acquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.waiting >= s.cfg.QueueLimit && s.active >= s.limit {
+		return false
+	}
+	s.waiting++
+	for s.active >= s.limit && !s.closed {
+		s.cond.Wait()
+	}
+	s.waiting--
+	if s.closed {
+		return false
+	}
+	s.active++
+	return true
+}
+
+func (s *Server) release() {
+	s.mu.Lock()
+	s.active--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	arrival := time.Now()
+	if !s.acquire() {
+		s.recMu.Lock()
+		s.rec.Reject(s.now())
+		s.recMu.Unlock()
+		http.Error(w, "queue full", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.release()
+
+	s.recMu.Lock()
+	s.rec.Arrive(s.now())
+	s.recMu.Unlock()
+
+	ok := s.work(r.Context())
+
+	s.recMu.Lock()
+	if ok {
+		s.rec.Depart(s.now(), time.Since(arrival).Seconds())
+	} else {
+		s.rec.Drop(s.now())
+	}
+	s.recMu.Unlock()
+
+	if !ok {
+		http.Error(w, "downstream failure", http.StatusBadGateway)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// work performs the request's service demands; false means a downstream
+// call failed.
+func (s *Server) work(ctx context.Context) bool {
+	spin(s.cfg.CPUPerRequest)
+	for i := 0; i < s.cfg.DownstreamCalls && s.cfg.Downstream != ""; i++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.cfg.Downstream, nil)
+		if err != nil {
+			return false
+		}
+		resp, err := s.client.Do(req)
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+	}
+	if s.cfg.DwellPerRequest > 0 {
+		time.Sleep(s.cfg.DwellPerRequest)
+	}
+	return true
+}
+
+// spin burns CPU for roughly d.
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	x := 0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 2048; i++ {
+			x += i
+		}
+	}
+	_ = x
+}
+
+// LoadResult summarises a closed-loop load run.
+type LoadResult struct {
+	Completed int
+	Errors    int
+	MeanRT    time.Duration
+}
+
+// RunClosedLoop drives the URL with a closed-loop population of users for
+// the duration: each user issues a request, waits for the response,
+// optionally thinks, and repeats.
+func RunClosedLoop(url string, users int, think, duration time.Duration) LoadResult {
+	if users <= 0 {
+		return LoadResult{}
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: users + 8,
+		},
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		result  LoadResult
+		rtTotal time.Duration
+	)
+	stop := time.Now().Add(duration)
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				begin := time.Now()
+				resp, err := client.Get(url)
+				ok := err == nil
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain
+					resp.Body.Close()
+					ok = ok && resp.StatusCode == http.StatusOK
+				}
+				rt := time.Since(begin)
+				mu.Lock()
+				if ok {
+					result.Completed++
+					rtTotal += rt
+				} else {
+					result.Errors++
+				}
+				mu.Unlock()
+				if think > 0 {
+					time.Sleep(think)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if result.Completed > 0 {
+		result.MeanRT = rtTotal / time.Duration(result.Completed)
+	}
+	return result
+}

@@ -1,0 +1,267 @@
+package live
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"conscale/internal/sct"
+)
+
+func startTest(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	s, err := StartServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestServesRequests(t *testing.T) {
+	s := startTest(t, ServerConfig{
+		Name: "app", CPUPerRequest: 100 * time.Microsecond,
+		ThreadLimit: 8, QueueLimit: 64,
+	})
+	resp, err := http.Get(s.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestThreadLimitEnforced(t *testing.T) {
+	s := startTest(t, ServerConfig{
+		Name: "app", DwellPerRequest: 50 * time.Millisecond,
+		ThreadLimit: 3, QueueLimit: 100,
+	})
+	var wg sync.WaitGroup
+	maxActive := 0
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			a := s.Active()
+			mu.Lock()
+			if a > maxActive {
+				maxActive = a
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(s.URL())
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	mu.Lock()
+	defer mu.Unlock()
+	if maxActive > 3 {
+		t.Fatalf("active reached %d with limit 3", maxActive)
+	}
+}
+
+func TestQueueOverflow503(t *testing.T) {
+	s := startTest(t, ServerConfig{
+		Name: "app", DwellPerRequest: 200 * time.Millisecond,
+		ThreadLimit: 1, QueueLimit: 1,
+	})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[int]int{}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(s.URL())
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			mu.Lock()
+			counts[resp.StatusCode]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if counts[http.StatusServiceUnavailable] == 0 {
+		t.Fatalf("no 503s despite queue limit 1: %v", counts)
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Fatalf("no successes: %v", counts)
+	}
+}
+
+func TestDownstreamChain(t *testing.T) {
+	db := startTest(t, ServerConfig{
+		Name: "db", DwellPerRequest: 2 * time.Millisecond,
+		ThreadLimit: 32, QueueLimit: 128,
+	})
+	app := startTest(t, ServerConfig{
+		Name: "app", CPUPerRequest: 100 * time.Microsecond,
+		Downstream: db.URL(), DownstreamCalls: 2,
+		ThreadLimit: 16, QueueLimit: 128,
+	})
+	res := RunClosedLoop(app.URL(), 4, 0, 300*time.Millisecond)
+	if res.Completed == 0 {
+		t.Fatal("nothing completed through the chain")
+	}
+	if res.Errors > res.Completed/10 {
+		t.Fatalf("too many errors: %+v", res)
+	}
+	// Each app request drives 2 DB requests.
+	dbDone := 0
+	for _, w := range db.Samples() {
+		dbDone += w.Completions
+	}
+	if dbDone < res.Completed { // at least 1:1 even with windows still open
+		t.Fatalf("db completions %d for %d app requests", dbDone, res.Completed)
+	}
+}
+
+func TestDownstreamFailurePropagates(t *testing.T) {
+	app := startTest(t, ServerConfig{
+		Name: "app", Downstream: "http://127.0.0.1:1", DownstreamCalls: 1,
+		ThreadLimit: 4, QueueLimit: 16,
+	})
+	resp, err := http.Get(app.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestRuntimeResizeAdmitsWaiters(t *testing.T) {
+	s := startTest(t, ServerConfig{
+		Name: "app", DwellPerRequest: 120 * time.Millisecond,
+		ThreadLimit: 1, QueueLimit: 100,
+	})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(s.URL())
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	s.SetThreadLimit(4) // all waiters should run concurrently now
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Serial at limit 1 would take ~480 ms; resized it finishes in ~2 rounds.
+	if elapsed > 400*time.Millisecond {
+		t.Fatalf("resize did not admit waiters: took %v", elapsed)
+	}
+	if s.ThreadLimit() != 4 {
+		t.Fatalf("limit = %d", s.ThreadLimit())
+	}
+}
+
+func TestMetricsConservation(t *testing.T) {
+	s := startTest(t, ServerConfig{
+		Name: "app", CPUPerRequest: 50 * time.Microsecond,
+		ThreadLimit: 8, QueueLimit: 64,
+	})
+	const n = 40
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(s.URL())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	time.Sleep(120 * time.Millisecond) // let the last window close
+	total := 0
+	for _, w := range s.Samples() {
+		total += w.Completions
+	}
+	if total != n {
+		t.Fatalf("windows recorded %d completions, want %d", total, n)
+	}
+}
+
+// TestSCTOnLiveServer is the point of the package: the live server's 50 ms
+// tuples feed the same SCT estimator the simulator uses, and the measured
+// throughput curve has the expected shape (higher concurrency → higher
+// throughput until the dwell-bound knee).
+func TestSCTOnLiveServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time load test")
+	}
+	// Dwell-bound server: 5 ms dwell per request means one user achieves
+	// ~200 req/s and ~8 users are needed to keep 8 threads busy.
+	s := startTest(t, ServerConfig{
+		Name: "app", DwellPerRequest: 5 * time.Millisecond,
+		ThreadLimit: 64, QueueLimit: 256,
+	})
+	var all []float64
+	for _, users := range []int{1, 2, 4, 8, 16, 32} {
+		res := RunClosedLoop(s.URL(), users, 0, 250*time.Millisecond)
+		tp := float64(res.Completed) / 0.25
+		all = append(all, tp)
+	}
+	// Throughput grows with offered concurrency (allowing noise).
+	if all[3] < 2.5*all[0] {
+		t.Fatalf("throughput did not scale with users: %v", all)
+	}
+	samples := s.Samples()
+	if len(samples) < 20 {
+		t.Fatalf("only %d windows", len(samples))
+	}
+	est := sct.New(sct.Config{MinTotalSamples: 15, MinDistinctBins: 3, MinSamplesPerBin: 2})
+	e, ok := est.Estimate(samples)
+	if !ok {
+		t.Skip("not enough diversity on this machine; curve shape already checked")
+	}
+	if e.Qlower < 1 || e.Qlower > 64 {
+		t.Fatalf("live estimate out of range: %+v", e)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := StartServer(ServerConfig{ThreadLimit: 0}); err == nil {
+		t.Fatal("zero thread limit accepted")
+	}
+	if _, err := StartServer(ServerConfig{ThreadLimit: 1, QueueLimit: -1}); err == nil {
+		t.Fatal("negative queue accepted")
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	s, err := StartServer(ServerConfig{Name: "app", ThreadLimit: 2, QueueLimit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := s.URL()
+	s.Close()
+	if resp, err := http.Get(url); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("closed server served a request")
+		}
+	}
+}

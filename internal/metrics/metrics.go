@@ -1,0 +1,244 @@
+// Package metrics implements the measurement pipeline of the paper's
+// Section III-B and the Metric Warehouse of Section IV: every server keeps a
+// request processing log at millisecond granularity, which is aggregated
+// into fixed windows (50 ms by default) of real-time concurrency,
+// throughput, and response time. A separate time-weighted meter tracks
+// system-level metrics such as CPU utilization at 1-second granularity.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"conscale/internal/des"
+)
+
+// DefaultWindow is the paper's fine-grained measurement interval.
+const DefaultWindow = 50 * des.Millisecond
+
+// WindowSample is one fixed-interval observation of a server: the tuple
+// {Q, TP, RT} the SCT model consumes.
+type WindowSample struct {
+	Start       des.Time
+	Concurrency float64 // time-averaged number of in-flight requests
+	Throughput  float64 // completions per second in this window
+	RT          float64 // mean response time (seconds) of completed requests; NaN if none
+	Completions int
+	Errors      int // requests rejected or failed in this window
+}
+
+// End returns the window's exclusive end time given its length.
+func (w WindowSample) End(window des.Time) des.Time { return w.Start + window }
+
+// Recorder aggregates a server's request log into window samples. It is
+// driven by the simulation (single goroutine), so it needs no locking.
+type Recorder struct {
+	window des.Time
+
+	inFlight int
+	lastT    des.Time // time of the last concurrency change inside the window
+
+	winStart   des.Time
+	concIntegr float64 // ∫ concurrency dt within the current window
+	rtSum      float64
+	completed  int
+	errors     int
+
+	samples []WindowSample
+
+	totalCompleted int
+	totalErrors    int
+	totalArrived   int
+}
+
+// NewRecorder returns a recorder with the given window length (use
+// DefaultWindow for the paper's 50 ms).
+func NewRecorder(window des.Time) *Recorder {
+	if window <= 0 {
+		panic("metrics: non-positive window")
+	}
+	return &Recorder{window: window}
+}
+
+// Window returns the configured window length.
+func (r *Recorder) Window() des.Time { return r.window }
+
+// Arrive records a request entering service at time t.
+func (r *Recorder) Arrive(t des.Time) {
+	r.advance(t)
+	r.inFlight++
+	r.totalArrived++
+}
+
+// Depart records a request completing at time t with the given response
+// time (seconds, measured by the caller from its own arrival timestamp).
+func (r *Recorder) Depart(t des.Time, responseTime float64) {
+	r.advance(t)
+	if r.inFlight <= 0 {
+		panic("metrics: Depart without matching Arrive")
+	}
+	r.inFlight--
+	r.completed++
+	r.totalCompleted++
+	r.rtSum += responseTime
+}
+
+// Drop records a request leaving the server unsuccessfully at time t
+// (queue overflow, timeout). Dropped requests count as errors, not
+// completions, and stop contributing to concurrency.
+func (r *Recorder) Drop(t des.Time) {
+	r.advance(t)
+	if r.inFlight <= 0 {
+		panic("metrics: Drop without matching Arrive")
+	}
+	r.inFlight--
+	r.errors++
+	r.totalErrors++
+}
+
+// Reject records a request refused before entering service (accept-queue
+// overflow). It affects error counts only.
+func (r *Recorder) Reject(t des.Time) {
+	r.advance(t)
+	r.errors++
+	r.totalErrors++
+}
+
+// InFlight returns the instantaneous concurrency.
+func (r *Recorder) InFlight() int { return r.inFlight }
+
+// Totals returns lifetime counters: arrived, completed, errored.
+func (r *Recorder) Totals() (arrived, completed, errored int) {
+	return r.totalArrived, r.totalCompleted, r.totalErrors
+}
+
+// advance integrates concurrency up to t, closing any windows t has passed.
+func (r *Recorder) advance(t des.Time) {
+	if t < r.lastT {
+		panic(fmt.Sprintf("metrics: time went backwards: %v < %v", t, r.lastT))
+	}
+	for t >= r.winStart+r.window {
+		boundary := r.winStart + r.window
+		r.concIntegr += float64(r.inFlight) * float64(boundary-r.lastT)
+		r.flushWindow()
+		r.lastT = boundary
+		r.winStart = boundary
+	}
+	r.concIntegr += float64(r.inFlight) * float64(t-r.lastT)
+	r.lastT = t
+}
+
+func (r *Recorder) flushWindow() {
+	rt := math.NaN()
+	if r.completed > 0 {
+		rt = r.rtSum / float64(r.completed)
+	}
+	r.samples = append(r.samples, WindowSample{
+		Start:       r.winStart,
+		Concurrency: r.concIntegr / float64(r.window),
+		Throughput:  float64(r.completed) / float64(r.window),
+		RT:          rt,
+		Completions: r.completed,
+		Errors:      r.errors,
+	})
+	r.concIntegr = 0
+	r.rtSum = 0
+	r.completed = 0
+	r.errors = 0
+}
+
+// Flush closes windows up to (and not including) the one containing t and
+// returns all samples accumulated so far, leaving the recorder ready to
+// continue. Callers typically pass the current simulation time.
+func (r *Recorder) Flush(t des.Time) []WindowSample {
+	r.advance(t)
+	out := r.samples
+	r.samples = nil
+	return out
+}
+
+// TimeWeighted tracks a step-function metric (e.g. busy CPU cores) and
+// reports its time average per fixed window. Used for the 1 s system-level
+// CPU utilization series the scaling controllers consume.
+type TimeWeighted struct {
+	window des.Time
+
+	value float64
+	lastT des.Time
+
+	winStart des.Time
+	integral float64
+
+	lastMean    float64
+	hasComplete bool
+
+	samples []TWSample
+}
+
+// TWSample is one window average of a time-weighted metric.
+type TWSample struct {
+	Start des.Time
+	Mean  float64
+}
+
+// NewTimeWeighted returns a meter with the given window length.
+func NewTimeWeighted(window des.Time) *TimeWeighted {
+	if window <= 0 {
+		panic("metrics: non-positive window")
+	}
+	return &TimeWeighted{window: window}
+}
+
+// Set records that the metric takes the given value from time t onward.
+func (m *TimeWeighted) Set(t des.Time, value float64) {
+	m.advance(t)
+	m.value = value
+}
+
+// Value returns the current instantaneous value.
+func (m *TimeWeighted) Value() float64 { return m.value }
+
+func (m *TimeWeighted) advance(t des.Time) {
+	if t < m.lastT {
+		panic("metrics: time went backwards in TimeWeighted")
+	}
+	for t >= m.winStart+m.window {
+		boundary := m.winStart + m.window
+		m.integral += m.value * float64(boundary-m.lastT)
+		mean := m.integral / float64(m.window)
+		m.samples = append(m.samples, TWSample{Start: m.winStart, Mean: mean})
+		m.lastMean = mean
+		m.hasComplete = true
+		m.integral = 0
+		m.lastT = boundary
+		m.winStart = boundary
+	}
+	m.integral += m.value * float64(t-m.lastT)
+	m.lastT = t
+}
+
+// Flush closes windows up to t and returns the accumulated samples.
+func (m *TimeWeighted) Flush(t des.Time) []TWSample {
+	m.advance(t)
+	out := m.samples
+	m.samples = nil
+	return out
+}
+
+// WindowMean returns the mean of the current open window up to t — unless
+// the window has barely begun (less than half the window length elapsed),
+// in which case the previous completed window's mean is returned instead.
+// Controllers sample on the same 1 s cadence as the window length, so
+// their reads land exactly on boundaries; without the fallback they would
+// observe the instantaneous busy flag (0 or 1) rather than a utilization.
+func (m *TimeWeighted) WindowMean(t des.Time) float64 {
+	m.advance(t)
+	elapsed := float64(t - m.winStart)
+	if elapsed < float64(m.window)/2 && m.hasComplete {
+		return m.lastMean
+	}
+	if elapsed <= 0 {
+		return m.value
+	}
+	return m.integral / elapsed
+}

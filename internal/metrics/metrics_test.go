@@ -1,0 +1,336 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"conscale/internal/des"
+)
+
+func TestRecorderSingleRequest(t *testing.T) {
+	r := NewRecorder(DefaultWindow)
+	r.Arrive(0.010)
+	r.Depart(0.030, 0.020)
+	samples := r.Flush(0.100)
+	if len(samples) != 2 {
+		t.Fatalf("got %d windows, want 2", len(samples))
+	}
+	w0 := samples[0]
+	// In flight from 10ms to 30ms inside a 50ms window: avg = 20/50 = 0.4.
+	if math.Abs(w0.Concurrency-0.4) > 1e-9 {
+		t.Fatalf("Concurrency = %v, want 0.4", w0.Concurrency)
+	}
+	if w0.Completions != 1 {
+		t.Fatalf("Completions = %d", w0.Completions)
+	}
+	if math.Abs(w0.Throughput-20) > 1e-9 { // 1 completion / 50ms = 20/s
+		t.Fatalf("Throughput = %v, want 20", w0.Throughput)
+	}
+	if math.Abs(w0.RT-0.020) > 1e-12 {
+		t.Fatalf("RT = %v, want 0.020", w0.RT)
+	}
+	if samples[1].Completions != 0 || samples[1].Concurrency != 0 {
+		t.Fatalf("second window not empty: %+v", samples[1])
+	}
+	if !math.IsNaN(samples[1].RT) {
+		t.Fatalf("empty window RT = %v, want NaN", samples[1].RT)
+	}
+}
+
+func TestRecorderConcurrencySpansWindows(t *testing.T) {
+	r := NewRecorder(DefaultWindow)
+	r.Arrive(0)            // in flight the whole time
+	r.Depart(0.160, 0.160) // departs inside window 3
+	samples := r.Flush(0.200)
+	if len(samples) != 4 {
+		t.Fatalf("got %d windows, want 4", len(samples))
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(samples[i].Concurrency-1) > 1e-9 {
+			t.Fatalf("window %d Concurrency = %v, want 1", i, samples[i].Concurrency)
+		}
+	}
+	// In flight for ~10ms of the 50ms final window.
+	if math.Abs(samples[3].Concurrency-0.2) > 1e-6 {
+		t.Fatalf("final window Concurrency = %v, want ~0.2", samples[3].Concurrency)
+	}
+	if samples[3].Completions != 1 {
+		t.Fatalf("completion should land in the window containing t=150ms")
+	}
+}
+
+func TestRecorderOverlappingRequests(t *testing.T) {
+	r := NewRecorder(des.Time(0.100))
+	r.Arrive(0)
+	r.Arrive(0.025)
+	r.Depart(0.050, 0.050)
+	r.Depart(0.075, 0.050)
+	samples := r.Flush(0.100)
+	if len(samples) != 1 {
+		t.Fatalf("got %d windows", len(samples))
+	}
+	// Integral: 1*(0..25) + 2*(25..50) + 1*(50..75) = 25+50+25 = 100 ms over 100 ms.
+	if math.Abs(samples[0].Concurrency-1.0) > 1e-9 {
+		t.Fatalf("Concurrency = %v, want 1.0", samples[0].Concurrency)
+	}
+	if samples[0].Completions != 2 {
+		t.Fatalf("Completions = %d", samples[0].Completions)
+	}
+	if math.Abs(samples[0].RT-0.050) > 1e-12 {
+		t.Fatalf("RT = %v", samples[0].RT)
+	}
+}
+
+func TestRecorderDropCountsError(t *testing.T) {
+	r := NewRecorder(DefaultWindow)
+	r.Arrive(0.010)
+	r.Drop(0.020)
+	r.Reject(0.030)
+	samples := r.Flush(0.050)
+	if samples[0].Errors != 2 {
+		t.Fatalf("Errors = %d, want 2", samples[0].Errors)
+	}
+	if samples[0].Completions != 0 {
+		t.Fatalf("Completions = %d, want 0", samples[0].Completions)
+	}
+	arrived, completed, errored := r.Totals()
+	if arrived != 1 || completed != 0 || errored != 2 {
+		t.Fatalf("Totals = %d/%d/%d", arrived, completed, errored)
+	}
+}
+
+func TestRecorderDepartWithoutArrivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewRecorder(DefaultWindow).Depart(1, 0.5)
+}
+
+func TestRecorderTimeBackwardsPanics(t *testing.T) {
+	r := NewRecorder(DefaultWindow)
+	r.Arrive(1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	r.Arrive(0.5)
+}
+
+func TestRecorderNonPositiveWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewRecorder(0)
+}
+
+func TestRecorderInFlight(t *testing.T) {
+	r := NewRecorder(DefaultWindow)
+	r.Arrive(0.001)
+	r.Arrive(0.002)
+	if r.InFlight() != 2 {
+		t.Fatalf("InFlight = %d", r.InFlight())
+	}
+	r.Depart(0.003, 0.002)
+	if r.InFlight() != 1 {
+		t.Fatalf("InFlight = %d", r.InFlight())
+	}
+}
+
+func TestRecorderFlushResets(t *testing.T) {
+	r := NewRecorder(DefaultWindow)
+	r.Arrive(0.010)
+	r.Depart(0.020, 0.010)
+	first := r.Flush(0.100)
+	second := r.Flush(0.100)
+	if len(first) == 0 {
+		t.Fatal("first flush empty")
+	}
+	if len(second) != 0 {
+		t.Fatalf("second flush returned %d stale windows", len(second))
+	}
+}
+
+// Property: completions summed across all windows equals total departures,
+// regardless of request timing (conservation law).
+func TestQuickCompletionConservation(t *testing.T) {
+	f := func(raw []uint16) bool {
+		r := NewRecorder(DefaultWindow)
+		now := des.Time(0)
+		departures := 0
+		pending := 0
+		for _, v := range raw {
+			now += des.Time(v%100) * des.Millisecond
+			if v%3 == 0 || pending == 0 {
+				r.Arrive(now)
+				pending++
+			} else {
+				r.Depart(now, 0.001)
+				pending--
+				departures++
+			}
+		}
+		total := 0
+		for _, s := range r.Flush(now + 1) {
+			total += s.Completions
+		}
+		return total == departures
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: window concurrency is bounded by the max in-flight count.
+func TestQuickConcurrencyBounded(t *testing.T) {
+	f := func(raw []uint8) bool {
+		r := NewRecorder(DefaultWindow)
+		now := des.Time(0)
+		inFlight, maxIn := 0, 0
+		for _, v := range raw {
+			now += des.Time(v%50) * des.Millisecond
+			if v%2 == 0 || inFlight == 0 {
+				r.Arrive(now)
+				inFlight++
+				if inFlight > maxIn {
+					maxIn = inFlight
+				}
+			} else {
+				r.Depart(now, 0.001)
+				inFlight--
+			}
+		}
+		for _, s := range r.Flush(now + 1) {
+			if s.Concurrency > float64(maxIn)+1e-9 || s.Concurrency < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWeightedConstant(t *testing.T) {
+	m := NewTimeWeighted(des.Second)
+	m.Set(0, 0.5)
+	samples := m.Flush(3)
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if math.Abs(s.Mean-0.5) > 1e-9 {
+			t.Fatalf("Mean = %v, want 0.5", s.Mean)
+		}
+	}
+}
+
+func TestTimeWeightedStep(t *testing.T) {
+	m := NewTimeWeighted(des.Second)
+	m.Set(0, 0)
+	m.Set(0.5, 1) // busy from 0.5s
+	samples := m.Flush(1)
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	if math.Abs(samples[0].Mean-0.5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 0.5", samples[0].Mean)
+	}
+}
+
+func TestTimeWeightedWindowMean(t *testing.T) {
+	m := NewTimeWeighted(des.Second)
+	m.Set(0, 1)
+	if got := m.WindowMean(0.5); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("WindowMean = %v, want 1", got)
+	}
+	m.Set(0.5, 0)
+	if got := m.WindowMean(0.75); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("WindowMean = %v, want 2/3", got)
+	}
+}
+
+func TestTimeWeightedValue(t *testing.T) {
+	m := NewTimeWeighted(des.Second)
+	m.Set(1, 7)
+	if m.Value() != 7 {
+		t.Fatalf("Value = %v", m.Value())
+	}
+}
+
+func TestWarehouseStoreAndQuery(t *testing.T) {
+	w := NewWarehouse(10 * des.Second)
+	w.PutFine("mysql1", []WindowSample{{Start: 1}, {Start: 2}, {Start: 3}})
+	got := w.FineSince("mysql1", 2)
+	if len(got) != 2 || got[0].Start != 2 {
+		t.Fatalf("FineSince wrong: %+v", got)
+	}
+	if names := w.Servers(); len(names) != 1 || names[0] != "mysql1" {
+		t.Fatalf("Servers = %v", names)
+	}
+}
+
+func TestWarehousePrunes(t *testing.T) {
+	w := NewWarehouse(5 * des.Second)
+	var samples []WindowSample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, WindowSample{Start: des.Time(i)})
+	}
+	w.PutFine("s", samples)
+	all := w.FineSince("s", 0)
+	if len(all) == 100 {
+		t.Fatal("warehouse did not prune old samples")
+	}
+	if all[0].Start < 94 {
+		t.Fatalf("oldest retained = %v, want >= 94", all[0].Start)
+	}
+}
+
+func TestWarehouseMeanCPU(t *testing.T) {
+	w := NewWarehouse(100 * des.Second)
+	w.PutCPU("vm1", []TWSample{{Start: 0, Mean: 0.2}, {Start: 1, Mean: 0.4}, {Start: 2, Mean: 0.9}})
+	got, ok := w.MeanCPU("vm1", 1)
+	if !ok || math.Abs(got-0.65) > 1e-9 {
+		t.Fatalf("MeanCPU = %v/%v, want 0.65", got, ok)
+	}
+	if _, ok := w.MeanCPU("missing", 0); ok {
+		t.Fatal("MeanCPU for unknown server reported ok")
+	}
+}
+
+func TestWarehouseForget(t *testing.T) {
+	w := NewWarehouse(10 * des.Second)
+	w.PutFine("s", []WindowSample{{Start: 1}})
+	w.PutCPU("s", []TWSample{{Start: 1, Mean: 0.5}})
+	w.Forget("s")
+	if len(w.FineSince("s", 0)) != 0 || len(w.CPUSince("s", 0)) != 0 {
+		t.Fatal("Forget left data behind")
+	}
+}
+
+func TestWarehouseEmptyPuts(t *testing.T) {
+	w := NewWarehouse(10 * des.Second)
+	w.PutFine("s", nil)
+	w.PutCPU("s", nil)
+	if len(w.Servers()) != 0 {
+		t.Fatal("empty put registered a server")
+	}
+}
+
+func BenchmarkRecorder(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRecorder(DefaultWindow)
+	now := des.Time(0)
+	for i := 0; i < b.N; i++ {
+		now += 0.001
+		r.Arrive(now)
+		r.Depart(now+0.0005, 0.0005)
+	}
+	r.Flush(now + 1)
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"sort"
+
+	"conscale/internal/des"
+)
+
+// Warehouse is the Metric Warehouse of the ConScale architecture (paper
+// Fig. 8): it stores each server's fine-grained window samples and each
+// VM's system-level series, and serves them to the Decision Controller and
+// the Optimal Concurrency Estimator. Samples older than the retention
+// horizon are pruned so 12-minute runs stay O(retention) in memory.
+type Warehouse struct {
+	retention des.Time
+	fine      map[string][]WindowSample
+	cpu       map[string][]TWSample
+}
+
+// NewWarehouse returns a warehouse keeping the given span of history.
+// Retention must cover the SCT collection window (the paper uses ~3 min).
+func NewWarehouse(retention des.Time) *Warehouse {
+	if retention <= 0 {
+		panic("metrics: non-positive retention")
+	}
+	return &Warehouse{
+		retention: retention,
+		fine:      make(map[string][]WindowSample),
+		cpu:       make(map[string][]TWSample),
+	}
+}
+
+// PutFine appends fine-grained samples for the named server.
+func (w *Warehouse) PutFine(server string, samples []WindowSample) {
+	if len(samples) == 0 {
+		return
+	}
+	w.fine[server] = append(w.fine[server], samples...)
+	w.pruneFine(server, samples[len(samples)-1].Start)
+}
+
+// PutCPU appends CPU-utilization samples (fraction of allotted cores busy,
+// 0..1) for the named VM.
+func (w *Warehouse) PutCPU(server string, samples []TWSample) {
+	if len(samples) == 0 {
+		return
+	}
+	w.cpu[server] = append(w.cpu[server], samples...)
+	w.pruneCPU(server, samples[len(samples)-1].Start)
+}
+
+func (w *Warehouse) pruneFine(server string, now des.Time) {
+	s := w.fine[server]
+	cut := now - w.retention
+	i := sort.Search(len(s), func(i int) bool { return s[i].Start >= cut })
+	if i > 0 {
+		w.fine[server] = append(s[:0:0], s[i:]...)
+	}
+}
+
+func (w *Warehouse) pruneCPU(server string, now des.Time) {
+	s := w.cpu[server]
+	cut := now - w.retention
+	i := sort.Search(len(s), func(i int) bool { return s[i].Start >= cut })
+	if i > 0 {
+		w.cpu[server] = append(s[:0:0], s[i:]...)
+	}
+}
+
+// Servers returns the names of all servers with fine-grained data.
+func (w *Warehouse) Servers() []string {
+	out := make([]string, 0, len(w.fine))
+	for name := range w.fine {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FineSince returns the named server's window samples with Start >= since,
+// in time order. The returned slice aliases warehouse storage; callers must
+// not mutate it.
+func (w *Warehouse) FineSince(server string, since des.Time) []WindowSample {
+	s := w.fine[server]
+	i := sort.Search(len(s), func(i int) bool { return s[i].Start >= since })
+	return s[i:]
+}
+
+// CPUSince returns the named VM's utilization samples with Start >= since.
+func (w *Warehouse) CPUSince(server string, since des.Time) []TWSample {
+	s := w.cpu[server]
+	i := sort.Search(len(s), func(i int) bool { return s[i].Start >= since })
+	return s[i:]
+}
+
+// MeanCPU returns the mean utilization of the named VM over samples with
+// Start >= since, and false when there are none.
+func (w *Warehouse) MeanCPU(server string, since des.Time) (float64, bool) {
+	s := w.CPUSince(server, since)
+	if len(s) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v.Mean
+	}
+	return sum / float64(len(s)), true
+}
+
+// Forget removes all series for a server (used when a VM is terminated so
+// stale samples cannot influence later scaling decisions).
+func (w *Warehouse) Forget(server string) {
+	delete(w.fine, server)
+	delete(w.cpu, server)
+}

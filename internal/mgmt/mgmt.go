@@ -1,0 +1,288 @@
+// Package mgmt is the reproduction's substitute for the paper's JMX/RMI
+// runtime-reconfiguration path (Section IV-A): a TCP line-protocol agent
+// through which an operator or controller reads and writes a server's soft
+// resources (thread pool and connection pool sizes) at runtime, without
+// restarting anything.
+//
+// Protocol (one request per line, one response per line):
+//
+//	GET <key>          -> "OK <value>" | "ERR <reason>"
+//	SET <key> <value>  -> "OK" | "ERR <reason>"
+//	KEYS               -> "OK <key1> <key2> ..."
+//	PING               -> "OK pong"
+//	QUIT               -> closes the connection
+//
+// The agent serves each connection on its own goroutine; the Target
+// implementation is responsible for its own synchronisation (the provided
+// Store is safe for concurrent use).
+package mgmt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Target is the configuration surface an Agent exposes.
+type Target interface {
+	// Get returns the value for key.
+	Get(key string) (string, error)
+	// Set updates the value for key.
+	Set(key, value string) error
+	// Keys lists the available keys.
+	Keys() []string
+}
+
+// ErrUnknownKey is returned by Store for keys that were never registered.
+var ErrUnknownKey = errors.New("mgmt: unknown key")
+
+// Store is a thread-safe Target backed by per-key getter/setter callbacks,
+// the typical way to bridge the agent onto live server objects.
+type Store struct {
+	mu     sync.RWMutex
+	gets   map[string]func() string
+	sets   map[string]func(string) error
+	frozen []string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		gets: make(map[string]func() string),
+		sets: make(map[string]func(string) error),
+	}
+}
+
+// Register adds a key with a getter and an optional setter (nil makes the
+// key read-only).
+func (s *Store) Register(key string, get func() string, set func(string) error) {
+	if get == nil {
+		panic("mgmt: nil getter")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets[key] = get
+	if set != nil {
+		s.sets[key] = set
+	}
+	s.frozen = nil
+}
+
+// Get implements Target.
+func (s *Store) Get(key string) (string, error) {
+	s.mu.RLock()
+	get, ok := s.gets[key]
+	s.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownKey, key)
+	}
+	return get(), nil
+}
+
+// Set implements Target.
+func (s *Store) Set(key, value string) error {
+	s.mu.RLock()
+	set, ok := s.sets[key]
+	s.mu.RUnlock()
+	if !ok {
+		if _, readable := s.gets[key]; readable {
+			return fmt.Errorf("mgmt: key %s is read-only", key)
+		}
+		return fmt.Errorf("%w: %s", ErrUnknownKey, key)
+	}
+	return set(value)
+}
+
+// Keys implements Target.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen == nil {
+		for k := range s.gets {
+			s.frozen = append(s.frozen, k)
+		}
+		sort.Strings(s.frozen)
+	}
+	return append([]string(nil), s.frozen...)
+}
+
+// Agent serves the management protocol on a listener.
+type Agent struct {
+	ln     net.Listener
+	target Target
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewAgent starts an agent listening on addr (use "127.0.0.1:0" for an
+// ephemeral port).
+func NewAgent(addr string, target Target) (*Agent, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{ln: ln, target: target}
+	a.wg.Add(1)
+	go a.acceptLoop()
+	return a, nil
+}
+
+// Addr returns the agent's listen address.
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections to finish.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
+	err := a.ln.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.serve(conn)
+		}()
+	}
+}
+
+func (a *Agent) serve(conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		resp, quit := a.handle(line)
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+// handle executes one protocol line and returns the response plus whether
+// the connection should close.
+func (a *Agent) handle(line string) (string, bool) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "PING":
+		return "OK pong", false
+	case "QUIT":
+		return "OK bye", true
+	case "KEYS":
+		return "OK " + strings.Join(a.target.Keys(), " "), false
+	case "GET":
+		if len(fields) != 2 {
+			return "ERR usage: GET <key>", false
+		}
+		v, err := a.target.Get(fields[1])
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK " + v, false
+	case "SET":
+		if len(fields) != 3 {
+			return "ERR usage: SET <key> <value>", false
+		}
+		if err := a.target.Set(fields[1], fields[2]); err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK", false
+	default:
+		return "ERR unknown command " + cmd, false
+	}
+}
+
+// Client is a synchronous client for the management protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to an agent.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close terminates the session politely.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.conn, "QUIT")
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(req string) (string, error) {
+	if _, err := fmt.Fprintln(c.conn, req); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return "", errors.New(strings.TrimPrefix(line, "ERR "))
+	}
+	if line == "OK" {
+		return "", nil
+	}
+	if strings.HasPrefix(line, "OK ") {
+		return strings.TrimPrefix(line, "OK "), nil
+	}
+	return "", fmt.Errorf("mgmt: malformed response %q", line)
+}
+
+// Get fetches a key's value.
+func (c *Client) Get(key string) (string, error) { return c.roundTrip("GET " + key) }
+
+// Set updates a key's value.
+func (c *Client) Set(key, value string) error {
+	_, err := c.roundTrip(fmt.Sprintf("SET %s %s", key, value))
+	return err
+}
+
+// Keys lists the agent's keys.
+func (c *Client) Keys() ([]string, error) {
+	v, err := c.roundTrip("KEYS")
+	if err != nil {
+		return nil, err
+	}
+	if v == "" {
+		return nil, nil
+	}
+	return strings.Fields(v), nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	v, err := c.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	if v != "pong" {
+		return fmt.Errorf("mgmt: unexpected ping reply %q", v)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package mgmt
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// intStore registers a mutable integer under the given key.
+func intStore(key string, initial int) (*Store, *int, *sync.Mutex) {
+	s := NewStore()
+	v := initial
+	var mu sync.Mutex
+	s.Register(key,
+		func() string {
+			mu.Lock()
+			defer mu.Unlock()
+			return strconv.Itoa(v)
+		},
+		func(raw string) error {
+			n, err := strconv.Atoi(raw)
+			if err != nil {
+				return err
+			}
+			if n <= 0 {
+				return errors.New("must be positive")
+			}
+			mu.Lock()
+			v = n
+			mu.Unlock()
+			return nil
+		})
+	return s, &v, &mu
+}
+
+func startAgent(t *testing.T, target Target) (*Agent, *Client) {
+	t.Helper()
+	a, err := NewAgent("127.0.0.1:0", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	c, err := Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return a, c
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	s, _, _ := intStore("app.threads", 60)
+	_, c := startAgent(t, s)
+	got, err := c.Get("app.threads")
+	if err != nil || got != "60" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := c.Set("app.threads", "20"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Get("app.threads")
+	if err != nil || got != "20" {
+		t.Fatalf("after Set, Get = %q, %v", got, err)
+	}
+}
+
+func TestSetValidationErrorPropagates(t *testing.T) {
+	s, v, mu := intStore("db.conns", 40)
+	_, c := startAgent(t, s)
+	if err := c.Set("db.conns", "-5"); err == nil {
+		t.Fatal("invalid Set succeeded")
+	}
+	if err := c.Set("db.conns", "junk"); err == nil {
+		t.Fatal("non-numeric Set succeeded")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if *v != 40 {
+		t.Fatalf("value changed to %d by failed sets", *v)
+	}
+}
+
+func TestUnknownKey(t *testing.T) {
+	s, _, _ := intStore("a", 1)
+	_, c := startAgent(t, s)
+	if _, err := c.Get("nope"); err == nil {
+		t.Fatal("Get of unknown key succeeded")
+	}
+	if err := c.Set("nope", "1"); err == nil {
+		t.Fatal("Set of unknown key succeeded")
+	}
+}
+
+func TestReadOnlyKey(t *testing.T) {
+	s := NewStore()
+	s.Register("version", func() string { return "1.0" }, nil)
+	_, c := startAgent(t, s)
+	got, err := c.Get("version")
+	if err != nil || got != "1.0" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := c.Set("version", "2.0"); err == nil {
+		t.Fatal("Set of read-only key succeeded")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewStore()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		k := k
+		s.Register(k, func() string { return k }, nil)
+	}
+	_, c := startAgent(t, s)
+	keys, err := c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestPing(t *testing.T) {
+	s := NewStore()
+	_, c := startAgent(t, s)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, _, _ := intStore("k", 1)
+	a, _ := startAgent(t, s)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(a.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				if err := c.Set("k", fmt.Sprintf("%d", i*100+j+1)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Get("k"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolErrorsForMalformedLines(t *testing.T) {
+	s := NewStore()
+	a, _ := startAgent(t, s)
+	// Raw protocol checks through a bare handle call (unit level).
+	for _, line := range []string{"GET", "SET x", "WAT 1 2"} {
+		resp, quit := a.handle(line)
+		if quit {
+			t.Fatalf("line %q closed connection", line)
+		}
+		if len(resp) < 3 || resp[:3] != "ERR" {
+			t.Fatalf("line %q -> %q, want ERR", line, resp)
+		}
+	}
+}
+
+func TestQuitClosesConnection(t *testing.T) {
+	s := NewStore()
+	a, _ := startAgent(t, s)
+	resp, quit := a.handle("QUIT")
+	if !quit || resp != "OK bye" {
+		t.Fatalf("QUIT -> %q/%v", resp, quit)
+	}
+}
+
+func TestAgentCloseStopsAccept(t *testing.T) {
+	s := NewStore()
+	a, err := NewAgent("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := a.Addr()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+}
+
+func TestStoreNilGetterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewStore().Register("x", nil, nil)
+}

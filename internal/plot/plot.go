@@ -1,0 +1,197 @@
+// Package plot renders line and scatter charts as plain-text grids — the
+// terminal equivalent of the paper's gnuplot figures, used by the CLI
+// tools to show timelines and concurrency-throughput curves without any
+// external plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// series is one plotted data set.
+type series struct {
+	name  string
+	xs    []float64
+	ys    []float64
+	glyph rune
+}
+
+// Chart accumulates series and renders them onto a character grid.
+type Chart struct {
+	title  string
+	xLabel string
+	yLabel string
+	width  int // plot area columns (excluding axis gutter)
+	height int // plot area rows
+
+	series []series
+}
+
+// New returns a chart with the given plot-area size. Sizes below 16×4 are
+// clamped up so axes always fit.
+func New(title string, width, height int) *Chart {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Chart{title: title, width: width, height: height}
+}
+
+// Labels sets the axis labels.
+func (c *Chart) Labels(x, y string) *Chart {
+	c.xLabel, c.yLabel = x, y
+	return c
+}
+
+// Line adds a connected series drawn with the glyph.
+func (c *Chart) Line(name string, xs, ys []float64, glyph rune) *Chart {
+	return c.add(name, xs, ys, glyph, true)
+}
+
+// Scatter adds an unconnected series drawn with the glyph.
+func (c *Chart) Scatter(name string, xs, ys []float64, glyph rune) *Chart {
+	return c.add(name, xs, ys, glyph, false)
+}
+
+func (c *Chart) add(name string, xs, ys []float64, glyph rune, connect bool) *Chart {
+	if len(xs) != len(ys) {
+		panic("plot: series length mismatch")
+	}
+	if glyph == 0 {
+		glyph = '*'
+	}
+	s := series{name: name, glyph: glyph}
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) || math.IsInf(xs[i], 0) || math.IsInf(ys[i], 0) {
+			continue
+		}
+		s.xs = append(s.xs, xs[i])
+		s.ys = append(s.ys, ys[i])
+	}
+	if connect {
+		s.xs, s.ys = densify(s.xs, s.ys, c.width*2)
+	}
+	c.series = append(c.series, s)
+	return c
+}
+
+// densify inserts interpolated points between neighbours so a connected
+// line has no horizontal gaps at the render resolution.
+func densify(xs, ys []float64, steps int) ([]float64, []float64) {
+	if len(xs) < 2 {
+		return xs, ys
+	}
+	outX := []float64{xs[0]}
+	outY := []float64{ys[0]}
+	for i := 1; i < len(xs); i++ {
+		nSub := steps/len(xs) + 1
+		for k := 1; k <= nSub; k++ {
+			f := float64(k) / float64(nSub)
+			outX = append(outX, xs[i-1]+(xs[i]-xs[i-1])*f)
+			outY = append(outY, ys[i-1]+(ys[i]-ys[i-1])*f)
+		}
+	}
+	return outX, outY
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.xs {
+			minX = math.Min(minX, s.xs[i])
+			maxX = math.Max(maxX, s.xs[i])
+			minY = math.Min(minY, s.ys[i])
+			maxY = math.Max(maxY, s.ys[i])
+			points++
+		}
+	}
+	var b strings.Builder
+	if c.title != "" {
+		fmt.Fprintf(&b, "%s\n", c.title)
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if minY > 0 && minY < maxY/4 {
+		minY = 0 // charts that nearly touch zero read better anchored there
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, c.height)
+	for r := range grid {
+		grid[r] = make([]rune, c.width)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	for _, s := range c.series {
+		for i := range s.xs {
+			col := int((s.xs[i] - minX) / (maxX - minX) * float64(c.width-1))
+			row := int((s.ys[i] - minY) / (maxY - minY) * float64(c.height-1))
+			row = c.height - 1 - row
+			if col >= 0 && col < c.width && row >= 0 && row < c.height {
+				grid[row][col] = s.glyph
+			}
+		}
+	}
+
+	gutter := 10
+	for r := 0; r < c.height; r++ {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(c.height-1)
+		label := ""
+		if r == 0 || r == c.height-1 || r == (c.height-1)/2 {
+			label = formatTick(yVal)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", gutter-2, label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", gutter-2, "", strings.Repeat("-", c.width))
+	lo, hi := formatTick(minX), formatTick(maxX)
+	pad := c.width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s\n", gutter-2, "", lo, strings.Repeat(" ", pad), hi)
+	if c.xLabel != "" || c.yLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s   y: %s\n", gutter-2, "", c.xLabel, c.yLabel)
+	}
+	if len(c.series) > 1 || (len(c.series) == 1 && c.series[0].name != "") {
+		var parts []string
+		for _, s := range c.series {
+			parts = append(parts, fmt.Sprintf("%c %s", s.glyph, s.name))
+		}
+		fmt.Fprintf(&b, "%*s  legend: %s\n", gutter-2, "", strings.Join(parts, "   "))
+	}
+	return b.String()
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

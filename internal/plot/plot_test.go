@@ -1,0 +1,142 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyChart(t *testing.T) {
+	out := New("t", 40, 10).Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart rendered %q", out)
+	}
+}
+
+func TestTitleAndLabels(t *testing.T) {
+	out := New("My Title", 40, 10).
+		Labels("time", "rt").
+		Line("s", []float64{0, 1}, []float64{0, 1}, '*').
+		Render()
+	for _, want := range []string{"My Title", "x: time", "y: rt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLineCoversWidth(t *testing.T) {
+	out := New("", 40, 10).
+		Line("", []float64{0, 100}, []float64{0, 100}, '*').
+		Render()
+	lines := strings.Split(out, "\n")
+	stars := strings.Count(out, "*")
+	// Densified diagonal: at least one glyph per ~2 columns.
+	if stars < 15 {
+		t.Fatalf("diagonal has only %d glyphs:\n%s", stars, out)
+	}
+	// Top row contains the max point, bottom row the min.
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("top row empty:\n%s", out)
+	}
+}
+
+func TestScatterDoesNotDensify(t *testing.T) {
+	out := New("", 40, 10).
+		Scatter("", []float64{0, 50, 100}, []float64{0, 50, 100}, 'o').
+		Render()
+	if got := strings.Count(out, "o"); got != 3 {
+		t.Fatalf("scatter rendered %d glyphs, want 3:\n%s", got, out)
+	}
+}
+
+func TestMultipleSeriesLegend(t *testing.T) {
+	out := New("", 40, 8).
+		Line("ec2", []float64{0, 1}, []float64{1, 1}, 'e').
+		Line("conscale", []float64{0, 1}, []float64{2, 2}, 'c').
+		Render()
+	if !strings.Contains(out, "legend: e ec2   c conscale") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestNaNPointsSkipped(t *testing.T) {
+	out := New("", 30, 8).
+		Scatter("", []float64{0, math.NaN(), 2}, []float64{1, 5, math.Inf(1)}, 'x').
+		Render()
+	if got := strings.Count(out, "x"); got != 1 {
+		t.Fatalf("got %d glyphs, want 1 (NaN/Inf skipped):\n%s", got, out)
+	}
+}
+
+func TestAxisTicksPresent(t *testing.T) {
+	out := New("", 40, 10).
+		Line("", []float64{0, 720}, []float64{0, 2400}, '*').
+		Render()
+	if !strings.Contains(out, "720") {
+		t.Fatalf("x max tick missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2.4k") && !strings.Contains(out, "2400") {
+		t.Fatalf("y max tick missing:\n%s", out)
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New("", 20, 5).Line("", []float64{1}, []float64{1, 2}, '*')
+}
+
+func TestConstantSeries(t *testing.T) {
+	// Degenerate ranges (all same x, all same y) must not divide by zero.
+	out := New("", 30, 6).
+		Scatter("", []float64{5, 5, 5}, []float64{7, 7, 7}, '#').
+		Render()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("constant series vanished:\n%s", out)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {0.5, "0.500"}, {3.2, "3.2"}, {250, "250"},
+		{25000, "25k"}, {3.3e6, "3.3M"},
+	}
+	for _, c := range cases {
+		if got := formatTick(c.in); got != c.want {
+			t.Fatalf("formatTick(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTinySizesClamped(t *testing.T) {
+	out := New("", 1, 1).Line("", []float64{0, 1}, []float64{0, 1}, '*').Render()
+	if len(out) == 0 {
+		t.Fatal("render empty")
+	}
+}
+
+// Property: rendering never panics and always terminates with a newline
+// for arbitrary finite data.
+func TestQuickRenderRobust(t *testing.T) {
+	f := func(raw []int16, w, h uint8) bool {
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(i)
+			ys[i] = float64(v)
+		}
+		out := New("q", int(w), int(h)).Line("s", xs, ys, '*').Render()
+		return strings.HasSuffix(out, "\n")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

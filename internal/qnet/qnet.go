@@ -1,0 +1,297 @@
+// Package qnet implements a closed queueing-network solver using exact
+// Mean Value Analysis (Reiser & Lavenberg; the textbook the paper cites as
+// [13], Lazowska et al., "Quantitative System Performance").
+//
+// This is the analytic machinery behind the offline profiling that the
+// DCM baseline [Wang et al., TPDS 2018] relies on: solve the network for
+// increasing customer populations, find where throughput saturates, and
+// freeze that population as the server's concurrency setting. The package
+// also cross-validates the simulator: the MVA-predicted knee of a tier
+// must land where the discrete-event sweep measures it (see the tests),
+// which ties the two independent implementations of the same queueing
+// structure together.
+package qnet
+
+import (
+	"fmt"
+
+	"conscale/internal/rubbos"
+)
+
+// StationKind distinguishes queueing (FCFS single-queue) stations from
+// delay (infinite-server, no queueing) stations.
+type StationKind int
+
+// Station kinds.
+const (
+	// Queueing is a FCFS station where customers may wait.
+	Queueing StationKind = iota
+	// Delay is an infinite-server station (pure think/dwell time).
+	Delay
+)
+
+// Station is one service centre of the network.
+type Station struct {
+	Name string
+	Kind StationKind
+	// Demand is the total service demand per customer visit cycle
+	// (visit count × per-visit service time), in seconds.
+	Demand float64
+	// Servers is the number of identical servers at a Queueing station
+	// (cores of a CPU, channels of a disk). Values > 1 are handled with
+	// the Seidmann approximation: a c-server station behaves like a
+	// single-server station with demand D/c plus a delay of D(c-1)/c.
+	Servers int
+}
+
+// Network is a closed, single-class queueing network.
+type Network struct {
+	// Stations of the network.
+	Stations []Station
+	// ThinkTime is the customers' pure think time Z (a delay "station"
+	// outside the system), in seconds.
+	ThinkTime float64
+}
+
+// Result is the MVA solution at one population.
+type Result struct {
+	N            int
+	Throughput   float64   // customers per second
+	ResponseTime float64   // seconds per cycle, excluding think time
+	QueueLen     []float64 // mean customers at each station
+	Utilization  []float64 // station utilisation (0..1 per server)
+}
+
+// Validate reports configuration errors.
+func (net *Network) Validate() error {
+	if len(net.Stations) == 0 {
+		return fmt.Errorf("qnet: no stations")
+	}
+	for i, s := range net.Stations {
+		if s.Demand < 0 {
+			return fmt.Errorf("qnet: station %d (%s) has negative demand", i, s.Name)
+		}
+		if s.Kind == Queueing && s.Servers <= 0 {
+			return fmt.Errorf("qnet: station %d (%s) needs at least one server", i, s.Name)
+		}
+	}
+	if net.ThinkTime < 0 {
+		return fmt.Errorf("qnet: negative think time")
+	}
+	return nil
+}
+
+// effective returns the station list after the Seidmann transformation of
+// multi-server stations.
+func (net *Network) effective() ([]Station, float64) {
+	out := make([]Station, 0, len(net.Stations))
+	extraDelay := 0.0
+	for _, s := range net.Stations {
+		if s.Kind == Delay || s.Servers <= 1 {
+			out = append(out, s)
+			continue
+		}
+		c := float64(s.Servers)
+		out = append(out, Station{Name: s.Name, Kind: Queueing, Demand: s.Demand / c, Servers: 1})
+		extraDelay += s.Demand * (c - 1) / c
+	}
+	return out, extraDelay
+}
+
+// Solve runs exact MVA for population n and returns the solution. It
+// panics on invalid networks (Validate first for error returns) and on
+// non-positive n.
+func (net *Network) Solve(n int) Result {
+	results := net.SolveRange(n)
+	return results[len(results)-1]
+}
+
+// SolveRange runs exact MVA for populations 1..n and returns all
+// solutions (the recursion computes them anyway).
+func (net *Network) SolveRange(n int) []Result {
+	if err := net.Validate(); err != nil {
+		panic(err)
+	}
+	if n <= 0 {
+		panic("qnet: non-positive population")
+	}
+	stations, extraDelay := net.effective()
+	k := len(stations)
+	queue := make([]float64, k) // Q_k(n-1), starts at 0
+	out := make([]Result, 0, n)
+
+	for pop := 1; pop <= n; pop++ {
+		resp := make([]float64, k)
+		total := 0.0
+		for i, s := range stations {
+			if s.Kind == Delay {
+				resp[i] = s.Demand
+			} else {
+				resp[i] = s.Demand * (1 + queue[i])
+			}
+			total += resp[i]
+		}
+		x := float64(pop) / (net.ThinkTime + extraDelay + total)
+		res := Result{
+			N:            pop,
+			Throughput:   x,
+			ResponseTime: total + extraDelay,
+			QueueLen:     make([]float64, k),
+			Utilization:  make([]float64, k),
+		}
+		for i, s := range stations {
+			queue[i] = x * resp[i]
+			res.QueueLen[i] = queue[i]
+			if s.Kind == Queueing {
+				res.Utilization[i] = x * s.Demand
+				if res.Utilization[i] > 1 {
+					res.Utilization[i] = 1
+				}
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// MaxThroughput returns the network's asymptotic throughput bound
+// 1/Dmax over the queueing stations (per-server demand for multi-server
+// stations).
+func (net *Network) MaxThroughput() float64 {
+	dmax := 0.0
+	for _, s := range net.Stations {
+		if s.Kind != Queueing {
+			continue
+		}
+		d := s.Demand / float64(s.Servers)
+		if d > dmax {
+			dmax = d
+		}
+	}
+	if dmax == 0 {
+		return 0
+	}
+	return 1 / dmax
+}
+
+// Bottleneck returns the index of the queueing station with the highest
+// per-server demand, or -1 when there is none.
+func (net *Network) Bottleneck() int {
+	best, bestD := -1, 0.0
+	for i, s := range net.Stations {
+		if s.Kind != Queueing {
+			continue
+		}
+		d := s.Demand / float64(s.Servers)
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// KneePopulation returns the classic balanced-bound knee
+// N* = (Z + ΣD) / Dmax — the population at which the asymptotic bounds
+// cross, i.e. the smallest population that can saturate the bottleneck.
+// This is the analytic counterpart of the SCT model's Qlower.
+func (net *Network) KneePopulation() int {
+	dmax := 0.0
+	sum := net.ThinkTime
+	for _, s := range net.Stations {
+		sum += s.Demand
+		if s.Kind != Queueing {
+			continue
+		}
+		d := s.Demand / float64(s.Servers)
+		if d > dmax {
+			dmax = d
+		}
+	}
+	if dmax == 0 {
+		return 1
+	}
+	n := int(sum/dmax + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SaturationPopulation returns the smallest population whose MVA
+// throughput reaches the given fraction of the asymptotic maximum
+// (fraction 0.95 matches the sweep harness's knee criterion), searching
+// up to limit. ok is false if the limit is reached first.
+func (net *Network) SaturationPopulation(fraction float64, limit int) (int, bool) {
+	if fraction <= 0 || fraction > 1 {
+		panic("qnet: fraction out of (0, 1]")
+	}
+	target := fraction * net.MaxThroughput()
+	if target == 0 {
+		return 0, false
+	}
+	for _, r := range net.SolveRange(limit) {
+		if r.Throughput >= target {
+			return r.N, true
+		}
+	}
+	return 0, false
+}
+
+// AppServerNetwork models one Tomcat server of the RUBBoS deployment as a
+// closed network: its CPU (multi-core), a delay for its non-CPU dwell, and
+// a delay for the synchronous DB round trips (assumed unloaded — the
+// profiling setup gives the target server exclusive bottleneck status).
+func AppServerNetwork(wl *rubbos.Workload, cores int) *Network {
+	m := wl.Means()
+	dbRT := m.QueryCPU + m.QueryWait + m.QueryDisk
+	return &Network{
+		Stations: []Station{
+			{Name: "app-cpu", Kind: Queueing, Demand: m.AppCPU, Servers: cores},
+			{Name: "app-dwell", Kind: Delay, Demand: m.AppWait},
+			{Name: "db-roundtrips", Kind: Delay, Demand: m.Queries * dbRT},
+		},
+	}
+}
+
+// DBServerNetwork models one MySQL server: its CPU (multi-core), its disk,
+// and a delay for the per-query protocol dwell.
+func DBServerNetwork(wl *rubbos.Workload, cores, diskChans int) *Network {
+	m := wl.Means()
+	stations := []Station{
+		{Name: "db-cpu", Kind: Queueing, Demand: m.QueryCPU, Servers: cores},
+		{Name: "db-dwell", Kind: Delay, Demand: m.QueryWait},
+	}
+	if m.QueryDisk > 0 {
+		if diskChans <= 0 {
+			diskChans = 1
+		}
+		stations = append(stations, Station{Name: "db-disk", Kind: Queueing, Demand: m.QueryDisk, Servers: diskChans})
+	}
+	return &Network{Stations: stations}
+}
+
+// SystemNetwork models the whole 3-tier deployment for one end-to-end
+// request: web CPU, app CPU, DB CPU and disk (each tier's capacity scaled
+// by its VM count via the multi-server approximation), plus the dwells and
+// the users' think time.
+func SystemNetwork(wl *rubbos.Workload, thinkTime float64, webVMs, appVMs, dbVMs, webCores, appCores, dbCores, diskChans int) *Network {
+	m := wl.Means()
+	stations := []Station{
+		{Name: "web-cpu", Kind: Queueing, Demand: m.WebCPU, Servers: webVMs * webCores},
+		{Name: "app-cpu", Kind: Queueing, Demand: m.AppCPU, Servers: appVMs * appCores},
+		{Name: "app-dwell", Kind: Delay, Demand: m.AppWait},
+		{Name: "db-cpu", Kind: Queueing, Demand: m.Queries * m.QueryCPU, Servers: dbVMs * dbCores},
+		{Name: "db-dwell", Kind: Delay, Demand: m.Queries * m.QueryWait},
+	}
+	if m.QueryDisk > 0 {
+		if diskChans <= 0 {
+			diskChans = 1
+		}
+		stations = append(stations, Station{
+			Name: "db-disk", Kind: Queueing,
+			Demand:  m.Queries * m.QueryDisk,
+			Servers: dbVMs * diskChans,
+		})
+	}
+	return &Network{Stations: stations, ThinkTime: thinkTime}
+}

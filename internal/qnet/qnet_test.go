@@ -1,0 +1,286 @@
+package qnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"conscale/internal/rubbos"
+)
+
+func single(demand float64, think float64) *Network {
+	return &Network{
+		Stations:  []Station{{Name: "s", Kind: Queueing, Demand: demand, Servers: 1}},
+		ThinkTime: think,
+	}
+}
+
+func TestSingleStationAtPopulationOne(t *testing.T) {
+	net := single(0.1, 0.9)
+	r := net.Solve(1)
+	// One customer, no queueing: X = 1/(Z+D) = 1/1.0.
+	if math.Abs(r.Throughput-1.0) > 1e-12 {
+		t.Fatalf("X(1) = %v, want 1", r.Throughput)
+	}
+	if math.Abs(r.ResponseTime-0.1) > 1e-12 {
+		t.Fatalf("R(1) = %v, want 0.1", r.ResponseTime)
+	}
+}
+
+func TestSingleStationSaturates(t *testing.T) {
+	net := single(0.1, 0.9)
+	r := net.Solve(100)
+	// Asymptote: X -> 1/D = 10.
+	if r.Throughput > 10+1e-9 {
+		t.Fatalf("X exceeded asymptote: %v", r.Throughput)
+	}
+	if r.Throughput < 9.9 {
+		t.Fatalf("X(100) = %v, want ~10", r.Throughput)
+	}
+	if r.Utilization[0] < 0.99 {
+		t.Fatalf("bottleneck util = %v", r.Utilization[0])
+	}
+}
+
+func TestThroughputMonotoneInPopulation(t *testing.T) {
+	net := &Network{
+		Stations: []Station{
+			{Name: "a", Kind: Queueing, Demand: 0.05, Servers: 1},
+			{Name: "b", Kind: Queueing, Demand: 0.02, Servers: 1},
+			{Name: "d", Kind: Delay, Demand: 0.1},
+		},
+		ThinkTime: 0.5,
+	}
+	results := net.SolveRange(50)
+	for i := 1; i < len(results); i++ {
+		if results[i].Throughput < results[i-1].Throughput-1e-12 {
+			t.Fatalf("throughput dropped at N=%d", results[i].N)
+		}
+	}
+}
+
+func TestAsymptoticBounds(t *testing.T) {
+	net := &Network{
+		Stations: []Station{
+			{Name: "a", Kind: Queueing, Demand: 0.08, Servers: 1},
+			{Name: "b", Kind: Queueing, Demand: 0.03, Servers: 1},
+		},
+		ThinkTime: 1,
+	}
+	sumD := 0.11
+	for _, r := range net.SolveRange(60) {
+		upper := math.Min(1/0.08, float64(r.N)/(1+sumD))
+		if r.Throughput > upper+1e-9 {
+			t.Fatalf("N=%d: X=%v exceeds bound %v", r.N, r.Throughput, upper)
+		}
+	}
+}
+
+func TestLittlesLawHolds(t *testing.T) {
+	net := &Network{
+		Stations: []Station{
+			{Name: "a", Kind: Queueing, Demand: 0.05, Servers: 1},
+			{Name: "d", Kind: Delay, Demand: 0.2},
+		},
+		ThinkTime: 0.75,
+	}
+	for _, r := range net.SolveRange(30) {
+		// N = X * (Z + R)
+		lhs := float64(r.N)
+		rhs := r.Throughput * (net.ThinkTime + r.ResponseTime)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("Little's law violated at N=%d: %v vs %v", r.N, lhs, rhs)
+		}
+	}
+}
+
+func TestMultiServerSeidmann(t *testing.T) {
+	one := &Network{Stations: []Station{{Name: "c", Kind: Queueing, Demand: 0.1, Servers: 1}}}
+	two := &Network{Stations: []Station{{Name: "c", Kind: Queueing, Demand: 0.1, Servers: 2}}}
+	if got := two.MaxThroughput(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("2-server max TP = %v, want 20", got)
+	}
+	if one.MaxThroughput() != 10 {
+		t.Fatalf("1-server max TP = %v", one.MaxThroughput())
+	}
+	// At high population the 2-server station doubles throughput.
+	r1, r2 := one.Solve(60), two.Solve(60)
+	if r2.Throughput < 1.9*r1.Throughput {
+		t.Fatalf("2-server X=%v vs 1-server %v", r2.Throughput, r1.Throughput)
+	}
+}
+
+func TestDelayStationNeverQueues(t *testing.T) {
+	net := &Network{Stations: []Station{{Name: "d", Kind: Delay, Demand: 0.5}}}
+	for _, r := range net.SolveRange(40) {
+		// Pure delay: X = N/D, R = D.
+		if math.Abs(r.ResponseTime-0.5) > 1e-12 {
+			t.Fatalf("delay response changed: %v", r.ResponseTime)
+		}
+		want := float64(r.N) / 0.5
+		if math.Abs(r.Throughput-want) > 1e-9 {
+			t.Fatalf("N=%d X=%v want %v", r.N, r.Throughput, want)
+		}
+	}
+}
+
+func TestKneePopulation(t *testing.T) {
+	// D = {0.1}, Z = 0.9: knee at (0.9+0.1)/0.1 = 10.
+	if got := single(0.1, 0.9).KneePopulation(); got != 10 {
+		t.Fatalf("knee = %d, want 10", got)
+	}
+}
+
+func TestSaturationPopulation(t *testing.T) {
+	net := single(0.1, 0.9)
+	n, ok := net.SaturationPopulation(0.95, 100)
+	if !ok {
+		t.Fatal("did not saturate")
+	}
+	// The 95% point of the MVA curve for this network is near the knee.
+	if n < 8 || n > 20 {
+		t.Fatalf("saturation population = %d", n)
+	}
+	if _, ok := net.SaturationPopulation(0.999999, 2); ok {
+		t.Fatal("saturated within an impossible limit")
+	}
+}
+
+func TestBottleneckSelection(t *testing.T) {
+	net := &Network{Stations: []Station{
+		{Name: "small", Kind: Queueing, Demand: 0.01, Servers: 1},
+		{Name: "big-but-parallel", Kind: Queueing, Demand: 0.08, Servers: 16},
+		{Name: "true-bottleneck", Kind: Queueing, Demand: 0.02, Servers: 1},
+		{Name: "delay", Kind: Delay, Demand: 10},
+	}}
+	if got := net.Bottleneck(); got != 2 {
+		t.Fatalf("bottleneck = %d, want 2", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Network{
+		{},
+		{Stations: []Station{{Kind: Queueing, Demand: -1, Servers: 1}}},
+		{Stations: []Station{{Kind: Queueing, Demand: 1, Servers: 0}}},
+		{Stations: []Station{{Kind: Delay, Demand: 1}}, ThinkTime: -1},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Fatalf("case %d validated", i)
+		}
+	}
+	good := single(0.1, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	single(0.1, 0).Solve(0)
+}
+
+// TestAppNetworkPredictsSweepKnee cross-validates the analytic model
+// against the paper's measured knees: the MVA saturation population of a
+// Tomcat server must land at the same place the discrete-event sweep
+// measures (Fig. 3: ~10 at 1 core, ~20 at 2 cores).
+func TestAppNetworkPredictsSweepKnee(t *testing.T) {
+	wl := rubbos.NewWorkload(rubbos.BrowseOnly, 1)
+	for _, tc := range []struct {
+		cores          int
+		wantLo, wantHi int
+	}{
+		{1, 7, 13},
+		{2, 14, 26},
+	} {
+		net := AppServerNetwork(wl, tc.cores)
+		n, ok := net.SaturationPopulation(0.95, 200)
+		if !ok {
+			t.Fatalf("cores=%d never saturated", tc.cores)
+		}
+		if n < tc.wantLo || n > tc.wantHi {
+			t.Fatalf("cores=%d: MVA knee=%d, want in [%d,%d]", tc.cores, n, tc.wantLo, tc.wantHi)
+		}
+	}
+}
+
+func TestDBNetworkKneeShiftsWithMix(t *testing.T) {
+	browse := DBServerNetwork(rubbos.NewWorkload(rubbos.BrowseOnly, 1), 1, 1)
+	rw := DBServerNetwork(rubbos.NewWorkload(rubbos.ReadWrite, 1), 1, 1)
+	nb, ok1 := browse.SaturationPopulation(0.95, 200)
+	nr, ok2 := rw.SaturationPopulation(0.95, 200)
+	if !ok1 || !ok2 {
+		t.Fatal("no saturation")
+	}
+	if nr >= nb {
+		t.Fatalf("I/O-intensive knee (%d) should be below browse-only (%d)", nr, nb)
+	}
+	// Paper Fig. 7a/f: ~10 vs ~5.
+	if nb < 7 || nb > 14 {
+		t.Fatalf("browse knee = %d", nb)
+	}
+	if nr < 3 || nr > 9 {
+		t.Fatalf("read-write knee = %d", nr)
+	}
+}
+
+func TestSystemNetworkScalesWithVMs(t *testing.T) {
+	wl := rubbos.NewWorkload(rubbos.BrowseOnly, 1)
+	one := SystemNetwork(wl, 3, 1, 1, 1, 1, 1, 1, 1)
+	three := SystemNetwork(wl, 3, 1, 3, 2, 1, 1, 1, 1)
+	if three.MaxThroughput() < 2.5*one.MaxThroughput() {
+		t.Fatalf("3-Tomcat system max TP %v vs 1-Tomcat %v",
+			three.MaxThroughput(), one.MaxThroughput())
+	}
+}
+
+// Property: MVA throughput never exceeds either asymptotic bound for any
+// valid single-station configuration.
+func TestQuickBoundsHold(t *testing.T) {
+	f := func(dRaw, zRaw uint16, nRaw uint8) bool {
+		d := float64(dRaw%1000+1) / 10000 // (0, 0.1]
+		z := float64(zRaw%10000) / 1000   // [0, 10)
+		n := int(nRaw%60) + 1
+		net := single(d, z)
+		r := net.Solve(n)
+		upper := math.Min(1/d, float64(n)/(z+d))
+		return r.Throughput <= upper+1e-9 && r.Throughput > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilisation is bounded by 1 and increases with population.
+func TestQuickUtilisationBounded(t *testing.T) {
+	f := func(dRaw uint16, nRaw uint8) bool {
+		d := float64(dRaw%1000+1) / 10000
+		n := int(nRaw%40) + 1
+		prev := 0.0
+		for _, r := range single(d, 0.05).SolveRange(n) {
+			u := r.Utilization[0]
+			if u < prev-1e-9 || u > 1+1e-9 {
+				return false
+			}
+			prev = u
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolveRange(b *testing.B) {
+	wl := rubbos.NewWorkload(rubbos.BrowseOnly, 1)
+	net := SystemNetwork(wl, 3, 1, 3, 2, 1, 1, 1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = net.SolveRange(200)
+	}
+}

@@ -1,0 +1,5 @@
+package rubbos
+
+import "math"
+
+func mathPow(a, b float64) float64 { return math.Pow(a, b) }

@@ -1,0 +1,218 @@
+package rubbos
+
+import (
+	"math"
+	"testing"
+
+	"conscale/internal/rng"
+)
+
+func TestBrowseOnlyHas24MinusWriteServlets(t *testing.T) {
+	w := NewWorkload(BrowseOnly, 1)
+	for _, s := range w.Servlets {
+		if s.Write {
+			t.Fatalf("browse-only mix contains write servlet %s", s.Name)
+		}
+	}
+	if len(w.Servlets) < 15 {
+		t.Fatalf("browse-only mix has only %d servlets", len(w.Servlets))
+	}
+}
+
+func TestReadWriteIncludesAll24(t *testing.T) {
+	w := NewWorkload(ReadWrite, 1)
+	if len(w.Servlets) != 24 {
+		t.Fatalf("read-write mix has %d servlets, want 24", len(w.Servlets))
+	}
+	writes := 0
+	for _, s := range w.Servlets {
+		if s.Write {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Fatal("read-write mix has no write servlets")
+	}
+}
+
+func TestCalibrationHitsTargets(t *testing.T) {
+	for _, mix := range []Mix{BrowseOnly, ReadWrite} {
+		m := NewWorkload(mix, 1).Means()
+		if math.Abs(m.AppCPU-targetAppCPU)/targetAppCPU > 1e-9 {
+			t.Fatalf("%v AppCPU mean = %v, want %v", mix, m.AppCPU, targetAppCPU)
+		}
+		if math.Abs(m.AppWait-targetAppWait)/targetAppWait > 1e-9 {
+			t.Fatalf("%v AppWait mean = %v", mix, m.AppWait)
+		}
+		if math.Abs(m.QueryCPU-targetQueryCPU)/targetQueryCPU > 1e-9 {
+			t.Fatalf("%v QueryCPU mean = %v", mix, m.QueryCPU)
+		}
+		if math.Abs(m.QueryWait-targetQueryWait)/targetQueryWait > 1e-9 {
+			t.Fatalf("%v QueryWait mean = %v", mix, m.QueryWait)
+		}
+	}
+}
+
+func TestBrowseOnlyHasNoDisk(t *testing.T) {
+	m := NewWorkload(BrowseOnly, 1).Means()
+	if m.QueryDisk != 0 {
+		t.Fatalf("browse-only QueryDisk mean = %v, want 0", m.QueryDisk)
+	}
+}
+
+func TestReadWriteDiskCalibrated(t *testing.T) {
+	m := NewWorkload(ReadWrite, 1).Means()
+	if math.Abs(m.QueryDisk-targetQueryDiskRW)/targetQueryDiskRW > 1e-9 {
+		t.Fatalf("read-write QueryDisk mean = %v, want %v", m.QueryDisk, targetQueryDiskRW)
+	}
+	// Disk demand must be concentrated on write servlets.
+	w := NewWorkload(ReadWrite, 1)
+	for _, s := range w.Servlets {
+		if !s.Write && s.QueryDisk != 0 {
+			t.Fatalf("read servlet %s has disk demand %v", s.Name, s.QueryDisk)
+		}
+		if s.Write && s.QueryDisk == 0 {
+			t.Fatalf("write servlet %s has no disk demand", s.Name)
+		}
+	}
+}
+
+func TestPredictedDBOptimalBrowse(t *testing.T) {
+	got := NewWorkload(BrowseOnly, 1).PredictedDBOptimal()
+	// (0.22 + 1.58) / 0.22 ≈ 8.2 threads per core to saturate the CPU
+	// analytically; demand variability pushes the measured knee to ~10
+	// (the paper's Fig. 7a value), which the sweep tests verify.
+	if math.Abs(got-8.2) > 0.3 {
+		t.Fatalf("PredictedDBOptimal = %v, want ~8.2", got)
+	}
+}
+
+func TestPredictedDBOptimalReadWriteLower(t *testing.T) {
+	browse := NewWorkload(BrowseOnly, 1).PredictedDBOptimal()
+	rw := NewWorkload(ReadWrite, 1).PredictedDBOptimal()
+	if rw >= browse {
+		t.Fatalf("read-write optimal (%v) should be below browse-only (%v)", rw, browse)
+	}
+	if rw < 2.2 || rw > 6 {
+		t.Fatalf("read-write optimal = %v, want low (paper Fig. 7f knee: 5)", rw)
+	}
+}
+
+func TestPredictedAppOptimal(t *testing.T) {
+	w := NewWorkload(BrowseOnly, 1)
+	m := w.Means()
+	dbRT := m.QueryCPU + m.QueryWait
+	got := w.PredictedAppOptimal(dbRT)
+	// (0.95 + 2.5 + 2*1.8) / 0.95 ≈ 7.4 per core analytically; measured
+	// knee lands at ~10 (Fig. 3a).
+	if got < 6 || got > 10 {
+		t.Fatalf("PredictedAppOptimal = %v, want ~7.4", got)
+	}
+}
+
+func TestEnlargedDatasetLowersAppOptimal(t *testing.T) {
+	orig := NewWorkload(BrowseOnly, 1)
+	big := NewWorkload(BrowseOnly, 2)
+	dbRT := func(w *Workload) float64 {
+		m := w.Means()
+		return m.QueryCPU + m.QueryWait
+	}
+	o := orig.PredictedAppOptimal(dbRT(orig))
+	b := big.PredictedAppOptimal(dbRT(big))
+	if b >= o {
+		t.Fatalf("enlarged dataset should lower app optimal: %v -> %v", o, b)
+	}
+	// Paper Fig. 7b/e: 20 -> 15 on 2 cores, i.e. a ~25% drop.
+	drop := (o - b) / o
+	if drop < 0.10 || drop > 0.45 {
+		t.Fatalf("enlarged-dataset drop = %.0f%%, want ~25%%", drop*100)
+	}
+}
+
+func TestReducedDatasetRaisesAppOptimal(t *testing.T) {
+	orig := NewWorkload(BrowseOnly, 1)
+	small := NewWorkload(BrowseOnly, 0.5)
+	dbRT := func(w *Workload) float64 {
+		m := w.Means()
+		return m.QueryCPU + m.QueryWait
+	}
+	o := orig.PredictedAppOptimal(dbRT(orig))
+	s := small.PredictedAppOptimal(dbRT(small))
+	if s <= o {
+		t.Fatalf("reduced dataset should raise app optimal: %v -> %v", o, s)
+	}
+	// Paper Fig. 11: trained 20 -> new optimal 30, a ~50% rise; accept a
+	// broad band since the analytic model is approximate.
+	rise := (s - o) / o
+	if rise < 0.15 {
+		t.Fatalf("reduced-dataset rise = %.0f%%, want noticeable", rise*100)
+	}
+}
+
+func TestDatasetScaleMonotone(t *testing.T) {
+	prev := 0.0
+	for _, scale := range []float64{0.5, 1, 2, 4} {
+		m := NewWorkload(BrowseOnly, scale).Means()
+		if m.AppCPU <= prev {
+			t.Fatalf("AppCPU not increasing with dataset scale at %v", scale)
+		}
+		prev = m.AppCPU
+	}
+}
+
+func TestNonPositiveScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewWorkload(BrowseOnly, 0)
+}
+
+func TestPickDistribution(t *testing.T) {
+	w := NewWorkload(BrowseOnly, 1)
+	rnd := rng.New(5)
+	counts := make(map[string]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[w.Pick(rnd).Name]++
+	}
+	// ViewStory (weight 16) should be drawn more than BrowseRegions (3).
+	if counts["ViewStory"] <= counts["BrowseRegions"] {
+		t.Fatalf("weighting broken: ViewStory=%d BrowseRegions=%d",
+			counts["ViewStory"], counts["BrowseRegions"])
+	}
+	var totalWeight float64
+	for _, s := range w.Servlets {
+		totalWeight += s.Weight
+	}
+	for _, s := range w.Servlets {
+		want := s.Weight / totalWeight * n
+		got := float64(counts[s.Name])
+		if math.Abs(got-want) > want*0.15+30 {
+			t.Fatalf("servlet %s drawn %v times, want ~%v", s.Name, got, want)
+		}
+	}
+}
+
+func TestQueriesPositive(t *testing.T) {
+	for _, mix := range []Mix{BrowseOnly, ReadWrite} {
+		for _, s := range NewWorkload(mix, 1).Servlets {
+			if s.Queries < 1 || s.Queries > 5 {
+				t.Fatalf("servlet %s has %d queries", s.Name, s.Queries)
+			}
+			if s.AppCPU <= 0 || s.QueryCPU <= 0 || s.QueryWait <= 0 || s.WebCPU <= 0 {
+				t.Fatalf("servlet %s has non-positive demand", s.Name)
+			}
+		}
+	}
+}
+
+func TestMixString(t *testing.T) {
+	if BrowseOnly.String() != "browse-only" || ReadWrite.String() != "read-write" {
+		t.Fatal("Mix.String wrong")
+	}
+	if Mix(9).String() == "" {
+		t.Fatal("unknown mix should still format")
+	}
+}

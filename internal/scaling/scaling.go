@@ -1,0 +1,626 @@
+// Package scaling implements the three scaling frameworks the paper
+// evaluates (Section IV-V):
+//
+//   - EC2: hardware-only threshold auto-scaling (the EC2-AutoScaling
+//     baseline) — adds/removes VMs on CPU thresholds, never touches soft
+//     resources.
+//   - DCM: the concurrency-aware baseline [Wang et al., TPDS 2018] — the
+//     same hardware scaling plus soft-resource reallocation from an
+//     offline-trained profile, which goes stale when the runtime
+//     environment drifts from the training conditions.
+//   - ConScale: the paper's framework — the same hardware scaling plus
+//     fast online soft-resource adaption driven by the SCT model over the
+//     Metric Warehouse (Fig. 8).
+//
+// All three share the threshold engine ("quick start but slow turn off":
+// scale-out fires after a short sustained breach, scale-in only after a
+// long quiet period) so the comparison isolates soft-resource handling.
+package scaling
+
+import (
+	"fmt"
+	"math"
+
+	"conscale/internal/cluster"
+	"conscale/internal/des"
+	"conscale/internal/metrics"
+	"conscale/internal/sct"
+	"conscale/internal/server"
+	"conscale/internal/sla"
+)
+
+// Mode selects the framework behaviour.
+type Mode int
+
+// The three frameworks.
+const (
+	EC2 Mode = iota
+	DCM
+	ConScale
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case EC2:
+		return "ec2-autoscaling"
+	case DCM:
+		return "dcm"
+	case ConScale:
+		return "conscale"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// DCMProfile is the offline-trained soft-resource recommendation the DCM
+// baseline applies at every scaling action: a fixed per-server Tomcat
+// thread pool and a fixed total DB-tier concurrency budget, both derived
+// from a training run under the training-time workload and system state.
+type DCMProfile struct {
+	AppThreads int // per app server
+	DBTotal    int // total DB concurrency budget across the DB tier
+}
+
+// Config tunes a framework.
+type Config struct {
+	Mode Mode
+
+	// Threshold engine (the EC2-AutoScaling rule: scale when tier CPU
+	// exceeds High; paper uses 80%).
+	High float64
+	Low  float64
+	// CheckEvery is the decision interval (1 s monitoring).
+	CheckEvery des.Time
+	// SustainOut/SustainIn are the consecutive breaches required before
+	// acting — "quick start" (short) vs "slow turn off" (long).
+	SustainOut int
+	SustainIn  int
+	// OutCooldown/InCooldown block repeat actions per tier.
+	OutCooldown des.Time
+	InCooldown  des.Time
+
+	// SCT estimator settings (ConScale only).
+	SCT sct.Config
+	// EstimateEvery is how often the Optimal Concurrency Estimator
+	// refreshes its cached per-server estimates (asynchronous workflow of
+	// Fig. 8).
+	EstimateEvery des.Time
+	// AdaptEvery is how often ConScale re-applies its soft-resource
+	// recommendation outside scaling events, so an improved estimate
+	// (e.g. after a system-state change) takes effect without waiting
+	// for the next VM action.
+	AdaptEvery des.Time
+
+	// DCM profile (DCM only).
+	Profile DCMProfile
+
+	// UseQupper makes ConScale recommend the upper bound of the rational
+	// range instead of the paper's Qlower — the A2 ablation: same maximum
+	// throughput, higher operating latency.
+	UseQupper bool
+
+	// SLATarget (seconds), with SLAPercentile and SLAWindow, arms an
+	// additional QoS trigger: when the web tier's windowed tail latency
+	// exceeds the target for SustainOut consecutive checks, the busiest
+	// tier scales out even if no CPU crossed the threshold — catching the
+	// under-allocation regime where response times burn while hardware
+	// idles (the failure mode of stale soft-resource settings).
+	SLATarget     float64
+	SLAPercentile float64
+	SLAWindow     des.Time
+
+	// VerticalDBMaxCores enables vertical scaling of the DB tier (the
+	// scale-up strategy of paper Section III-C.1): when the DB tier needs
+	// more capacity, an existing VM gains a vCPU (up to this limit)
+	// before any new VM is added. The SCT model tracks the resulting
+	// optimal-concurrency doubling (Fig. 7a/d) online.
+	VerticalDBMaxCores int
+
+	// Soft-resource safety clamps.
+	MinThreads, MaxThreads int
+	MinConns, MaxConns     int
+
+	// WarehouseRetention bounds metric history.
+	WarehouseRetention des.Time
+}
+
+// DefaultConfig returns the evaluation settings shared by all frameworks.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:               mode,
+		High:               0.80,
+		Low:                0.30,
+		CheckEvery:         des.Second,
+		SustainOut:         3,
+		SustainIn:          45,
+		OutCooldown:        25 * des.Second,
+		InCooldown:         60 * des.Second,
+		SCT:                sct.DefaultConfig(),
+		EstimateEvery:      5 * des.Second,
+		AdaptEvery:         15 * des.Second,
+		MinThreads:         4,
+		MaxThreads:         400,
+		MinConns:           2,
+		MaxConns:           200,
+		WarehouseRetention: 400 * des.Second,
+	}
+}
+
+// EventKind labels a scaling-log entry.
+type EventKind int
+
+// Event kinds.
+const (
+	ScaleOut EventKind = iota
+	ScaleIn
+	SoftAdapt
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case ScaleOut:
+		return "scale-out"
+	case ScaleIn:
+		return "scale-in"
+	case SoftAdapt:
+		return "soft-adapt"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event records one scaling action for the evaluation timelines.
+type Event struct {
+	Time   des.Time
+	Kind   EventKind
+	Tier   cluster.Tier
+	Detail string
+}
+
+// Framework drives one cluster with one scaling strategy.
+type Framework struct {
+	cfg Config
+	c   *cluster.Cluster
+	w   *metrics.Warehouse
+	est *sct.Estimator
+
+	above, below   map[cluster.Tier]int
+	lastOut        map[cluster.Tier]des.Time
+	lastIn         map[cluster.Tier]des.Time
+	pendingScale   map[cluster.Tier]bool
+	cachedEstimate map[string]timedEstimate
+	lastEscape     map[cluster.Tier]des.Time
+
+	slaTail  *sla.WindowTail
+	slaAbove int
+	slaFed   des.Time
+
+	events []Event
+
+	collector *des.Ticker
+	decider   *des.Ticker
+	estimator *des.Ticker
+	adapter   *des.Ticker
+}
+
+// New attaches a framework to a cluster. Call Start to begin control.
+func New(c *cluster.Cluster, cfg Config) *Framework {
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = des.Second
+	}
+	if cfg.High <= 0 {
+		cfg.High = 0.8
+	}
+	if cfg.WarehouseRetention <= 0 {
+		cfg.WarehouseRetention = 400 * des.Second
+	}
+	if cfg.EstimateEvery <= 0 {
+		cfg.EstimateEvery = 5 * des.Second
+	}
+	var tail *sla.WindowTail
+	if cfg.SLATarget > 0 {
+		if cfg.SLAPercentile <= 0 {
+			cfg.SLAPercentile = 95
+		}
+		if cfg.SLAWindow <= 0 {
+			cfg.SLAWindow = 10 * des.Second
+		}
+		tail = sla.NewWindowTail(cfg.SLAWindow)
+	}
+	return &Framework{
+		cfg:            cfg,
+		slaTail:        tail,
+		c:              c,
+		w:              metrics.NewWarehouse(cfg.WarehouseRetention),
+		est:            sct.New(cfg.SCT),
+		above:          make(map[cluster.Tier]int),
+		below:          make(map[cluster.Tier]int),
+		lastOut:        make(map[cluster.Tier]des.Time),
+		lastIn:         make(map[cluster.Tier]des.Time),
+		pendingScale:   make(map[cluster.Tier]bool),
+		cachedEstimate: make(map[string]timedEstimate),
+		lastEscape:     make(map[cluster.Tier]des.Time),
+	}
+}
+
+// timedEstimate stamps an SCT estimate with its creation time so stale
+// views of a past regime are not re-applied after the data that produced
+// them has aged out of the collection window.
+type timedEstimate struct {
+	est sct.Estimate
+	at  des.Time
+}
+
+// Warehouse exposes the metric warehouse (figures, tests).
+func (f *Framework) Warehouse() *metrics.Warehouse { return f.w }
+
+// Events returns the scaling log.
+func (f *Framework) Events() []Event { return f.events }
+
+// Mode returns the framework's mode.
+func (f *Framework) Mode() Mode { return f.cfg.Mode }
+
+// Estimates returns the estimator's current per-server view (ConScale).
+func (f *Framework) Estimates() map[string]sct.Estimate {
+	out := make(map[string]sct.Estimate, len(f.cachedEstimate))
+	for k, v := range f.cachedEstimate {
+		out[k] = v.est
+	}
+	return out
+}
+
+// Start arms the monitoring, estimation, and decision loops.
+func (f *Framework) Start() {
+	eng := f.c.Eng
+	f.collector = eng.Every(des.Second, func() { f.c.CollectInto(f.w) })
+	f.decider = eng.Every(f.cfg.CheckEvery, f.decide)
+	if f.cfg.Mode == ConScale {
+		f.estimator = eng.Every(f.cfg.EstimateEvery, f.refreshEstimates)
+		if f.cfg.AdaptEvery > 0 {
+			f.adapter = eng.Every(f.cfg.AdaptEvery, f.applyConScale)
+		}
+	}
+}
+
+// Stop disarms the loops (end of experiment).
+func (f *Framework) Stop() {
+	for _, t := range []*des.Ticker{f.collector, f.decider, f.estimator, f.adapter} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+}
+
+// decide applies the threshold rule to the app and DB tiers, plus the
+// SLA trigger when configured.
+func (f *Framework) decide() {
+	for _, tier := range []cluster.Tier{cluster.App, cluster.DB} {
+		f.decideTier(tier)
+	}
+	f.decideSLA()
+}
+
+// decideSLA feeds the web tier's measured response times into the sliding
+// tail tracker and scales the busiest tier when the tail breaches the
+// target. The web tier's server-side RT covers the whole downstream path,
+// so it approximates the client-visible latency without client telemetry.
+func (f *Framework) decideSLA() {
+	if f.slaTail == nil {
+		return
+	}
+	now := f.c.Eng.Now()
+	for _, srv := range f.c.Servers(cluster.Web) {
+		for _, w := range f.w.FineSince(srv.Name(), f.slaFed) {
+			if w.Completions > 0 && !math.IsNaN(w.RT) {
+				f.slaTail.Add(w.Start, w.RT)
+			}
+		}
+	}
+	f.slaFed = now
+	tail := f.slaTail.Percentile(now, f.cfg.SLAPercentile)
+	if math.IsNaN(tail) {
+		return
+	}
+	if tail > f.cfg.SLATarget {
+		f.slaAbove++
+	} else {
+		f.slaAbove = 0
+		return
+	}
+	if f.slaAbove < f.cfg.SustainOut {
+		return
+	}
+	// Scale the busiest tier (CPU or disk), unless it is already scaling
+	// or cooling down.
+	tier := cluster.App
+	if f.c.TierCPU(cluster.DB) > f.c.TierCPU(cluster.App) {
+		tier = cluster.DB
+	}
+	if f.pendingScale[tier] || now-f.lastOut[tier] < f.cfg.OutCooldown {
+		return
+	}
+	f.slaAbove = 0
+	f.log(Event{Time: now, Kind: ScaleOut, Tier: tier,
+		Detail: fmt.Sprintf("sla trigger: p%.0f=%.0fms > %.0fms", f.cfg.SLAPercentile, tail*1000, f.cfg.SLATarget*1000)})
+	f.scaleOut(tier)
+}
+
+func (f *Framework) decideTier(tier cluster.Tier) {
+	now := f.c.Eng.Now()
+	cpu := f.c.TierCPU(tier)
+	if cpu > f.cfg.High {
+		f.above[tier]++
+		f.below[tier] = 0
+	} else if cpu < f.cfg.Low {
+		f.below[tier]++
+		f.above[tier] = 0
+	} else {
+		f.above[tier] = 0
+		f.below[tier] = 0
+	}
+
+	if f.above[tier] >= f.cfg.SustainOut &&
+		!f.pendingScale[tier] &&
+		now-f.lastOut[tier] >= f.cfg.OutCooldown {
+		f.scaleOut(tier)
+		return
+	}
+	if f.below[tier] >= f.cfg.SustainIn &&
+		!f.pendingScale[tier] &&
+		now-f.lastIn[tier] >= f.cfg.InCooldown &&
+		f.c.ReadyCount(tier) > 1 {
+		f.scaleIn(tier)
+	}
+}
+
+func (f *Framework) scaleOut(tier cluster.Tier) {
+	now := f.c.Eng.Now()
+	// Vertical scaling first, when enabled for the DB tier: adding a
+	// vCPU to a live VM needs no data replication or preparation period.
+	if tier == cluster.DB && f.cfg.VerticalDBMaxCores > 0 {
+		for _, srv := range f.c.Servers(cluster.DB) {
+			if srv.Draining() || srv.Cores() >= f.cfg.VerticalDBMaxCores {
+				continue
+			}
+			srv.SetCores(srv.Cores() + 1)
+			f.lastOut[tier] = now
+			f.above[tier] = 0
+			f.log(Event{Time: now, Kind: ScaleOut, Tier: tier,
+				Detail: fmt.Sprintf("scale-up %s to %d cores", srv.Name(), srv.Cores())})
+			f.afterHardwareScaling(tier)
+			return
+		}
+	}
+	f.pendingScale[tier] = true
+	launched := f.c.AddVM(tier, func(srv *server.Server) {
+		ready := f.c.Eng.Now()
+		f.pendingScale[tier] = false
+		f.lastOut[tier] = ready
+		f.log(Event{Time: ready, Kind: ScaleOut, Tier: tier, Detail: srv.Name() + " ready"})
+		f.afterHardwareScaling(tier)
+	})
+	if !launched { // tier at capacity
+		f.pendingScale[tier] = false
+		f.lastOut[tier] = now // back off instead of retrying every tick
+		return
+	}
+	f.above[tier] = 0
+}
+
+func (f *Framework) scaleIn(tier cluster.Tier) {
+	now := f.c.Eng.Now()
+	name := f.c.RemoveVM(tier)
+	if name == "" {
+		return
+	}
+	f.lastIn[tier] = now
+	f.above[tier], f.below[tier] = 0, 0
+	f.w.Forget(name)
+	f.log(Event{Time: now, Kind: ScaleIn, Tier: tier, Detail: name})
+	f.afterHardwareScaling(tier)
+}
+
+func (f *Framework) log(e Event) { f.events = append(f.events, e) }
+
+// afterHardwareScaling is the second step of a scaling activity: DCM and
+// ConScale adapt soft resources; EC2 does nothing.
+func (f *Framework) afterHardwareScaling(tier cluster.Tier) {
+	switch f.cfg.Mode {
+	case EC2:
+		return
+	case DCM:
+		f.applyDCM()
+	case ConScale:
+		f.applyConScale()
+	}
+}
+
+// applyDCM installs the offline-trained profile: fixed per-server app
+// threads, DB budget split across app servers.
+func (f *Framework) applyDCM() {
+	now := f.c.Eng.Now()
+	p := f.cfg.Profile
+	if p.AppThreads <= 0 || p.DBTotal <= 0 {
+		return
+	}
+	apps := f.c.ReadyCount(cluster.App)
+	if apps == 0 {
+		return
+	}
+	perApp := clamp(ceilDiv(p.DBTotal, apps), f.cfg.MinConns, f.cfg.MaxConns)
+	threads := clamp(p.AppThreads, f.cfg.MinThreads, f.cfg.MaxThreads)
+	f.c.SetAppThreads(threads)
+	f.c.SetDBConns(perApp)
+	f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.App,
+		Detail: fmt.Sprintf("dcm profile: threads=%d dbconns=%d", threads, perApp)})
+}
+
+// refreshEstimates re-runs the SCT model over each server's recent window
+// (the asynchronous Optimal Concurrency Estimator of Fig. 8) and applies
+// the under-allocation escape.
+func (f *Framework) refreshEstimates() {
+	now := f.c.Eng.Now()
+	since := now - f.est.Config().CollectionWindow
+	for _, tier := range []cluster.Tier{cluster.App, cluster.DB} {
+		for _, srv := range f.c.Servers(tier) {
+			if srv.Draining() {
+				continue
+			}
+			est, ok := f.est.Estimate(f.w.FineSince(srv.Name(), since))
+			if !ok {
+				continue
+			}
+			f.cachedEstimate[srv.Name()] = timedEstimate{est: est, at: now}
+		}
+	}
+	f.escapeUnderAllocation(now)
+}
+
+// escapeUnderAllocation detects the under-allocation effect ([12] in the
+// paper): requests queue at a tier while its critical hardware resource
+// idles below the scale-out threshold, which means the current soft
+// resource — not hardware — is the binding constraint and the SCT curve
+// cannot reveal a higher optimum because concurrency is pinned. The
+// controller widens the allocation multiplicatively until the curve's
+// descending stage becomes observable again.
+func (f *Framework) escapeUnderAllocation(now des.Time) {
+	// App tier: accept queues grow while NO app server's CPU is near the
+	// threshold — if any server is hardware-saturated the queues are the
+	// hardware's fault and hardware scaling (not wider pools) is the fix.
+	queued, maxAppCPU := 0, 0.0
+	for _, srv := range f.c.Servers(cluster.App) {
+		if srv.Draining() {
+			continue
+		}
+		queued += srv.QueueLen()
+		if u := srv.CPUUtilization(); u > maxAppCPU {
+			maxAppCPU = u
+		}
+	}
+	_, threads, conns := f.c.SoftResources()
+	if maxAppCPU < f.cfg.High && queued > 2*threads {
+		grown := clamp(threads*3/2, f.cfg.MinThreads, f.cfg.MaxThreads)
+		if grown > threads {
+			f.c.SetAppThreads(grown)
+			f.lastEscape[cluster.App] = now
+			f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.App,
+				Detail: fmt.Sprintf("under-allocation escape: app threads %d->%d", threads, grown)})
+		}
+	}
+	// DB connections: app threads pile up waiting for the pool while the
+	// DB tier's critical resources (CPU and disk) idle.
+	maxDBBusy := 0.0
+	for _, srv := range f.c.Servers(cluster.DB) {
+		if srv.Draining() {
+			continue
+		}
+		busy := srv.CPUUtilization()
+		if d := srv.DiskUtilization(); d > busy {
+			busy = d
+		}
+		if busy > maxDBBusy {
+			maxDBBusy = busy
+		}
+	}
+	waiting := 0
+	for _, srv := range f.c.Servers(cluster.App) {
+		if p := srv.CallPool(); p != nil {
+			waiting += p.Waiting()
+		}
+	}
+	if maxDBBusy < f.cfg.High && waiting > 2*conns {
+		grown := clamp(conns*3/2, f.cfg.MinConns, f.cfg.MaxConns)
+		if grown > conns {
+			f.c.SetDBConns(grown)
+			f.lastEscape[cluster.DB] = now
+			f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.DB,
+				Detail: fmt.Sprintf("under-allocation escape: db conns %d->%d", conns, grown)})
+		}
+	}
+}
+
+// applyConScale turns the cached SCT estimates into soft-resource
+// settings: the app tier gets the estimated per-server optimal thread
+// pool; the DB tier's total optimal concurrency (per-server Qlower × ready
+// servers) is split across the app servers' connection pools. Only
+// saturated estimates (descending stage witnessed) may *tighten* an
+// allocation — an ascending-only curve proves nothing about the optimum
+// being lower than the current setting.
+func (f *Framework) applyConScale() {
+	f.refreshEstimates()
+	now := f.c.Eng.Now()
+	_, curThreads, curConns := f.c.SoftResources()
+
+	// A recent escape means the current estimates under-represent the
+	// tier's true optimum (the pool was pinning concurrency); hold off
+	// tightening until fresh post-escape data arrives.
+	escapeHold := 30 * des.Second
+	if appOpt, saturated, ok := f.tierOptimal(cluster.App); ok {
+		threads := clamp(appOpt, f.cfg.MinThreads, f.cfg.MaxThreads)
+		recentEscape := now-f.lastEscape[cluster.App] < escapeHold && f.lastEscape[cluster.App] > 0
+		if threads >= curThreads || (saturated && !recentEscape) {
+			f.c.SetAppThreads(threads)
+			f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.App,
+				Detail: fmt.Sprintf("sct: app threads=%d", threads)})
+		}
+	}
+	if dbOpt, saturated, ok := f.tierOptimal(cluster.DB); ok {
+		apps := f.c.ReadyCount(cluster.App)
+		dbs := f.c.ReadyCount(cluster.DB)
+		if apps > 0 && dbs > 0 {
+			perApp := clamp(ceilDiv(dbOpt*dbs, apps), f.cfg.MinConns, f.cfg.MaxConns)
+			recentEscape := now-f.lastEscape[cluster.DB] < escapeHold && f.lastEscape[cluster.DB] > 0
+			if perApp >= curConns || (saturated && !recentEscape) {
+				f.c.SetDBConns(perApp)
+				f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.DB,
+					Detail: fmt.Sprintf("sct: db optimal=%d/server -> conns=%d/app", dbOpt, perApp)})
+			}
+		}
+	}
+}
+
+// tierOptimal aggregates the cached per-server estimates of a tier into a
+// single optimal concurrency (mean of valid estimates, rounded). saturated
+// reports whether a majority of contributing estimates witnessed the
+// descending stage.
+func (f *Framework) tierOptimal(tier cluster.Tier) (opt int, saturated, ok bool) {
+	now := f.c.Eng.Now()
+	maxAge := f.est.Config().CollectionWindow
+	sum, n, sat := 0.0, 0, 0
+	for _, srv := range f.c.Servers(tier) {
+		if srv.Draining() {
+			continue
+		}
+		te, found := f.cachedEstimate[srv.Name()]
+		if !found || now-te.at > maxAge {
+			continue // stale: describes a regime the window no longer covers
+		}
+		v := te.est.Optimal()
+		if f.cfg.UseQupper && te.est.Qupper > v {
+			v = te.est.Qupper
+		}
+		sum += float64(v)
+		n++
+		if te.est.Saturated {
+			sat++
+		}
+	}
+	if n == 0 {
+		return 0, false, false
+	}
+	return int(math.Round(sum / float64(n))), sat*2 > n, true
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"conscale/internal/des"
+	"conscale/internal/metrics"
+	"conscale/internal/rng"
+)
+
+func mathPow(a, b float64) float64 { return math.Pow(a, b) }
+
+// Service accepts requests. Both *Server and the load balancer satisfy it,
+// so any tier can sit behind a balancer transparently.
+type Service interface {
+	// Submit delivers a request. The service must eventually call
+	// req.Done exactly once.
+	Submit(req *Request)
+}
+
+// Request is one unit of work travelling through a tier. Done is invoked
+// exactly once with the outcome; OK is false when the request was rejected
+// (accept-queue overflow) or failed downstream.
+type Request struct {
+	// Phases is the visit program executed while holding a server thread.
+	Phases []Phase
+	// Done receives the outcome.
+	Done func(ok bool)
+
+	arrival des.Time
+	phase   int
+	failed  bool
+}
+
+// PhaseKind enumerates the step types of a visit program.
+type PhaseKind int
+
+// Phase kinds: CPU burst, disk burst, pure dwell (network/protocol wait
+// that holds the thread but no hardware resource), and a synchronous
+// downstream call.
+const (
+	PhaseCPU PhaseKind = iota
+	PhaseDisk
+	PhaseSleep
+	PhaseCall
+)
+
+// Phase is one step of a visit program.
+type Phase struct {
+	Kind     PhaseKind
+	Duration des.Time // CPU/Disk/Sleep service demand (seconds)
+	Call     *OutCall // for PhaseCall
+}
+
+// OutCall describes a synchronous downstream call: the calling thread is
+// held for its whole duration (thread-based RPC). If Pool is non-nil a
+// connection is acquired first — this is how the app tier's DB connection
+// pool throttles DB-tier concurrency. UseServerPool instead acquires from
+// the executing server's own outbound pool (set with SetCallPool), which is
+// how upstream tiers can build call phases without knowing which backend
+// the balancer will pick.
+type OutCall struct {
+	Target        Service
+	Pool          *ConnPool
+	UseServerPool bool
+	// Build produces the downstream request's phases at call time, so
+	// per-request randomness stays with the originating request.
+	Build func() []Phase
+}
+
+// Config holds a server's static and soft-resource configuration.
+type Config struct {
+	Name        string
+	Cores       int
+	DiskChans   int // 0 means no disk
+	ThreadLimit int // soft resource: max concurrently processing requests
+	AcceptQueue int // pending slots beyond the thread pool; overflow rejects
+	Overhead    Overhead
+	DemandCV    float64  // lognormal sigma for per-burst demand jitter (0 = deterministic)
+	Window      des.Time // fine-grained measurement window (0 = 50 ms)
+	UtilWindow  des.Time // CPU utilization window (0 = 1 s)
+}
+
+// Server is one component server (VM) of the n-tier system.
+type Server struct {
+	eng  *des.Engine
+	rnd  *rng.Source
+	name string
+
+	cpu  *ProcPool
+	disk *ProcPool
+
+	threadLimit int
+	active      int
+	accept      []*Request
+	acceptCap   int
+
+	overhead Overhead
+	demandCV float64
+
+	rec *metrics.Recorder
+
+	callPool *ConnPool // outbound pool for UseServerPool calls (may be nil)
+
+	draining bool // true once the VM is being retired; rejects new work
+	killed   bool // true after a crash; in-flight work fails at phase edges
+}
+
+// New creates a server on the given engine. rnd must be a dedicated stream
+// (use rng.Split) so per-server jitter is reproducible.
+func New(eng *des.Engine, rnd *rng.Source, cfg Config) *Server {
+	if cfg.Cores <= 0 {
+		panic("server: config needs at least one core")
+	}
+	if cfg.ThreadLimit <= 0 {
+		panic("server: config needs a positive thread limit")
+	}
+	if cfg.AcceptQueue < 0 {
+		panic("server: negative accept queue")
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = metrics.DefaultWindow
+	}
+	utilWindow := cfg.UtilWindow
+	if utilWindow == 0 {
+		utilWindow = des.Second
+	}
+	s := &Server{
+		eng:         eng,
+		rnd:         rnd,
+		name:        cfg.Name,
+		cpu:         NewProcPool(eng, cfg.Cores, utilWindow),
+		threadLimit: cfg.ThreadLimit,
+		acceptCap:   cfg.AcceptQueue,
+		overhead:    cfg.Overhead,
+		demandCV:    cfg.DemandCV,
+		rec:         metrics.NewRecorder(window),
+	}
+	if cfg.DiskChans > 0 {
+		s.disk = NewProcPool(eng, cfg.DiskChans, utilWindow)
+	}
+	return s
+}
+
+// Name returns the server's identity (e.g. "mysql1").
+func (s *Server) Name() string { return s.name }
+
+// Cores returns the VM's current core count.
+func (s *Server) Cores() int { return s.cpu.Channels() }
+
+// SetCores vertically scales the VM.
+func (s *Server) SetCores(n int) { s.cpu.SetChannels(n) }
+
+// ThreadLimit returns the soft-resource thread pool size.
+func (s *Server) ThreadLimit() int { return s.threadLimit }
+
+// SetThreadLimit adjusts the thread pool at runtime (the actuator path).
+// Growth admits queued requests immediately.
+func (s *Server) SetThreadLimit(n int) {
+	if n <= 0 {
+		panic("server: non-positive thread limit")
+	}
+	s.threadLimit = n
+	s.admit()
+}
+
+// Active returns the number of requests currently holding threads.
+func (s *Server) Active() int { return s.active }
+
+// QueueLen returns the accept-queue length.
+func (s *Server) QueueLen() int { return len(s.accept) }
+
+// CPUUtilization returns the running 1-second CPU utilization (0..1).
+func (s *Server) CPUUtilization() float64 { return s.cpu.Utilization() }
+
+// DiskUtilization returns the running 1-second disk utilization, 0 when
+// the VM has no disk model.
+func (s *Server) DiskUtilization() float64 {
+	if s.disk == nil {
+		return 0
+	}
+	return s.disk.Utilization()
+}
+
+// FlushCPU drains completed CPU-utilization windows.
+func (s *Server) FlushCPU() []metrics.TWSample { return s.cpu.FlushUtil() }
+
+// FlushFine drains completed fine-grained request windows.
+func (s *Server) FlushFine() []metrics.WindowSample { return s.rec.Flush(s.eng.Now()) }
+
+// Recorder exposes the request recorder (tests, diagnostics).
+func (s *Server) Recorder() *metrics.Recorder { return s.rec }
+
+// SetCallPool installs the server's outbound connection pool, used by
+// phases whose OutCall sets UseServerPool (the Tomcat DB connection pool).
+func (s *Server) SetCallPool(p *ConnPool) { s.callPool = p }
+
+// CallPool returns the outbound connection pool (nil if unset).
+func (s *Server) CallPool() *ConnPool { return s.callPool }
+
+// SetDraining marks the VM as retiring: new submissions are rejected while
+// in-flight requests finish (the "slow turn off" half of scaling).
+func (s *Server) SetDraining(d bool) { s.draining = d }
+
+// Draining reports whether the VM is retiring.
+func (s *Server) Draining() bool { return s.draining }
+
+// Kill crashes the VM: new submissions are rejected, queued requests fail
+// immediately, and in-flight requests fail at their next phase boundary
+// (the "connection reset" a client of a crashed server observes).
+func (s *Server) Kill() {
+	s.draining = true
+	s.killed = true
+	queued := s.accept
+	s.accept = nil
+	now := s.eng.Now()
+	for _, req := range queued {
+		s.rec.Reject(now)
+		done := req.Done
+		req.Done = nil
+		s.eng.After(0, func() { done(false) })
+	}
+}
+
+// Killed reports whether the VM has crashed.
+func (s *Server) Killed() bool { return s.killed }
+
+// Submit implements Service.
+func (s *Server) Submit(req *Request) {
+	if s.draining || len(s.accept) >= s.acceptCap {
+		// Reject before entering the request log's in-flight accounting;
+		// the error still counts in this window.
+		s.rec.Reject(s.eng.Now())
+		done := req.Done
+		req.Done = nil
+		// Deliver the failure asynchronously so callers never observe
+		// reentrant completion.
+		s.eng.After(0, func() { done(false) })
+		return
+	}
+	req.arrival = s.eng.Now()
+	s.accept = append(s.accept, req)
+	s.admit()
+}
+
+func (s *Server) admit() {
+	for s.active < s.threadLimit && len(s.accept) > 0 {
+		req := s.accept[0]
+		s.accept = s.accept[1:]
+		s.active++
+		// The request log counts *processing* concurrency (requests
+		// holding threads), matching the paper's SCT tuples; accept-queue
+		// time still counts toward the recorded response time because RT
+		// is measured from submission.
+		s.rec.Arrive(s.eng.Now())
+		s.step(req)
+	}
+}
+
+// step advances a request to its next phase; when phases are exhausted the
+// request completes and its thread is released.
+func (s *Server) step(req *Request) {
+	if s.killed {
+		req.failed = true
+	}
+	if req.failed || req.phase >= len(req.Phases) {
+		s.finish(req)
+		return
+	}
+	ph := req.Phases[req.phase]
+	req.phase++
+	switch ph.Kind {
+	case PhaseCPU:
+		d := s.jitter(ph.Duration) * des.Time(s.overhead.Factor(s.active, s.cpu.Channels()))
+		s.cpu.Demand(d, func() { s.step(req) })
+	case PhaseDisk:
+		if s.disk == nil {
+			panic(fmt.Sprintf("server %s: disk phase without a disk", s.name))
+		}
+		s.disk.Demand(s.jitter(ph.Duration), func() { s.step(req) })
+	case PhaseSleep:
+		s.eng.After(s.jitter(ph.Duration), func() { s.step(req) })
+	case PhaseCall:
+		s.call(req, ph.Call)
+	default:
+		panic("server: unknown phase kind")
+	}
+}
+
+func (s *Server) call(req *Request, out *OutCall) {
+	pool := out.Pool
+	if out.UseServerPool {
+		pool = s.callPool
+	}
+	issue := func() {
+		down := &Request{
+			Phases: out.Build(),
+			Done: func(ok bool) {
+				if pool != nil {
+					pool.Release()
+				}
+				if !ok {
+					req.failed = true
+				}
+				s.step(req)
+			},
+		}
+		out.Target.Submit(down)
+	}
+	if pool != nil {
+		pool.Acquire(issue)
+	} else {
+		issue()
+	}
+}
+
+func (s *Server) finish(req *Request) {
+	s.active--
+	now := s.eng.Now()
+	if req.failed {
+		s.rec.Drop(now)
+	} else {
+		s.rec.Depart(now, float64(now-req.arrival))
+	}
+	done := req.Done
+	req.Done = nil
+	done(!req.failed)
+	s.admit()
+}
+
+// jitter applies lognormal demand variation with the configured CV.
+func (s *Server) jitter(d des.Time) des.Time {
+	if s.demandCV <= 0 || d <= 0 {
+		return d
+	}
+	return des.Time(s.rnd.LogNormal(float64(d), s.demandCV))
+}

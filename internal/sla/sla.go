@@ -1,0 +1,191 @@
+// Package sla provides tail-latency tracking for QoS-driven control: a
+// streaming quantile estimator (the P² algorithm of Jain & Chlamtac, CACM
+// 1985 — constant memory, no sample storage) and an exact sliding-window
+// tail tracker. The paper motivates ConScale with strict web QoS targets
+// ("web search requires 99th percentile response time < 300 ms"); these
+// trackers let a controller act on the SLA signal directly, which matters
+// exactly when the under-allocation effect keeps CPU below any hardware
+// threshold while response times burn.
+package sla
+
+import (
+	"math"
+	"sort"
+
+	"conscale/internal/des"
+)
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory using
+// the P-squared algorithm. The zero value is not usable; call NewP2.
+type P2Quantile struct {
+	p       float64
+	count   int
+	heights [5]float64
+	pos     [5]float64
+	desired [5]float64
+	incr    [5]float64
+	initial []float64
+}
+
+// NewP2 returns an estimator for the p-quantile (0 < p < 1).
+func NewP2(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("sla: quantile out of (0, 1)")
+	}
+	q := &P2Quantile{p: p}
+	q.incr = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// Add incorporates one observation.
+func (q *P2Quantile) Add(v float64) {
+	if q.count < 5 {
+		q.initial = append(q.initial, v)
+		q.count++
+		if q.count == 5 {
+			sort.Float64s(q.initial)
+			copy(q.heights[:], q.initial)
+			for i := range q.pos {
+				q.pos[i] = float64(i + 1)
+				q.desired[i] = 1 + 4*q.incr[i]
+			}
+			q.initial = nil
+		}
+		return
+	}
+	q.count++
+
+	// Locate the cell containing v and update the extremes.
+	var k int
+	switch {
+	case v < q.heights[0]:
+		q.heights[0] = v
+		k = 0
+	case v >= q.heights[4]:
+		q.heights[4] = v
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if v < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.desired {
+		q.desired[i] += q.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.desired[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			h := q.parabolic(i, s)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, s)
+			}
+			q.pos[i] += s
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Count returns the number of observations.
+func (q *P2Quantile) Count() int { return q.count }
+
+// Value returns the current quantile estimate (NaN when empty; exact for
+// fewer than five observations).
+func (q *P2Quantile) Value() float64 {
+	if q.count == 0 {
+		return math.NaN()
+	}
+	if q.count < 5 {
+		sorted := append([]float64(nil), q.initial...)
+		sort.Float64s(sorted)
+		idx := int(q.p * float64(len(sorted)))
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return q.heights[2]
+}
+
+// WindowTail tracks exact percentiles over a sliding time window of
+// response-time samples — the controller-facing SLA signal.
+type WindowTail struct {
+	window des.Time
+	times  []des.Time
+	values []float64
+	head   int // index of the oldest retained sample
+}
+
+// NewWindowTail returns a tracker over the given span.
+func NewWindowTail(window des.Time) *WindowTail {
+	if window <= 0 {
+		panic("sla: non-positive window")
+	}
+	return &WindowTail{window: window}
+}
+
+// Add records a sample at time t. Times must be non-decreasing.
+func (w *WindowTail) Add(t des.Time, rt float64) {
+	w.times = append(w.times, t)
+	w.values = append(w.values, rt)
+	w.prune(t)
+}
+
+func (w *WindowTail) prune(now des.Time) {
+	cut := now - w.window
+	for w.head < len(w.times) && w.times[w.head] < cut {
+		w.head++
+	}
+	// Compact occasionally so memory stays proportional to the window.
+	if w.head > 1024 && w.head*2 > len(w.times) {
+		w.times = append(w.times[:0:0], w.times[w.head:]...)
+		w.values = append(w.values[:0:0], w.values[w.head:]...)
+		w.head = 0
+	}
+}
+
+// Count returns the samples currently inside the window (as of the last
+// Add or Percentile call).
+func (w *WindowTail) Count() int { return len(w.times) - w.head }
+
+// Percentile returns the p-th percentile (0..100) of samples in the
+// window ending at now; NaN when the window is empty.
+func (w *WindowTail) Percentile(now des.Time, p float64) float64 {
+	w.prune(now)
+	live := w.values[w.head:]
+	if len(live) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), live...)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

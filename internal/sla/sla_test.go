@@ -1,0 +1,205 @@
+package sla
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"conscale/internal/des"
+	"conscale/internal/rng"
+)
+
+func exactQuantile(vals []float64, p float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func TestP2AgainstExactUniform(t *testing.T) {
+	rnd := rng.New(1)
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		q := NewP2(p)
+		var vals []float64
+		for i := 0; i < 20000; i++ {
+			v := rnd.Float64() * 100
+			q.Add(v)
+			vals = append(vals, v)
+		}
+		exact := exactQuantile(vals, p)
+		got := q.Value()
+		if math.Abs(got-exact) > 2.5 { // 2.5% of the range
+			t.Fatalf("p=%v: P2=%v exact=%v", p, got, exact)
+		}
+	}
+}
+
+func TestP2AgainstExactSkewed(t *testing.T) {
+	rnd := rng.New(2)
+	q := NewP2(0.95)
+	var vals []float64
+	for i := 0; i < 30000; i++ {
+		v := rnd.Exp(10) // heavy right tail
+		q.Add(v)
+		vals = append(vals, v)
+	}
+	exact := exactQuantile(vals, 0.95)
+	got := q.Value()
+	if math.Abs(got-exact)/exact > 0.08 {
+		t.Fatalf("exponential p95: P2=%v exact=%v", got, exact)
+	}
+}
+
+func TestP2SmallCounts(t *testing.T) {
+	q := NewP2(0.9)
+	if !math.IsNaN(q.Value()) {
+		t.Fatal("empty estimator should be NaN")
+	}
+	q.Add(5)
+	if q.Value() != 5 {
+		t.Fatalf("one sample: %v", q.Value())
+	}
+	q.Add(1)
+	q.Add(9)
+	if v := q.Value(); v < 5 || v > 9 {
+		t.Fatalf("three samples p90 = %v", v)
+	}
+	if q.Count() != 3 {
+		t.Fatalf("Count = %d", q.Count())
+	}
+}
+
+func TestP2MonotoneStream(t *testing.T) {
+	q := NewP2(0.5)
+	for i := 1; i <= 1001; i++ {
+		q.Add(float64(i))
+	}
+	if got := q.Value(); math.Abs(got-501) > 25 {
+		t.Fatalf("median of 1..1001 = %v", got)
+	}
+}
+
+func TestP2InvalidQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewP2(%v) did not panic", p)
+				}
+			}()
+			NewP2(p)
+		}()
+	}
+}
+
+// Property: the P2 estimate is always within the observed min/max.
+func TestQuickP2Bounded(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := (float64(pRaw%98) + 1) / 100
+		q := NewP2(p)
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r)
+			q.Add(v)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		got := q.Value()
+		return got >= min-1e-9 && got <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowTailSliding(t *testing.T) {
+	w := NewWindowTail(10)
+	for i := 0; i < 100; i++ {
+		w.Add(des.Time(i), float64(i))
+	}
+	// At t=99, the window holds samples from t>=89: values 89..99.
+	if got := w.Percentile(99, 0); got != 89 {
+		t.Fatalf("window min = %v, want 89", got)
+	}
+	if got := w.Percentile(99, 100); got != 99 {
+		t.Fatalf("window max = %v, want 99", got)
+	}
+	if got := w.Percentile(99, 50); math.Abs(got-94) > 1 {
+		t.Fatalf("window median = %v, want ~94", got)
+	}
+}
+
+func TestWindowTailEmpty(t *testing.T) {
+	w := NewWindowTail(5)
+	if !math.IsNaN(w.Percentile(0, 95)) {
+		t.Fatal("empty window should be NaN")
+	}
+	w.Add(1, 10)
+	if !math.IsNaN(w.Percentile(100, 95)) {
+		t.Fatal("expired window should be NaN")
+	}
+}
+
+func TestWindowTailCompaction(t *testing.T) {
+	w := NewWindowTail(1)
+	for i := 0; i < 100000; i++ {
+		w.Add(des.Time(i)*0.001, float64(i%97))
+	}
+	if w.Count() > 1100 {
+		t.Fatalf("window retains %d samples for a 1s window at 1kHz", w.Count())
+	}
+	if cap(w.values) > 1<<16 {
+		t.Fatalf("backing store grew unboundedly: cap=%d", cap(w.values))
+	}
+}
+
+func TestWindowTailPercentileMatchesExact(t *testing.T) {
+	rnd := rng.New(7)
+	w := NewWindowTail(1000)
+	var vals []float64
+	for i := 0; i < 5000; i++ {
+		v := rnd.Float64() * 50
+		w.Add(des.Time(i)*0.01, v)
+		vals = append(vals, v)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	got := w.Percentile(49.99, 95)
+	exactIdx := int(0.95 * float64(len(sorted)-1))
+	if math.Abs(got-sorted[exactIdx]) > 0.5 {
+		t.Fatalf("window p95 = %v, exact ~%v", got, sorted[exactIdx])
+	}
+}
+
+func TestWindowTailNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewWindowTail(0)
+}
+
+func BenchmarkP2Add(b *testing.B) {
+	q := NewP2(0.99)
+	rnd := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Add(rnd.Float64())
+	}
+}
+
+func BenchmarkWindowTailAdd(b *testing.B) {
+	w := NewWindowTail(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Add(des.Time(i)*0.0001, float64(i%1000))
+	}
+}

@@ -1,0 +1,269 @@
+// Package tracefile loads and saves workload traces as CSV, so the
+// evaluation can replay real-world user curves (the paper's traces are
+// "collected from real-world traces and further categorized by Gandhi")
+// in addition to the built-in parametric generators. It also provides the
+// transformations needed to fit a raw trace to an experiment: resampling
+// to a fixed interval, peak normalisation, time scaling, and smoothing.
+package tracefile
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"conscale/internal/des"
+	"conscale/internal/workload"
+)
+
+// Series is a raw trace: user counts at (not necessarily uniform) times.
+type Series struct {
+	Name  string
+	Times []des.Time // ascending
+	Users []float64
+}
+
+// Validate reports structural problems.
+func (s *Series) Validate() error {
+	if len(s.Times) == 0 {
+		return fmt.Errorf("tracefile: empty series")
+	}
+	if len(s.Times) != len(s.Users) {
+		return fmt.Errorf("tracefile: %d times vs %d values", len(s.Times), len(s.Users))
+	}
+	for i := 1; i < len(s.Times); i++ {
+		if s.Times[i] <= s.Times[i-1] {
+			return fmt.Errorf("tracefile: times not strictly increasing at row %d", i)
+		}
+	}
+	for i, u := range s.Users {
+		if u < 0 || math.IsNaN(u) || math.IsInf(u, 0) {
+			return fmt.Errorf("tracefile: bad user count %v at row %d", u, i)
+		}
+	}
+	return nil
+}
+
+// Duration returns the time span covered.
+func (s *Series) Duration() des.Time {
+	if len(s.Times) == 0 {
+		return 0
+	}
+	return s.Times[len(s.Times)-1] - s.Times[0]
+}
+
+// Peak returns the maximum user count.
+func (s *Series) Peak() float64 {
+	peak := 0.0
+	for _, u := range s.Users {
+		if u > peak {
+			peak = u
+		}
+	}
+	return peak
+}
+
+// At returns the linearly interpolated user count at time t, clamped to
+// the endpoints outside the covered span.
+func (s *Series) At(t des.Time) float64 {
+	n := len(s.Times)
+	if n == 0 {
+		return 0
+	}
+	if t <= s.Times[0] {
+		return s.Users[0]
+	}
+	if t >= s.Times[n-1] {
+		return s.Users[n-1]
+	}
+	i := sort.Search(n, func(i int) bool { return s.Times[i] > t }) - 1
+	t0, t1 := s.Times[i], s.Times[i+1]
+	frac := float64(t-t0) / float64(t1-t0)
+	return s.Users[i]*(1-frac) + s.Users[i+1]*frac
+}
+
+// Resample returns a uniform series at the given interval over the
+// original span (endpoints included).
+func (s *Series) Resample(interval des.Time) *Series {
+	if interval <= 0 {
+		panic("tracefile: non-positive interval")
+	}
+	out := &Series{Name: s.Name}
+	start := s.Times[0]
+	end := s.Times[len(s.Times)-1]
+	for t := start; t <= end; t += interval {
+		out.Times = append(out.Times, t)
+		out.Users = append(out.Users, s.At(t))
+	}
+	return out
+}
+
+// Normalize rescales user counts so the peak equals maxUsers.
+func (s *Series) Normalize(maxUsers int) *Series {
+	peak := s.Peak()
+	out := &Series{Name: s.Name, Times: append([]des.Time(nil), s.Times...)}
+	out.Users = make([]float64, len(s.Users))
+	if peak <= 0 {
+		copy(out.Users, s.Users)
+		return out
+	}
+	scale := float64(maxUsers) / peak
+	for i, u := range s.Users {
+		out.Users[i] = u * scale
+	}
+	return out
+}
+
+// Stretch rescales the time axis so the series spans duration.
+func (s *Series) Stretch(duration des.Time) *Series {
+	if duration <= 0 {
+		panic("tracefile: non-positive duration")
+	}
+	cur := s.Duration()
+	out := &Series{Name: s.Name, Users: append([]float64(nil), s.Users...)}
+	out.Times = make([]des.Time, len(s.Times))
+	if cur <= 0 {
+		copy(out.Times, s.Times)
+		return out
+	}
+	scale := float64(duration) / float64(cur)
+	start := s.Times[0]
+	for i, t := range s.Times {
+		out.Times[i] = des.Time(float64(t-start) * scale)
+	}
+	return out
+}
+
+// Smooth applies a centred moving average of the given radius to the user
+// counts (radius 0 returns a copy).
+func (s *Series) Smooth(radius int) *Series {
+	if radius < 0 {
+		panic("tracefile: negative radius")
+	}
+	out := &Series{Name: s.Name, Times: append([]des.Time(nil), s.Times...)}
+	out.Users = make([]float64, len(s.Users))
+	for i := range s.Users {
+		lo, hi := i-radius, i+radius
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(s.Users) {
+			hi = len(s.Users) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += s.Users[j]
+		}
+		out.Users[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// ToTrace converts the series into a workload.Trace usable by the
+// generator: the trace interpolates the series, normalised to the series'
+// own peak and span.
+func (s *Series) ToTrace() *workload.Trace {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	peak := s.Peak()
+	if peak <= 0 {
+		peak = 1
+	}
+	dur := s.Duration()
+	if dur <= 0 {
+		dur = des.Second
+	}
+	start := s.Times[0]
+	copySeries := &Series{
+		Name:  s.Name,
+		Times: append([]des.Time(nil), s.Times...),
+		Users: append([]float64(nil), s.Users...),
+	}
+	return workload.NewCustomTrace(s.Name, int(peak+0.5), dur, func(u float64) float64 {
+		t := start + des.Time(u*float64(dur))
+		return copySeries.At(t) / peak
+	})
+}
+
+// Read parses a two-column CSV ("time_s,users", header optional). The
+// name is taken from the header's second column when present.
+func Read(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("tracefile: empty input")
+	}
+	s := &Series{Name: "trace"}
+	start := 0
+	if _, err := strconv.ParseFloat(strings.TrimSpace(records[0][0]), 64); err != nil {
+		// Header row.
+		if name := strings.TrimSpace(records[0][1]); name != "" {
+			s.Name = name
+		}
+		start = 1
+	}
+	for i := start; i < len(records); i++ {
+		t, err := strconv.ParseFloat(strings.TrimSpace(records[i][0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: row %d: bad time %q", i+1, records[i][0])
+		}
+		u, err := strconv.ParseFloat(strings.TrimSpace(records[i][1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: row %d: bad user count %q", i+1, records[i][1])
+		}
+		s.Times = append(s.Times, des.Time(t))
+		s.Users = append(s.Users, u)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Write emits the series as a two-column CSV with a header.
+func Write(w io.Writer, s *Series) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	name := s.Name
+	if name == "" {
+		name = "users"
+	}
+	if err := cw.Write([]string{"time_s", name}); err != nil {
+		return err
+	}
+	for i := range s.Times {
+		rec := []string{
+			strconv.FormatFloat(float64(s.Times[i]), 'f', -1, 64),
+			strconv.FormatFloat(s.Users[i], 'f', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FromTrace samples a built-in workload trace into a Series (the inverse
+// of ToTrace), for exporting and transforming the standard six.
+func FromTrace(tr *workload.Trace, interval des.Time) *Series {
+	if interval <= 0 {
+		panic("tracefile: non-positive interval")
+	}
+	s := &Series{Name: tr.Name}
+	for t := des.Time(0); t <= tr.Duration; t += interval {
+		s.Times = append(s.Times, t)
+		s.Users = append(s.Users, float64(tr.UsersAt(t)))
+	}
+	return s
+}

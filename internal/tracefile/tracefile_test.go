@@ -1,0 +1,269 @@
+package tracefile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"conscale/internal/des"
+	"conscale/internal/workload"
+)
+
+func sample() *Series {
+	return &Series{
+		Name:  "s",
+		Times: []des.Time{0, 10, 20, 30},
+		Users: []float64{100, 300, 200, 400},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Series{
+		{},
+		{Times: []des.Time{0, 1}, Users: []float64{1}},
+		{Times: []des.Time{0, 0}, Users: []float64{1, 2}},
+		{Times: []des.Time{0, 1}, Users: []float64{1, -2}},
+		{Times: []des.Time{0, 1}, Users: []float64{1, math.NaN()}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d validated", i)
+		}
+	}
+}
+
+func TestAtInterpolates(t *testing.T) {
+	s := sample()
+	cases := []struct {
+		t    des.Time
+		want float64
+	}{
+		{-5, 100}, {0, 100}, {5, 200}, {10, 300}, {15, 250}, {30, 400}, {99, 400},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestResampleUniform(t *testing.T) {
+	s := sample().Resample(5)
+	if len(s.Times) != 7 {
+		t.Fatalf("resampled length = %d, want 7", len(s.Times))
+	}
+	for i := 1; i < len(s.Times); i++ {
+		if math.Abs(float64(s.Times[i]-s.Times[i-1])-5) > 1e-9 {
+			t.Fatal("intervals not uniform")
+		}
+	}
+	if s.Users[1] != 200 { // t=5 interpolated
+		t.Fatalf("resampled value = %v", s.Users[1])
+	}
+}
+
+func TestNormalizePeak(t *testing.T) {
+	s := sample().Normalize(1000)
+	if got := s.Peak(); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("peak = %v", got)
+	}
+	// Shape preserved: ratios unchanged.
+	if math.Abs(s.Users[0]/s.Users[3]-0.25) > 1e-9 {
+		t.Fatal("normalisation distorted ratios")
+	}
+	// Original untouched.
+	if sample().Peak() != 400 {
+		t.Fatal("Normalize mutated input")
+	}
+}
+
+func TestStretchDuration(t *testing.T) {
+	s := sample().Stretch(300)
+	if got := s.Duration(); math.Abs(float64(got-300)) > 1e-9 {
+		t.Fatalf("duration = %v", got)
+	}
+	if s.Times[0] != 0 || s.Times[1] != 100 {
+		t.Fatalf("times = %v", s.Times)
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	s := &Series{
+		Name:  "sq",
+		Times: []des.Time{0, 1, 2, 3, 4},
+		Users: []float64{0, 100, 0, 100, 0},
+	}
+	sm := s.Smooth(1)
+	want := []float64{50, 100.0 / 3, 200.0 / 3, 100.0 / 3, 50}
+	for i := range want {
+		if math.Abs(sm.Users[i]-want[i]) > 1e-9 {
+			t.Fatalf("smoothed = %v, want %v", sm.Users, want)
+		}
+	}
+	if s.Smooth(0).Users[1] != 100 {
+		t.Fatal("radius 0 changed values")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "s" {
+		t.Fatalf("name = %q", got.Name)
+	}
+	if len(got.Times) != 4 || got.Users[3] != 400 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestReadWithoutHeader(t *testing.T) {
+	s, err := Read(strings.NewReader("0,10\n5,20\n10,15\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Times) != 3 || s.Users[1] != 20 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"time,users\nx,y\n",
+		"0,10\n0,20\n", // non-increasing time
+		"0,10\n5,-3\n", // negative users
+		"0,10\n5\n",    // wrong arity
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d parsed", i)
+		}
+	}
+}
+
+func TestToTraceMatchesSeries(t *testing.T) {
+	tr := sample().ToTrace()
+	if tr.MaxUsers != 400 {
+		t.Fatalf("MaxUsers = %d", tr.MaxUsers)
+	}
+	if got := tr.UsersAt(0); got != 100 {
+		t.Fatalf("UsersAt(0) = %d", got)
+	}
+	if got := tr.UsersAt(10); got != 300 {
+		t.Fatalf("UsersAt(10) = %d", got)
+	}
+	if got := tr.UsersAt(15); got != 250 {
+		t.Fatalf("UsersAt(15) = %d", got)
+	}
+}
+
+func TestFromTraceExportsBuiltin(t *testing.T) {
+	tr := workload.NewTrace(workload.BigSpike, 1000, 100)
+	s := FromTrace(tr, des.Second)
+	if len(s.Times) != 101 {
+		t.Fatalf("exported %d points", len(s.Times))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Round trip through CSV and back into a trace: peak preserved.
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := back.ToTrace()
+	if math.Abs(float64(tr2.Peak()-tr.Peak())) > 2 {
+		t.Fatalf("peak changed through round trip: %d vs %d", tr2.Peak(), tr.Peak())
+	}
+}
+
+func TestTransformedTraceDrivesGenerator(t *testing.T) {
+	// End-to-end: a CSV trace, normalised and stretched, drives a real
+	// generator.
+	csv := "time_s,myload\n0,5\n60,50\n120,10\n"
+	s, err := Read(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Normalize(200).Stretch(30).ToTrace()
+	if tr.Peak() < 190 {
+		t.Fatalf("peak = %d", tr.Peak())
+	}
+	if tr.Duration != 30 {
+		t.Fatalf("duration = %v", tr.Duration)
+	}
+}
+
+// Property: At is always within [min, max] of the series values.
+func TestQuickAtBounded(t *testing.T) {
+	f := func(raw []uint16, tRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := &Series{Name: "q"}
+		for i, v := range raw {
+			s.Times = append(s.Times, des.Time(i))
+			s.Users = append(s.Users, float64(v))
+		}
+		min, max := s.Users[0], s.Users[0]
+		for _, u := range s.Users {
+			if u < min {
+				min = u
+			}
+			if u > max {
+				max = u
+			}
+		}
+		got := s.At(des.Time(tRaw) / 7)
+		return got >= min-1e-9 && got <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Write/Read round trip preserves every value.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := &Series{Name: "q"}
+		for i, v := range raw {
+			s.Times = append(s.Times, des.Time(i))
+			s.Users = append(s.Users, float64(v))
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got.Users) != len(s.Users) {
+			return false
+		}
+		for i := range s.Users {
+			if got.Users[i] != s.Users[i] || got.Times[i] != s.Times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
