@@ -235,6 +235,31 @@ func BenchmarkAblation_SLATrigger(b *testing.B) {
 	}
 }
 
+// benchChaosScenario runs one canonical fault scenario across the three
+// controllers and reports each one's p99 — the robustness rows of the
+// chaos evaluation (EXPERIMENTS.md "Chaos scenarios").
+func benchChaosScenario(b *testing.B, name string) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.ChaosScenarioTable(1, name, 0)
+		for _, r := range rows {
+			b.ReportMetric(r.P99*1000, r.Mode.String()+"_p99_ms")
+		}
+	}
+}
+
+// BenchmarkChaos_Crashes: Poisson VM crashes across the app and DB tiers.
+func BenchmarkChaos_Crashes(b *testing.B) { benchChaosScenario(b, "crashes") }
+
+// BenchmarkChaos_Interference: noisy-neighbor CPU slowdown bursts on the
+// app tier.
+func BenchmarkChaos_Interference(b *testing.B) { benchChaosScenario(b, "interference") }
+
+// BenchmarkChaos_NetJitter: latency windows on the app->db RPC edge.
+func BenchmarkChaos_NetJitter(b *testing.B) { benchChaosScenario(b, "net-jitter") }
+
+// BenchmarkChaos_Stragglers: 6x slower VM boots plus mid-run crashes.
+func BenchmarkChaos_Stragglers(b *testing.B) { benchChaosScenario(b, "stragglers") }
+
 // BenchmarkSimulatorEventRate measures the raw simulator throughput: how
 // many end-to-end RUBBoS requests the DES processes per wall-clock second
 // (the substrate's own performance, independent of any experiment).

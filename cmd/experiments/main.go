@@ -36,6 +36,7 @@ var runners = []struct {
 	{"table1", "Tail latencies, EC2 vs ConScale, all six traces", runTable1},
 	{"fig11", "DCM (stale profile) vs ConScale after a system-state change", runFig11},
 	{"ablations", "A1 window size, A2 Qupper, A3 LB policy, A4 cooldown", runAblations},
+	{"chaos", "Controller robustness under injected cloud faults", runChaos},
 }
 
 func main() {
@@ -264,6 +265,32 @@ func runAblations(seed uint64, outDir string) error {
 		}
 	}
 	return nil
+}
+
+func runChaos(seed uint64, outDir string) error {
+	rows := experiment.ChaosTable(seed, 0)
+	experiment.RenderChaosTable(os.Stdout, rows)
+
+	// Timeline overlays for the interference scenario, where the three
+	// controllers separate most visibly.
+	for _, res := range experiment.ChaosTimelines(seed, "interference", 0) {
+		fmt.Println()
+		experiment.RenderChaosTimeline(os.Stdout,
+			fmt.Sprintf("chaos/interference: %s", res.Mode), res)
+	}
+
+	return writeCSV(outDir, "chaos_tail_latency.csv", func(f *os.File) error {
+		if _, err := fmt.Fprintln(f, "scenario,controller,p95_ms,p99_ms,error_rate,goodput,fault_windows"); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(f, "%s,%s,%.0f,%.0f,%.4f,%d,%d\n",
+				r.Scenario, r.Mode, r.P95*1000, r.P99*1000, r.ErrorRate, r.Goodput, r.Windows); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 func runReport(seed uint64, outDir string) error {

@@ -39,6 +39,7 @@
 package conscale
 
 import (
+	"conscale/internal/chaos"
 	"conscale/internal/cluster"
 	"conscale/internal/des"
 	"conscale/internal/experiment"
@@ -265,6 +266,75 @@ func Table1(seed uint64) []Table1Row { return experiment.Table1(seed) }
 // TrainDCM derives the DCM baseline's offline profile.
 func TrainDCM(seed uint64, cfg ClusterConfig) DCMProfile {
 	return experiment.TrainDCM(seed, cfg)
+}
+
+// Chaos: cloud fault injection.
+type (
+	// ChaosSchedule is an ordered collection of fault events.
+	ChaosSchedule = chaos.Schedule
+	// ChaosFault is one scheduled fault event.
+	ChaosFault = chaos.Fault
+	// ChaosFaultKind enumerates the fault types.
+	ChaosFaultKind = chaos.Kind
+	// ChaosInjector arms a schedule on a cluster's engine.
+	ChaosInjector = chaos.Injector
+	// ChaosWindow records one activated fault for timeline overlays.
+	ChaosWindow = chaos.Window
+	// ChaosConfig parameterizes a composite generated fault scenario.
+	ChaosConfig = chaos.Config
+)
+
+// Fault kinds.
+const (
+	ChaosVMCrash         = chaos.VMCrash
+	ChaosCPUInterference = chaos.CPUInterference
+	ChaosNetDelay        = chaos.NetDelay
+	ChaosSlowBoot        = chaos.SlowBoot
+)
+
+// Target selectors for fault indices.
+const (
+	ChaosPickRandom = chaos.PickRandom
+	ChaosWholeTier  = chaos.WholeTier
+)
+
+// NewChaosSchedule builds a schedule from the given faults.
+func NewChaosSchedule(faults ...ChaosFault) *ChaosSchedule { return chaos.NewSchedule(faults...) }
+
+// NewChaosInjector couples a schedule to a cluster; Arm before running.
+func NewChaosInjector(c *Cluster, s *ChaosSchedule, seed uint64) *ChaosInjector {
+	return chaos.NewInjector(c, s, seed)
+}
+
+// ChaosCrash returns a VM-crash fault.
+func ChaosCrash(at Time, tier Tier, index int) ChaosFault { return chaos.Crash(at, tier, index) }
+
+// ChaosInterference returns a noisy-neighbor CPU-slowdown window.
+func ChaosInterference(at, dur Time, tier Tier, index int, slowdown float64) ChaosFault {
+	return chaos.Interference(at, dur, tier, index, slowdown)
+}
+
+// ChaosJitter returns a network-delay window on the edge into tier.
+func ChaosJitter(at, dur Time, tier Tier, delay Time) ChaosFault {
+	return chaos.Jitter(at, dur, tier, delay)
+}
+
+// ChaosStragglers returns a slow-boot window.
+func ChaosStragglers(at, dur Time, factor float64) ChaosFault {
+	return chaos.Stragglers(at, dur, factor)
+}
+
+// GenerateChaos builds the merged schedule for a composite scenario.
+func GenerateChaos(seed uint64, cfg ChaosConfig) *ChaosSchedule { return chaos.Generate(seed, cfg) }
+
+// RandomCrashes generates a Poisson crash process over the given tiers.
+func RandomCrashes(seed uint64, perMinute float64, duration Time, tiers ...Tier) *ChaosSchedule {
+	return chaos.RandomCrashes(seed, perMinute, duration, tiers...)
+}
+
+// InterferenceBursts generates noisy-neighbor windows on a tier.
+func InterferenceBursts(seed uint64, n int, duration, meanLen Time, tier Tier, slowdown float64) *ChaosSchedule {
+	return chaos.InterferenceBursts(seed, n, duration, meanLen, tier, slowdown)
 }
 
 // Management agent (the JMX substitute).

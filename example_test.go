@@ -54,6 +54,26 @@ func ExampleNewTrace() {
 	// Output: true true
 }
 
+// ExampleNewChaosSchedule injects a crash and an interference window into
+// a run and reads back what the injector actually hit.
+func ExampleNewChaosSchedule() {
+	c := conscale.NewCluster(conscale.DefaultClusterConfig())
+	sched := conscale.NewChaosSchedule(
+		conscale.ChaosCrash(5*conscale.Second, conscale.TierDB, 0),
+		conscale.ChaosInterference(8*conscale.Second, 10*conscale.Second,
+			conscale.TierApp, conscale.ChaosWholeTier, 2.5),
+	)
+	inj := conscale.NewChaosInjector(c, sched, 42)
+	inj.Arm()
+	c.Eng.RunUntil(20 * conscale.Second)
+	for _, w := range inj.Windows() {
+		fmt.Println(w)
+	}
+	// Output:
+	// [   5.0s] crash mysql1
+	// [   8.0-18.0s] interference x2.5 on tomcat1
+}
+
 // ExampleNewFramework runs ConScale against a short burst and reports that
 // scaling actions happened.
 func ExampleNewFramework() {

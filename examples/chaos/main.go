@@ -1,0 +1,72 @@
+// Chaos: controller robustness under injected cloud faults. The Large
+// Variations trace is replayed against identical clusters scaled by
+// EC2-AutoScaling and by ConScale, while the same fault schedule hits
+// both: the whole DB tier crashes mid-run, and a noisy neighbor slows an
+// app VM's CPU by 2.5x for a minute. The frameworks must detect the dark
+// tier and re-provision it; ConScale additionally re-fits soft resources
+// to the degraded capacity.
+//
+// Run with:
+//
+//	go run ./examples/chaos
+package main
+
+import (
+	"fmt"
+
+	"conscale"
+)
+
+func main() {
+	const duration = 720 * conscale.Second
+	fmt.Println("replaying Large Variations with a mid-run DB-tier crash (t=250s)")
+	fmt.Println("and a 2.5x CPU-interference burst on the app tier (t=400-460s)...")
+	fmt.Println()
+
+	schedule := func() *conscale.ChaosSchedule {
+		return conscale.NewChaosSchedule(
+			conscale.ChaosCrash(250*conscale.Second, conscale.TierDB, conscale.ChaosWholeTier),
+			conscale.ChaosInterference(400*conscale.Second, 60*conscale.Second,
+				conscale.TierApp, conscale.ChaosPickRandom, 2.5),
+		)
+	}
+
+	type outcome struct {
+		mode     conscale.Mode
+		p95, p99 float64
+		errRate  float64
+		faults   int
+	}
+	var results []outcome
+
+	for _, mode := range []conscale.Mode{conscale.ModeEC2, conscale.ModeConScale} {
+		cfg := conscale.DefaultRunConfig(mode, conscale.TraceLargeVariations)
+		cfg.Seed = 1
+		cfg.Duration = duration
+		cfg.Chaos = schedule() // same faults for both controllers
+		res := conscale.Run(cfg)
+		results = append(results, outcome{
+			mode:    mode,
+			p95:     res.P95,
+			p99:     res.P99,
+			errRate: res.ErrorRate,
+			faults:  len(res.FaultWindows),
+		})
+		for _, w := range res.FaultWindows {
+			fmt.Printf("  %-18s %s\n", mode, w)
+		}
+	}
+
+	fmt.Println()
+	fmt.Printf("%-18s %10s %10s %8s %8s\n", "framework", "p95", "p99", "errors", "faults")
+	for _, r := range results {
+		fmt.Printf("%-18s %8.0fms %8.0fms %7.1f%% %8d\n",
+			r.mode, r.p95*1000, r.p99*1000, r.errRate*100, r.faults)
+	}
+
+	e, c := results[0], results[1]
+	fmt.Printf("\nUnder identical faults ConScale holds p99 %.1fx lower than hardware-only\n", e.p99/c.p99)
+	fmt.Println("scaling: both repair the crashed DB tier, but only ConScale re-fits the")
+	fmt.Println("thread and connection pools to the post-fault capacity instead of keeping")
+	fmt.Println("settings tuned for hardware that no longer exists.")
+}

@@ -1,0 +1,111 @@
+package chaos
+
+import (
+	"conscale/internal/cluster"
+	"conscale/internal/des"
+	"conscale/internal/rng"
+)
+
+// RandomCrashes generates a Poisson process of VM crashes over the run:
+// exponential gaps with mean 60/perMinute seconds, each crash hitting a
+// uniformly drawn tier from tiers and a random ready VM within it. The
+// schedule is fully determined by the seed, so it composes with any trace.
+func RandomCrashes(seed uint64, perMinute float64, duration des.Time, tiers ...cluster.Tier) *Schedule {
+	s := NewSchedule()
+	if perMinute <= 0 || duration <= 0 || len(tiers) == 0 {
+		return s
+	}
+	rnd := rng.New(seed)
+	mean := 60 / perMinute
+	at := des.Time(rnd.Exp(mean))
+	for at < duration {
+		tier := tiers[rnd.Intn(len(tiers))]
+		s.Add(Crash(at, tier, PickRandom))
+		at += des.Time(rnd.Exp(mean))
+	}
+	return s
+}
+
+// InterferenceBursts generates n noisy-neighbor windows at uniform random
+// start times over the run, each lasting an exponential draw with mean
+// meanLen and slowing one random VM of the tier by slowdown.
+func InterferenceBursts(seed uint64, n int, duration, meanLen des.Time, tier cluster.Tier, slowdown float64) *Schedule {
+	s := NewSchedule()
+	if n <= 0 || duration <= 0 {
+		return s
+	}
+	rnd := rng.New(seed)
+	for i := 0; i < n; i++ {
+		at := des.Time(rnd.Float64()) * duration
+		length := des.Time(rnd.Exp(float64(meanLen)))
+		s.Add(Interference(at, length, tier, PickRandom, slowdown))
+	}
+	return s
+}
+
+// JitterBursts generates n network-delay windows on the RPC edge into
+// tier, at uniform random start times, each lasting an exponential draw
+// with mean meanLen and adding delay per call.
+func JitterBursts(seed uint64, n int, duration, meanLen des.Time, tier cluster.Tier, delay des.Time) *Schedule {
+	s := NewSchedule()
+	if n <= 0 || duration <= 0 {
+		return s
+	}
+	rnd := rng.New(seed)
+	for i := 0; i < n; i++ {
+		at := des.Time(rnd.Float64()) * duration
+		length := des.Time(rnd.Exp(float64(meanLen)))
+		s.Add(Jitter(at, length, tier, delay))
+	}
+	return s
+}
+
+// Config parameterizes a composite fault scenario for Generate: every
+// enabled component contributes its events to one merged schedule. Zero
+// values disable a component, so the zero Config generates an empty
+// schedule.
+type Config struct {
+	// Duration bounds all generated events.
+	Duration des.Time
+
+	// CrashesPerMinute drives a Poisson crash process over CrashTiers.
+	CrashesPerMinute float64
+	CrashTiers       []cluster.Tier
+
+	// InterferenceBursts noisy-neighbor windows on InterferenceTier, mean
+	// length InterferenceMeanLen, slowing a random VM by
+	// InterferenceSlowdown.
+	InterferenceBursts   int
+	InterferenceMeanLen  des.Time
+	InterferenceSlowdown float64
+	InterferenceTier     cluster.Tier
+
+	// JitterBursts delay windows on the edge into JitterTier, mean length
+	// JitterMeanLen, adding JitterDelay per call.
+	JitterBursts  int
+	JitterMeanLen des.Time
+	JitterDelay   des.Time
+	JitterTier    cluster.Tier
+
+	// SlowBootFactor > 1 stretches every VM boot for the whole run.
+	SlowBootFactor float64
+}
+
+// Generate builds the merged schedule for the scenario. Each component
+// draws from its own split of the seed, so enabling one never perturbs
+// another's event times.
+func Generate(seed uint64, cfg Config) *Schedule {
+	root := rng.New(seed)
+	crashSeed := root.Split().Uint64()
+	interfSeed := root.Split().Uint64()
+	jitterSeed := root.Split().Uint64()
+
+	s := NewSchedule()
+	s.Merge(RandomCrashes(crashSeed, cfg.CrashesPerMinute, cfg.Duration, cfg.CrashTiers...))
+	s.Merge(InterferenceBursts(interfSeed, cfg.InterferenceBursts, cfg.Duration, cfg.InterferenceMeanLen, cfg.InterferenceTier, cfg.InterferenceSlowdown))
+	s.Merge(JitterBursts(jitterSeed, cfg.JitterBursts, cfg.Duration, cfg.JitterMeanLen, cfg.JitterTier, cfg.JitterDelay))
+	if cfg.SlowBootFactor > 1 && cfg.Duration > 0 {
+		s.Add(Stragglers(0, cfg.Duration, cfg.SlowBootFactor))
+	}
+	return s
+}

@@ -157,6 +157,14 @@ type Cluster struct {
 	webThreads, appThreads, dbConns int
 
 	pendingBoots map[Tier]int // VMs in their preparation period
+
+	// netDelay[t] is extra latency injected on the RPC edge into tier t
+	// (network jitter between tiers; zero = healthy network).
+	netDelay map[Tier]des.Time
+
+	// bootFactor multiplies the VM preparation period (slow-booting
+	// stragglers; 1 = nominal). Read when a boot starts.
+	bootFactor float64
 }
 
 // New builds the initial topology on a fresh engine.
@@ -182,6 +190,8 @@ func New(cfg Config) *Cluster {
 		appThreads:   cfg.AppThreads,
 		dbConns:      cfg.DBConns,
 		pendingBoots: make(map[Tier]int),
+		netDelay:     make(map[Tier]des.Time),
+		bootFactor:   1,
 	}
 	for i := 0; i < cfg.Web; i++ {
 		c.boot(Web)
@@ -339,8 +349,12 @@ func (c *Cluster) AddVM(t Tier, onReady func(srv *server.Server)) bool {
 	if live+c.pendingBoots[t] >= c.cfg.MaxVMsPerTier {
 		return false
 	}
+	prep := c.cfg.PrepDelay
+	if c.bootFactor != 1 {
+		prep = des.Time(float64(prep) * c.bootFactor)
+	}
 	c.pendingBoots[t]++
-	c.Eng.After(c.cfg.PrepDelay, func() {
+	c.Eng.After(prep, func() {
 		c.pendingBoots[t]--
 		v := c.newVM(t)
 		v.ready = true
@@ -461,22 +475,33 @@ func (c *Cluster) CollectInto(w *metrics.Warehouse) {
 // Submit issues one end-to-end client request (a workload.Submitter).
 func (c *Cluster) Submit(done func(ok bool)) {
 	sv := c.wl.Pick(c.rnd)
-	c.webLB.Submit(&server.Request{
+	req := &server.Request{
 		Phases: c.webPhases(sv),
 		Done:   done,
-	})
+	}
+	if d := c.netDelay[Web]; d > 0 {
+		// Jitter on the client->web edge: the request transits the slow
+		// network before reaching the web balancer.
+		c.Eng.After(d, func() { c.webLB.Submit(req) })
+		return
+	}
+	c.webLB.Submit(req)
 }
 
 // webPhases builds the web tier visit: static processing then the
-// synchronous call into the app tier.
+// synchronous call into the app tier. Injected edge delay dwells on the
+// calling thread, like every network wait in the thread-based RPC model.
 func (c *Cluster) webPhases(sv *rubbos.Servlet) []server.Phase {
-	return []server.Phase{
+	phases := []server.Phase{
 		{Kind: server.PhaseCPU, Duration: des.Time(sv.WebCPU)},
-		{Kind: server.PhaseCall, Call: &server.OutCall{
-			Target: c.appLB,
-			Build:  func() []server.Phase { return c.appPhases(sv) },
-		}},
 	}
+	if d := c.netDelay[App]; d > 0 {
+		phases = append(phases, server.Phase{Kind: server.PhaseSleep, Duration: d})
+	}
+	return append(phases, server.Phase{Kind: server.PhaseCall, Call: &server.OutCall{
+		Target: c.appLB,
+		Build:  func() []server.Phase { return c.appPhases(sv) },
+	}})
 }
 
 // appPhases builds the app tier visit: business-logic CPU slices
@@ -504,22 +529,30 @@ func (c *Cluster) appPhases(sv *rubbos.Servlet) []server.Phase {
 // up Memcached; only misses (and all writes, which must reach the DB)
 // continue to the DB call.
 func (c *Cluster) queryPhases(sv *rubbos.Servlet) []server.Phase {
+	var dbEdge []server.Phase
+	if d := c.netDelay[DB]; d > 0 {
+		dbEdge = []server.Phase{{Kind: server.PhaseSleep, Duration: d}}
+	}
 	dbCall := server.Phase{Kind: server.PhaseCall, Call: &server.OutCall{
 		Target:        c.dbLB,
 		UseServerPool: true,
 		Build:         func() []server.Phase { return c.dbPhases(sv) },
 	}}
 	if c.cacheLB.Len() == 0 {
-		return []server.Phase{dbCall}
+		return append(dbEdge, dbCall)
+	}
+	var cacheEdge []server.Phase
+	if d := c.netDelay[Cache]; d > 0 {
+		cacheEdge = []server.Phase{{Kind: server.PhaseSleep, Duration: d}}
 	}
 	lookup := server.Phase{Kind: server.PhaseCall, Call: &server.OutCall{
 		Target: c.cacheLB,
 		Build:  func() []server.Phase { return cachePhases() },
 	}}
 	if !sv.Write && c.rnd.Float64() < c.cfg.CacheHitRatio {
-		return []server.Phase{lookup} // cache hit serves the query
+		return append(cacheEdge, lookup) // cache hit serves the query
 	}
-	return []server.Phase{lookup, dbCall}
+	return append(append(append(cacheEdge, lookup), dbEdge...), dbCall)
 }
 
 // cachePhases is one Memcached lookup: sub-millisecond CPU plus network
@@ -565,6 +598,72 @@ func (c *Cluster) KillVM(t Tier) string {
 	}
 	return ""
 }
+
+// KillVMIndex abruptly terminates the idx-th ready VM of the tier
+// (0-based, in boot order) — the targeted form of KillVM for fault
+// injection. It returns the killed server's name, or "" when idx does not
+// address a ready, non-draining VM.
+func (c *Cluster) KillVMIndex(t Tier, idx int) string {
+	if idx < 0 {
+		return ""
+	}
+	n := 0
+	for i, v := range c.vms[t] {
+		if !v.ready || v.srv.Draining() {
+			continue
+		}
+		if n == idx {
+			c.balancer(t).Remove(v.srv.Name())
+			v.srv.Kill()
+			c.vms[t] = append(c.vms[t][:i], c.vms[t][i+1:]...)
+			return v.srv.Name()
+		}
+		n++
+	}
+	return ""
+}
+
+// ReadyServers returns the tier's servers currently serving traffic
+// (ready and not draining), in boot order — the candidate set fault
+// injection targets.
+func (c *Cluster) ReadyServers(t Tier) []*server.Server {
+	var out []*server.Server
+	for _, v := range c.vms[t] {
+		if v.ready && !v.srv.Draining() {
+			out = append(out, v.srv)
+		}
+	}
+	return out
+}
+
+// SetNetDelay sets the injected latency of the RPC edge into the tier
+// (client->web for Web, web->app for App, app->db for DB, app->cache for
+// Cache). The delay dwells on the calling side, holding the caller's
+// thread like any network wait in the thread-based RPC model; it applies
+// to calls issued after it is set. Zero restores a healthy edge.
+func (c *Cluster) SetNetDelay(t Tier, d des.Time) {
+	if d < 0 {
+		d = 0
+	}
+	c.netDelay[t] = d
+}
+
+// NetDelay returns the currently injected latency on the edge into the tier.
+func (c *Cluster) NetDelay(t Tier) des.Time { return c.netDelay[t] }
+
+// SetBootFactor multiplies the VM preparation period for boots started
+// while it is in effect (slow-booting stragglers: congested image store,
+// oversubscribed host). Must be positive; 1 restores the nominal period.
+// Boots already in progress keep their original deadline.
+func (c *Cluster) SetBootFactor(f float64) {
+	if f <= 0 {
+		panic("cluster: non-positive boot factor")
+	}
+	c.bootFactor = f
+}
+
+// BootFactor returns the current VM-preparation multiplier (1 = nominal).
+func (c *Cluster) BootFactor() float64 { return c.bootFactor }
 
 // Balancer exposes a tier's balancer (tests, diagnostics).
 func (c *Cluster) Balancer(t Tier) *lb.Balancer { return c.balancer(t) }

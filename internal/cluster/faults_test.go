@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"testing"
+
+	"conscale/internal/des"
+	"conscale/internal/server"
+)
+
+func TestKillVMIndexTargetsBootOrder(t *testing.T) {
+	cfg := smallConfig()
+	cfg.App = 3
+	c := New(cfg)
+	if got := c.KillVMIndex(App, 1); got != "tomcat2" {
+		t.Fatalf("KillVMIndex(App, 1) = %q, want tomcat2", got)
+	}
+	// The survivors close ranks: index 1 is now the former third VM.
+	if got := c.KillVMIndex(App, 1); got != "tomcat3" {
+		t.Fatalf("second KillVMIndex(App, 1) = %q, want tomcat3", got)
+	}
+	if got := c.KillVMIndex(App, 5); got != "" {
+		t.Fatalf("out-of-range kill hit %q", got)
+	}
+	if got := c.KillVMIndex(App, -1); got != "" {
+		t.Fatalf("negative index kill hit %q", got)
+	}
+	if c.ReadyCount(App) != 1 {
+		t.Fatalf("ReadyCount = %d after two kills", c.ReadyCount(App))
+	}
+}
+
+func TestKillVMIndexSkipsDraining(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DB = 2
+	c := New(cfg)
+	c.Servers(DB)[0].SetDraining(true)
+	if got := c.KillVMIndex(DB, 0); got != "mysql2" {
+		t.Fatalf("KillVMIndex over draining VM = %q, want mysql2", got)
+	}
+}
+
+func TestReadyServersExcludesBootingAndDraining(t *testing.T) {
+	cfg := smallConfig()
+	cfg.App = 2
+	c := New(cfg)
+	c.AddVM(App, nil) // booting: not ready yet
+	c.Servers(App)[0].SetDraining(true)
+	got := c.ReadyServers(App)
+	if len(got) != 1 || got[0].Name() != "tomcat2" {
+		names := make([]string, len(got))
+		for i, s := range got {
+			names[i] = s.Name()
+		}
+		t.Fatalf("ReadyServers = %v, want [tomcat2]", names)
+	}
+}
+
+func TestNetDelayAddsLatency(t *testing.T) {
+	// Same seed, one request each way; the delayed run must take at least
+	// the injected edge delay longer.
+	rt := func(delay des.Time) float64 {
+		c := New(smallConfig())
+		c.SetNetDelay(App, delay)
+		var took float64
+		c.Submit(func(ok bool) {
+			if !ok {
+				t.Fatal("request failed")
+			}
+			took = float64(c.Eng.Now())
+		})
+		c.Eng.Run()
+		return took
+	}
+	base := rt(0)
+	slow := rt(100 * des.Millisecond)
+	if slow-base < 0.09 {
+		t.Fatalf("injected 100ms edge delay added only %.1fms", (slow-base)*1000)
+	}
+	c := New(smallConfig())
+	c.SetNetDelay(DB, -5)
+	if c.NetDelay(DB) != 0 {
+		t.Fatal("negative delay not clamped to zero")
+	}
+}
+
+func TestWebEdgeDelayDefersSubmission(t *testing.T) {
+	c := New(smallConfig())
+	c.SetNetDelay(Web, 50*des.Millisecond)
+	var finished des.Time
+	c.Submit(func(ok bool) { finished = c.Eng.Now() })
+	c.Eng.Run()
+	if finished < 50*des.Millisecond {
+		t.Fatalf("request finished at %v despite 50ms client edge delay", finished)
+	}
+}
+
+func TestBootFactorStretchesPreparation(t *testing.T) {
+	c := New(smallConfig()) // PrepDelay = 2 s
+	c.SetBootFactor(3)
+	var readyAt des.Time
+	c.AddVM(App, func(srv *server.Server) { readyAt = c.Eng.Now() })
+	c.Eng.RunUntil(10)
+	if readyAt != 6 {
+		t.Fatalf("slow boot ready at %v, want 6 (2s x3)", readyAt)
+	}
+	// Restoring the factor affects only new boots.
+	c.SetBootFactor(1)
+	start := c.Eng.Now()
+	c.AddVM(App, func(srv *server.Server) { readyAt = c.Eng.Now() })
+	c.Eng.RunUntil(20)
+	if readyAt != start+2 {
+		t.Fatalf("nominal boot ready at %v, want %v", readyAt, start+2)
+	}
+}
+
+func TestBootFactorRejectsNonPositive(t *testing.T) {
+	c := New(smallConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.SetBootFactor(0)
+}
+
+// TestDoneExactlyOnceUnderCombinedFaults extends the conservation law to
+// the full chaos vocabulary: network delay on every edge, CPU
+// interference, crashes, and slow boots, all while requests are in
+// flight. Every submitted request must still complete exactly once.
+func TestDoneExactlyOnceUnderCombinedFaults(t *testing.T) {
+	cfg := smallConfig()
+	cfg.App = 2
+	cfg.DB = 2
+	cfg.Seed = 7
+	c := New(cfg)
+
+	const total = 3000
+	doneCount := make([]int, total)
+	issued := 0
+	var pump func()
+	pump = func() {
+		for i := 0; i < 20 && issued < total; i++ {
+			idx := issued
+			issued++
+			c.Submit(func(bool) { doneCount[idx]++ })
+		}
+		if issued < total {
+			c.Eng.After(0.02, pump)
+		}
+	}
+	c.Eng.At(0, pump)
+
+	// The chaos vocabulary, overlapping in flight.
+	c.Eng.At(0.2, func() { c.SetNetDelay(App, 30*des.Millisecond) })
+	c.Eng.At(0.4, func() { c.SetNetDelay(DB, 50*des.Millisecond) })
+	c.Eng.At(0.5, func() {
+		for _, srv := range c.ReadyServers(App) {
+			srv.SetCPUSlowdown(srv.CPUSlowdown() * 3)
+		}
+	})
+	c.Eng.At(0.7, func() { c.SetBootFactor(4) })
+	c.Eng.At(0.8, func() { c.KillVMIndex(DB, 0) })
+	c.Eng.At(1.0, func() { c.AddVM(DB, nil) })
+	c.Eng.At(1.2, func() { c.SetNetDelay(Web, 20*des.Millisecond) })
+	c.Eng.At(1.4, func() { c.KillVMIndex(App, 1) })
+	c.Eng.At(1.6, func() {
+		for _, srv := range c.ReadyServers(App) {
+			srv.SetCPUSlowdown(srv.CPUSlowdown() / 3)
+		}
+	})
+	c.Eng.At(1.8, func() { c.SetNetDelay(App, 0) })
+	c.Eng.At(2.0, func() { c.SetNetDelay(DB, 0) })
+	c.Eng.At(2.2, func() { c.AddVM(App, nil) })
+	c.Eng.At(2.4, func() { c.SetNetDelay(Web, 0) })
+
+	c.Eng.Run()
+	for i, n := range doneCount {
+		if n != 1 {
+			t.Fatalf("request %d completed %d times", i, n)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"conscale/internal/cluster"
 	"conscale/internal/des"
+	"conscale/internal/plot"
 )
 
 // WriteTimelineCSV emits a run's per-second series (the data behind the
@@ -151,6 +152,69 @@ func RenderRunSummary(w io.Writer, r *RunResult) {
 		r.Mode, r.Trace, r.P95*1000, r.P99*1000, r.MaxRT()*1000, r.ErrorRate, r.Goodput)
 	for _, e := range r.Events {
 		fmt.Fprintf(w, "  t=%5.0fs %-10s %-6s %s\n", float64(e.Time), e.Kind, e.Tier, e.Detail)
+	}
+}
+
+// RenderChaosTable prints the robustness matrix grouped by scenario.
+func RenderChaosTable(w io.Writer, rows []ChaosRow) {
+	fmt.Fprintf(w, "%-14s %-16s %9s %9s %7s %9s %8s\n",
+		"scenario", "controller", "p95", "p99", "err", "goodput", "faults")
+	prev := ""
+	for _, r := range rows {
+		scen := r.Scenario
+		if scen == prev {
+			scen = ""
+		} else if prev != "" {
+			fmt.Fprintln(w)
+		}
+		prev = r.Scenario
+		fmt.Fprintf(w, "%-14s %-16s %7.0fms %7.0fms %6.1f%% %9d %8d\n",
+			scen, r.Mode.String(), r.P95*1000, r.P99*1000, r.ErrorRate*100, r.Goodput, r.Windows)
+	}
+}
+
+// RenderChaosTimeline draws a run's per-second response-time chart with a
+// fault-window overlay bar ('#' marks seconds inside at least one fault
+// window) and lists the activated faults.
+func RenderChaosTimeline(w io.Writer, title string, r *RunResult) {
+	const width, gutter = 72, 10
+	xs := make([]float64, 0, len(r.Timeline))
+	ys := make([]float64, 0, len(r.Timeline))
+	var maxT float64
+	for _, p := range r.Timeline {
+		rt := p.MeanRT * 1000
+		if math.IsNaN(rt) {
+			rt = 0
+		}
+		xs = append(xs, float64(p.Time))
+		ys = append(ys, rt)
+		maxT = float64(p.Time)
+	}
+	fmt.Fprint(w, plot.New(title, width, 12).
+		Labels("time (s)", "mean RT (ms)").
+		Line(r.Mode.String(), xs, ys, '*').
+		Render())
+	if maxT <= 0 || len(r.FaultWindows) == 0 {
+		return
+	}
+	// Overlay bar aligned with the chart's plot columns: '#' where the
+	// second maps into an active fault window.
+	overlay := make([]byte, width)
+	for i := range overlay {
+		overlay[i] = ' '
+	}
+	for _, fw := range r.FaultWindows {
+		lo := int(float64(fw.Start) / maxT * float64(width-1))
+		hi := int(float64(fw.End) / maxT * float64(width-1))
+		for col := lo; col <= hi && col < width; col++ {
+			if col >= 0 {
+				overlay[col] = '#'
+			}
+		}
+	}
+	fmt.Fprintf(w, "%*s |%s\n", gutter-2, "faults", overlay)
+	for _, fw := range r.FaultWindows {
+		fmt.Fprintf(w, "%*s  %s\n", gutter-2, "", fw)
 	}
 }
 

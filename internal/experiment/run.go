@@ -9,6 +9,7 @@ package experiment
 import (
 	"math"
 
+	"conscale/internal/chaos"
 	"conscale/internal/cluster"
 	"conscale/internal/des"
 	"conscale/internal/metrics"
@@ -42,6 +43,12 @@ type RunConfig struct {
 	// DatasetChangeTo — the system-state change of Fig. 11.
 	DatasetChangeAt des.Time
 	DatasetChangeTo float64
+
+	// Chaos (if non-nil) arms the fault schedule on the run. An empty
+	// schedule is bit-identical to nil: the injector's random stream is
+	// derived from the run seed but consumed only by the schedule's own
+	// random draws.
+	Chaos *chaos.Schedule
 
 	// WarmupSkip excludes the initial span from tail-latency statistics.
 	WarmupSkip des.Time
@@ -96,6 +103,10 @@ type RunResult struct {
 
 	// FinalEstimates is ConScale's per-server SCT view at the end.
 	FinalEstimates map[string]sct.Estimate
+
+	// FaultWindows lists the chaos faults that activated during the run
+	// (empty without a schedule) — the overlay data for timelines.
+	FaultWindows []chaos.Window
 }
 
 // Run executes one full scaling experiment.
@@ -148,6 +159,12 @@ func Run(cfg RunConfig) *RunResult {
 		c.Eng.At(cfg.DatasetChangeAt, func() { c.SetDatasetScale(cfg.DatasetChangeTo) })
 	}
 
+	var inj *chaos.Injector
+	if cfg.Chaos != nil {
+		inj = chaos.NewInjector(c, cfg.Chaos, cfg.Seed^0xc4a05)
+		inj.Arm()
+	}
+
 	gen.Start()
 	c.Eng.RunUntil(cfg.Duration)
 	sampler.Stop()
@@ -158,6 +175,9 @@ func Run(cfg RunConfig) *RunResult {
 
 	res.Timeline = trimTimeline(gen.Timeline(), cfg.Duration)
 	res.Events = f.Events()
+	if inj != nil {
+		res.FaultWindows = inj.Windows()
+	}
 	res.Warehouse = f.Warehouse()
 	res.FinalEstimates = f.Estimates()
 

@@ -1,0 +1,52 @@
+package scaling
+
+import (
+	"testing"
+
+	"conscale/internal/cluster"
+)
+
+// TestFrameworkRepairsDeadTier: when a crash empties a tier, its CPU
+// signal reads zero and the threshold rule alone would never act. The
+// repair path must re-provision the tier.
+func TestFrameworkRepairsDeadTier(t *testing.T) {
+	c := testCluster(1) // PrepDelay 5 s
+	f := New(c, DefaultConfig(EC2))
+	f.Start()
+	drive(c, 500, 120)
+
+	c.Eng.At(10, func() {
+		if got := c.KillVM(cluster.DB); got == "" {
+			t.Error("kill failed")
+		}
+	})
+	c.Eng.RunUntil(40)
+	f.Stop()
+
+	if got := c.ReadyCount(cluster.DB); got < 1 {
+		t.Fatalf("DB tier still dark after repair window: ReadyCount = %d", got)
+	}
+	var repairs []Event
+	for _, e := range f.Events() {
+		if e.Kind == Repair && e.Tier == cluster.DB {
+			repairs = append(repairs, e)
+		}
+	}
+	if len(repairs) < 2 { // provisioning + ready
+		t.Fatalf("repair events = %d, want provisioning + ready", len(repairs))
+	}
+	// The replacement must arrive one preparation period after detection,
+	// and only one replacement may be provisioned (no repair storm).
+	if dt := repairs[1].Time - repairs[0].Time; dt < 5 || dt > 6 {
+		t.Fatalf("replacement took %v s, want ~PrepDelay (5 s)", dt)
+	}
+	if c.ReadyCount(cluster.DB) > 1 {
+		t.Fatalf("repair storm: %d DB VMs", c.ReadyCount(cluster.DB))
+	}
+}
+
+func TestRepairEventKindString(t *testing.T) {
+	if Repair.String() != "repair" {
+		t.Fatalf("Repair.String() = %q", Repair.String())
+	}
+}

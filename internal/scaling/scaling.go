@@ -155,6 +155,11 @@ const (
 	ScaleOut EventKind = iota
 	ScaleIn
 	SoftAdapt
+	// Repair is emitted when the framework re-provisions a tier whose last
+	// VM vanished outside its own actions (a cloud-side crash): the CPU
+	// signal of an empty tier reads zero, so the threshold rule alone would
+	// leave the tier dark forever.
+	Repair
 )
 
 // String implements fmt.Stringer.
@@ -166,6 +171,8 @@ func (k EventKind) String() string {
 		return "scale-in"
 	case SoftAdapt:
 		return "soft-adapt"
+	case Repair:
+		return "repair"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -296,10 +303,35 @@ func (f *Framework) Stop() {
 // decide applies the threshold rule to the app and DB tiers, plus the
 // SLA trigger when configured.
 func (f *Framework) decide() {
+	for _, tier := range []cluster.Tier{cluster.Web, cluster.App, cluster.DB} {
+		f.repairTier(tier)
+	}
 	for _, tier := range []cluster.Tier{cluster.App, cluster.DB} {
 		f.decideTier(tier)
 	}
 	f.decideSLA()
+}
+
+// repairTier re-provisions a tier with zero ready VMs. Scale-in never
+// empties a tier, so this only fires when external faults (crash
+// injection) killed the last VM; without it the tier's CPU signal reads
+// zero and the threshold rule never recovers the system.
+func (f *Framework) repairTier(tier cluster.Tier) {
+	if f.c.ReadyCount(tier) > 0 || f.pendingScale[tier] {
+		return
+	}
+	f.pendingScale[tier] = true
+	now := f.c.Eng.Now()
+	f.log(Event{Time: now, Kind: Repair, Tier: tier, Detail: "tier dark: provisioning replacement"})
+	launched := f.c.AddVM(tier, func(srv *server.Server) {
+		f.pendingScale[tier] = false
+		f.lastOut[tier] = f.c.Eng.Now()
+		f.log(Event{Time: f.c.Eng.Now(), Kind: Repair, Tier: tier, Detail: srv.Name() + " ready"})
+		f.afterHardwareScaling(tier)
+	})
+	if !launched {
+		f.pendingScale[tier] = false
+	}
 }
 
 // decideSLA feeds the web tier's measured response times into the sliding

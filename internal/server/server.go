@@ -99,6 +99,11 @@ type Server struct {
 	overhead Overhead
 	demandCV float64
 
+	// cpuSlowdown is the capacity-degradation factor (1 = nominal): noisy
+	// neighbors on the VM's physical host stealing cycles make every CPU
+	// burst take this many times its nominal duration.
+	cpuSlowdown float64
+
 	rec *metrics.Recorder
 
 	callPool *ConnPool // outbound pool for UseServerPool calls (may be nil)
@@ -136,6 +141,7 @@ func New(eng *des.Engine, rnd *rng.Source, cfg Config) *Server {
 		acceptCap:   cfg.AcceptQueue,
 		overhead:    cfg.Overhead,
 		demandCV:    cfg.DemandCV,
+		cpuSlowdown: 1,
 		rec:         metrics.NewRecorder(window),
 	}
 	if cfg.DiskChans > 0 {
@@ -152,6 +158,23 @@ func (s *Server) Cores() int { return s.cpu.Channels() }
 
 // SetCores vertically scales the VM.
 func (s *Server) SetCores(n int) { s.cpu.SetChannels(n) }
+
+// SetCPUSlowdown sets the capacity-degradation factor: CPU bursts take
+// f times their nominal duration while it is in effect — the noisy-neighbor
+// interference a VM suffers when co-located tenants contend for its host's
+// cores. f must be positive; 1 restores nominal capacity. The factor
+// applies to bursts started after the call; bursts already on a core
+// finish at their old speed (the hypervisor does not re-plan running
+// quanta retroactively).
+func (s *Server) SetCPUSlowdown(f float64) {
+	if f <= 0 {
+		panic("server: non-positive CPU slowdown")
+	}
+	s.cpuSlowdown = f
+}
+
+// CPUSlowdown returns the current capacity-degradation factor (1 = nominal).
+func (s *Server) CPUSlowdown() float64 { return s.cpuSlowdown }
 
 // ThreadLimit returns the soft-resource thread pool size.
 func (s *Server) ThreadLimit() int { return s.threadLimit }
@@ -273,7 +296,7 @@ func (s *Server) step(req *Request) {
 	req.phase++
 	switch ph.Kind {
 	case PhaseCPU:
-		d := s.jitter(ph.Duration) * des.Time(s.overhead.Factor(s.active, s.cpu.Channels()))
+		d := s.jitter(ph.Duration) * des.Time(s.overhead.Factor(s.active, s.cpu.Channels())*s.cpuSlowdown)
 		s.cpu.Demand(d, func() { s.step(req) })
 	case PhaseDisk:
 		if s.disk == nil {

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"testing"
+
+	"conscale/internal/des"
+	"conscale/internal/rng"
+)
+
+// slowdownConfig is a deterministic single-core server (no demand jitter)
+// so burst durations are exactly predictable.
+func slowdownConfig() Config {
+	return Config{
+		Name:        "victim",
+		Cores:       1,
+		ThreadLimit: 4,
+		AcceptQueue: 16,
+	}
+}
+
+func TestCPUSlowdownStretchesBursts(t *testing.T) {
+	run := func(factor float64) des.Time {
+		eng := des.New()
+		s := New(eng, rng.New(1), slowdownConfig())
+		if factor != 1 {
+			s.SetCPUSlowdown(factor)
+		}
+		var finished des.Time
+		s.Submit(&Request{
+			Phases: []Phase{{Kind: PhaseCPU, Duration: 10 * des.Millisecond}},
+			Done:   func(ok bool) { finished = eng.Now() },
+		})
+		eng.Run()
+		return finished
+	}
+	base := run(1)
+	slowed := run(2.5)
+	if base <= 0 {
+		t.Fatal("baseline request never finished")
+	}
+	ratio := float64(slowed) / float64(base)
+	if ratio < 2.4 || ratio > 2.6 {
+		t.Fatalf("slowdown x2.5 stretched burst by x%.2f", ratio)
+	}
+}
+
+func TestCPUSlowdownRestores(t *testing.T) {
+	eng := des.New()
+	s := New(eng, rng.New(1), slowdownConfig())
+	s.SetCPUSlowdown(4)
+	s.SetCPUSlowdown(s.CPUSlowdown() / 4)
+	if got := s.CPUSlowdown(); got != 1 {
+		t.Fatalf("CPUSlowdown = %v after restore", got)
+	}
+}
+
+func TestCPUSlowdownRejectsNonPositive(t *testing.T) {
+	eng := des.New()
+	s := New(eng, rng.New(1), slowdownConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.SetCPUSlowdown(0)
+}
