@@ -1,0 +1,281 @@
+// Command benchreport measures the repo's performance-critical paths and
+// writes the results as a machine-readable JSON file (BENCH_2.json), so
+// every future change has a perf trajectory to compare against:
+//
+//   - DES engine microbenchmarks (inline 4-ary heap) against the frozen
+//     container/heap baseline in internal/des/baseline — ns/op, B/op,
+//     allocs/op for the schedule→fire hot path, a 1k-deep heap, and the
+//     cancel-heavy Ticker pattern;
+//   - metrics.Recorder Arrive/Depart and window-close costs;
+//   - the end-to-end experiment harness: the Table 1 run matrix executed
+//     sequentially and with the parallel worker pool, wall-clock for both,
+//     plus a byte-identity check that the fan-out changes nothing.
+//
+// Usage:
+//
+//	benchreport -out BENCH_2.json          # full measurement
+//	benchreport -short -out BENCH_2.json   # CI smoke (seconds, not minutes)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"conscale/internal/des"
+	"conscale/internal/des/baseline"
+	"conscale/internal/experiment"
+	"conscale/internal/metrics"
+	"conscale/internal/scaling"
+	"conscale/internal/workload"
+)
+
+// Result is one microbenchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Harness records the end-to-end experiment fan-out measurement.
+type Harness struct {
+	Experiment    string  `json:"experiment"`
+	Workers       int     `json:"workers"`
+	SequentialSec float64 `json:"sequential_seconds"`
+	ParallelSec   float64 `json:"parallel_seconds"`
+	Speedup       float64 `json:"speedup"`
+	OutputsMatch  bool    `json:"outputs_byte_identical"`
+}
+
+// Report is the BENCH_2.json document.
+type Report struct {
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Short      bool               `json:"short"`
+	Benchmarks []Result           `json:"benchmarks"`
+	Harness    Harness            `json:"harness"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+func measure(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		Ops:         r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_2.json", "output path for the JSON report")
+		short = flag.Bool("short", false, "shrink the harness measurement for CI smoke runs")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Schema:     "conscale-bench/2",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Short:      *short,
+		Derived:    map[string]float64{},
+	}
+
+	fmt.Println("== DES engine microbenchmarks (inline 4-ary heap vs container/heap baseline)")
+	rep.Benchmarks = append(rep.Benchmarks,
+		measure("des/schedule_fire", func(b *testing.B) {
+			b.ReportAllocs()
+			e := des.New()
+			fn := func() {}
+			for i := 0; i < b.N; i++ {
+				e.After(1, fn)
+				e.Step()
+			}
+		}),
+		measure("des_baseline/schedule_fire", func(b *testing.B) {
+			b.ReportAllocs()
+			e := baseline.New()
+			fn := func() {}
+			for i := 0; i < b.N; i++ {
+				e.After(1, fn)
+				e.Step()
+			}
+		}),
+		measure("des/schedule_fire_depth1k", func(b *testing.B) {
+			b.ReportAllocs()
+			e := des.New()
+			fn := func() {}
+			for i := 0; i < 1000; i++ {
+				e.After(des.Time(1+i), fn)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.After(1000, fn)
+				e.Step()
+			}
+		}),
+		measure("des_baseline/schedule_fire_depth1k", func(b *testing.B) {
+			b.ReportAllocs()
+			e := baseline.New()
+			fn := func() {}
+			for i := 0; i < 1000; i++ {
+				e.After(baseline.Time(1+i), fn)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.After(1000, fn)
+				e.Step()
+			}
+		}),
+		measure("des/cancel_heavy", func(b *testing.B) {
+			b.ReportAllocs()
+			e := des.New()
+			fn := func() {}
+			for i := 0; i < b.N; i++ {
+				h := e.After(1, fn)
+				e.After(1, fn)
+				h.Cancel()
+				e.Step()
+			}
+		}),
+		measure("des_baseline/cancel_heavy", func(b *testing.B) {
+			b.ReportAllocs()
+			e := baseline.New()
+			fn := func() {}
+			for i := 0; i < b.N; i++ {
+				h := e.After(1, fn)
+				e.After(1, fn)
+				h.Cancel()
+				e.Step()
+			}
+		}),
+	)
+
+	fmt.Println("== metrics.Recorder microbenchmarks")
+	rep.Benchmarks = append(rep.Benchmarks,
+		measure("metrics/arrive_depart", func(b *testing.B) {
+			b.ReportAllocs()
+			r := metrics.NewRecorder(50 * des.Millisecond)
+			now := des.Time(0.001)
+			for i := 0; i < b.N; i++ {
+				r.Arrive(now)
+				r.Depart(now, 0.002)
+			}
+		}),
+		measure("metrics/window_advance", func(b *testing.B) {
+			b.ReportAllocs()
+			r := metrics.NewRecorder(50 * des.Millisecond)
+			now := des.Time(0)
+			for i := 0; i < b.N; i++ {
+				r.Arrive(now)
+				r.Depart(now, 0.002)
+				now += 50 * des.Millisecond
+				if i%1024 == 1023 {
+					r.Flush(now)
+				}
+			}
+		}),
+	)
+	for _, r := range rep.Benchmarks {
+		fmt.Printf("   %-36s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	// Headline derived numbers: the acceptance criteria of the perf work.
+	byName := map[string]Result{}
+	for _, r := range rep.Benchmarks {
+		byName[r.Name] = r
+	}
+	if n, b := byName["des/schedule_fire"], byName["des_baseline/schedule_fire"]; b.AllocsPerOp > 0 {
+		rep.Derived["des_allocs_reduction_pct"] = 100 * float64(b.AllocsPerOp-n.AllocsPerOp) / float64(b.AllocsPerOp)
+		rep.Derived["des_ns_speedup"] = b.NsPerOp / n.NsPerOp
+	}
+
+	fmt.Println("== experiment harness wall time (sequential vs parallel, byte-identity checked)")
+	rep.Harness = measureHarness(*short)
+	rep.Derived["harness_speedup"] = rep.Harness.Speedup
+	fmt.Printf("   %s: sequential %.1fs, parallel %.1fs (workers=%d) -> %.2fx, identical=%v\n",
+		rep.Harness.Experiment, rep.Harness.SequentialSec, rep.Harness.ParallelSec,
+		rep.Harness.Workers, rep.Harness.Speedup, rep.Harness.OutputsMatch)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	if !rep.Harness.OutputsMatch {
+		fmt.Fprintln(os.Stderr, "FAIL: parallel harness output diverged from sequential")
+		os.Exit(1)
+	}
+}
+
+// measureHarness times the Table 1 run matrix (the harness's dominant
+// cost) sequentially and under the worker pool, and verifies the rendered
+// outputs are byte-identical.
+func measureHarness(short bool) Harness {
+	duration := 720 * des.Second
+	users := 7500
+	label := "table1 matrix (6 traces x 2 controllers, 720s)"
+	if short {
+		duration = 120 * des.Second
+		users = 3000
+		label = "table1 matrix (6 traces x 2 controllers, 120s smoke)"
+	}
+	cfgs := make([]experiment.RunConfig, 0, 12)
+	for _, tr := range workload.Names() {
+		for _, mode := range []scaling.Mode{scaling.EC2, scaling.ConScale} {
+			cfg := experiment.DefaultRunConfig(mode, tr)
+			cfg.Duration = duration
+			cfg.MaxUsers = users
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	render := func() []byte {
+		var buf bytes.Buffer
+		for _, res := range experiment.RunMany(cfgs) {
+			experiment.RenderRunSummary(&buf, res)
+		}
+		return buf.Bytes()
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	experiment.SetMaxWorkers(1)
+	t0 := time.Now()
+	seq := render()
+	seqSec := time.Since(t0).Seconds()
+
+	experiment.SetMaxWorkers(workers)
+	t0 = time.Now()
+	par := render()
+	parSec := time.Since(t0).Seconds()
+
+	return Harness{
+		Experiment:    label,
+		Workers:       workers,
+		SequentialSec: seqSec,
+		ParallelSec:   parSec,
+		Speedup:       seqSec / parSec,
+		OutputsMatch:  bytes.Equal(seq, par),
+	}
+}

@@ -1,11 +1,14 @@
 // Command experiments regenerates the paper's tables and figures. Each
 // experiment writes its dataset as CSV files under -out and prints a
-// human-readable summary to stdout.
+// human-readable summary to stdout. Independent runs inside each
+// experiment fan out over -parallel workers (default: GOMAXPROCS) with
+// output byte-identical to a sequential execution.
 //
 // Usage:
 //
 //	experiments -run all -out results/
-//	experiments -run table1
+//	experiments -run all -parallel 8
+//	experiments -run table1 -cpuprofile cpu.pprof
 //	experiments -run fig3,fig7
 //	experiments -run ablations
 package main
@@ -15,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,14 +42,18 @@ var runners = []struct {
 	{"fig11", "DCM (stale profile) vs ConScale after a system-state change", runFig11},
 	{"ablations", "A1 window size, A2 Qupper, A3 LB policy, A4 cooldown", runAblations},
 	{"chaos", "Controller robustness under injected cloud faults", runChaos},
+	{"report", "All-in-one reproduction report (Table I + Fig. 3 + Fig. 11)", runReport},
 }
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		out  = flag.String("out", "results", "output directory for CSV datasets")
-		seed = flag.Uint64("seed", 1, "experiment seed")
-		list = flag.Bool("list", false, "list available experiments and exit")
+		run        = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		out        = flag.String("out", "results", "output directory for CSV datasets")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker fan-out for independent runs (1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -58,6 +67,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	experiment.SetMaxWorkers(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	want := map[string]bool{}
 	all := *run == "all"
@@ -66,6 +90,7 @@ func main() {
 	}
 
 	ran := 0
+	total := time.Now()
 	for _, r := range runners {
 		if !all && !want[r.name] {
 			continue
@@ -82,6 +107,22 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *run)
 		os.Exit(2)
+	}
+	fmt.Printf("total: %d experiments in %.1fs (workers=%d)\n",
+		ran, time.Since(total).Seconds(), experiment.MaxWorkers())
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,125 @@
+// Package baseline freezes the original container/heap discrete-event
+// engine (one boxed *event allocation per scheduled closure, plus a boxed
+// handle) exactly as it shipped before the inline 4-ary heap landed in
+// internal/des. It exists only as the comparison arm of the engine
+// microbenchmarks and of cmd/benchreport's BENCH_2.json perf trajectory —
+// nothing in the simulator imports it. Do not "fix" or optimise it: its
+// value is being the unoptimised reference.
+package baseline
+
+import "container/heap"
+
+// Time mirrors des.Time.
+type Time float64
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct {
+	ev *event
+}
+
+// Cancel removes the event from the schedule.
+func (h *Handle) Cancel() bool {
+	if h == nil || h.ev == nil || h.ev.fn == nil {
+		return false
+	}
+	h.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h *Handle) Pending() bool { return h != nil && h.ev != nil && h.ev.fn != nil }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the frozen boxed-event simulator.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of heap entries, including cancelled ones —
+// the historical (buggy) semantics, frozen along with the rest.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at absolute virtual time t.
+func (e *Engine) At(t Time, fn func()) *Handle {
+	if t < e.now {
+		panic("baseline: event scheduled in the past")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Handle{ev: ev}
+}
+
+// After schedules fn d seconds of virtual time from now.
+func (e *Engine) After(d Time, fn func()) *Handle {
+	if d < 0 {
+		panic("baseline: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to it.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run drains all events. It returns the final clock value.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// Stop makes the current Run return after the current event.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// The frozen engine must stay a correct reference: time-sorted execution,
+// tie-break by scheduling order.
+func TestBaselineRunsInTimeOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkBaselineScheduleFire is the comparison arm of
+// BenchmarkEngineScheduleFire in internal/des: the boxed container/heap
+// hot path (expected: 2 allocs/op — one *event, one *Handle).
+func BenchmarkBaselineScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkBaselineScheduleFireDepth1k mirrors
+// BenchmarkEngineScheduleFireDepth1k.
+func BenchmarkBaselineScheduleFireDepth1k(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	fn := func() {}
+	for i := 0; i < 1000; i++ {
+		e.After(Time(1+i), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1000, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkBaselineCancelHeavy mirrors BenchmarkEngineCancelHeavy.
+func BenchmarkBaselineCancelHeavy(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.After(1, fn)
+		e.After(1, fn)
+		h.Cancel()
+		e.Step()
+	}
+}

@@ -7,9 +7,20 @@
 // deterministic. The engine is single-goroutine by design: the paper's
 // testbed behaviour is reproduced by explicit queueing in the server model,
 // not by goroutine interleaving, which keeps every experiment replayable.
+// (Separate Engines are fully independent, so whole runs can execute in
+// parallel — see internal/experiment's harness.)
+//
+// The schedule is an inline value-typed 4-ary min-heap over compact
+// (time, seq, slot) entries; the closures live in a slot table recycled
+// through a free list. A schedule→fire cycle therefore allocates nothing
+// in steady state — entries and slots are reused — which matters because a
+// 12-minute cluster run fires tens of millions of events. Handles are
+// generation-counted so Cancel and Pending stay safe across slot reuse.
+// Cancellation is lazy (the heap entry is abandoned and skipped when it
+// surfaces), with an opportunistic compaction pass when abandoned entries
+// outnumber live ones — the Ticker-heavy cancel pattern cannot grow the
+// heap unboundedly. See DESIGN.md "Performance engineering".
 package des
-
-import "container/heap"
 
 // Time is virtual simulation time in seconds.
 type Time float64
@@ -20,56 +31,77 @@ const (
 	Second      Time = 1
 )
 
-// Handle identifies a scheduled event and allows cancellation.
+// Handle identifies a scheduled event and allows cancellation. The zero
+// Handle is valid and behaves as an already-fired event. Handles are
+// generation-counted: once the event fires or its slot is recycled, stale
+// copies report not-pending and refuse to cancel.
 type Handle struct {
-	ev *event
+	e    *Engine
+	slot int32
+	gen  uint64
 }
 
 // Cancel removes the event from the schedule. Cancelling an already-fired
 // or already-cancelled event is a no-op. It reports whether the event was
 // still pending.
-func (h *Handle) Cancel() bool {
-	if h == nil || h.ev == nil || h.ev.fn == nil {
+//
+// Cancel is O(1): the closure is released immediately (so Ticker-captured
+// state does not linger) and the heap entry is abandoned in place, to be
+// skipped on pop or swept by compaction.
+func (h Handle) Cancel() bool {
+	e := h.e
+	if e == nil || h.slot < 0 || int(h.slot) >= len(e.slots) {
 		return false
 	}
-	h.ev.fn = nil
+	s := &e.slots[h.slot]
+	if s.gen != h.gen || s.fn == nil {
+		return false
+	}
+	s.fn = nil
+	e.live--
+	e.abandoned++
+	e.maybeCompact()
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
-func (h *Handle) Pending() bool { return h != nil && h.ev != nil && h.ev.fn != nil }
-
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h Handle) Pending() bool {
+	e := h.e
+	if e == nil || h.slot < 0 || int(h.slot) >= len(e.slots) {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	s := &e.slots[h.slot]
+	return s.gen == h.gen && s.fn != nil
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// entry is one heap element: 24 bytes, no pointers into the heap itself.
+type entry struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+// slot holds a scheduled closure plus the generation guard for its handles.
+type slot struct {
+	fn  func()
+	gen uint64
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now  Time
+	seq  uint64
+	heap []entry
+
+	slots []slot
+	free  []int32
+
+	// live counts scheduled-and-not-cancelled events; abandoned counts
+	// cancelled entries still sitting in the heap (live+abandoned ==
+	// len(heap)).
+	live      int
+	abandoned int
+
 	stopped bool
 	fired   uint64
 }
@@ -84,25 +116,37 @@ func (e *Engine) Now() Time { return e.now }
 // progress reporting).
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still scheduled, including cancelled
-// events that have not yet been popped.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of events still scheduled. Cancelled events
+// are excluded, even if their abandoned heap entries have not been swept
+// yet.
+func (e *Engine) Pending() int { return e.live }
 
 // At schedules fn at absolute virtual time t. Scheduling in the past panics:
 // it is always a simulation bug and silently reordering would corrupt the
 // causality of the run.
-func (e *Engine) At(t Time, fn func()) *Handle {
+func (e *Engine) At(t Time, fn func()) Handle {
 	if t < e.now {
 		panic("des: event scheduled in the past")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		idx = int32(len(e.slots))
+		e.slots = append(e.slots, slot{})
+	}
+	s := &e.slots[idx]
+	s.fn = fn
+	e.live++
+	e.heap = append(e.heap, entry{at: t, seq: e.seq, slot: idx})
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Handle{ev: ev}
+	e.siftUp(len(e.heap) - 1)
+	return Handle{e: e, slot: idx, gen: s.gen}
 }
 
 // After schedules fn d seconds of virtual time from now. Negative d panics.
-func (e *Engine) After(d Time, fn func()) *Handle {
+func (e *Engine) After(d Time, fn func()) Handle {
 	if d < 0 {
 		panic("des: negative delay")
 	}
@@ -125,7 +169,7 @@ type Ticker struct {
 	engine  *Engine
 	period  Time
 	fn      func()
-	handle  *Handle
+	handle  Handle
 	stopped bool
 }
 
@@ -141,7 +185,9 @@ func (t *Ticker) arm() {
 	})
 }
 
-// Stop cancels future ticks. Safe to call multiple times.
+// Stop cancels future ticks. Safe to call multiple times. The pending
+// tick's closure is released immediately; it does not linger until the
+// engine drains past its scheduled time.
 func (t *Ticker) Stop() {
 	t.stopped = true
 	t.handle.Cancel()
@@ -150,14 +196,19 @@ func (t *Ticker) Stop() {
 // Step executes the next pending event, advancing the clock to it. It
 // returns false when no events remain.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.fn == nil { // cancelled
+	for len(e.heap) > 0 {
+		en := e.heap[0]
+		e.popTop()
+		s := &e.slots[en.slot]
+		if s.fn == nil { // cancelled: abandoned entry surfacing
+			e.abandoned--
+			e.freeSlot(en.slot)
 			continue
 		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
+		fn := s.fn
+		e.freeSlot(en.slot)
+		e.live--
+		e.now = en.at
 		e.fired++
 		fn()
 		return true
@@ -194,12 +245,113 @@ func (e *Engine) RunUntil(deadline Time) Time {
 func (e *Engine) Stop() { e.stopped = true }
 
 func (e *Engine) peek() (Time, bool) {
-	for len(e.events) > 0 {
-		if e.events[0].fn == nil {
-			heap.Pop(&e.events)
+	for len(e.heap) > 0 {
+		en := e.heap[0]
+		if e.slots[en.slot].fn == nil {
+			e.popTop()
+			e.abandoned--
+			e.freeSlot(en.slot)
 			continue
 		}
-		return e.events[0].at, true
+		return en.at, true
 	}
 	return 0, false
+}
+
+// freeSlot recycles a slot, bumping its generation so stale handles die.
+func (e *Engine) freeSlot(idx int32) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.gen++
+	e.free = append(e.free, idx)
+}
+
+// maybeCompact sweeps abandoned entries once they outnumber live ones.
+// The bound keeps cancel-heavy workloads (stopped Tickers, re-armed
+// timeouts) from growing the heap past 2× its live size, while the
+// threshold keeps the sweep amortized O(1) per cancellation.
+func (e *Engine) maybeCompact() {
+	if e.abandoned < 64 || e.abandoned <= e.live {
+		return
+	}
+	kept := e.heap[:0]
+	for _, en := range e.heap {
+		if e.slots[en.slot].fn == nil {
+			e.freeSlot(en.slot)
+		} else {
+			kept = append(kept, en)
+		}
+	}
+	e.heap = kept
+	e.abandoned = 0
+	// Floyd heap construction: sift down from the last parent.
+	for i := (len(kept) - 2) / arity; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// The heap is 4-ary: shallower than a binary heap (fewer cache-missing
+// levels per sift) at the cost of three extra comparisons per level, a
+// trade that wins for the small-to-medium heaps simulations hold.
+const arity = 4
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	moving := h[i]
+	for i > 0 {
+		p := (i - 1) / arity
+		if !lessEntry(moving, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = moving
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	moving := h[i]
+	for {
+		first := arity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + arity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if lessEntry(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !lessEntry(h[min], moving) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = moving
+}
+
+func lessEntry(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// popTop removes the minimum entry.
+func (e *Engine) popTop() {
+	n := len(e.heap) - 1
+	if n > 0 {
+		e.heap[0] = e.heap[n]
+	}
+	e.heap = e.heap[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
 }

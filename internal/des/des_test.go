@@ -300,3 +300,239 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 	}
 	e.Run()
 }
+
+// --- regression tests for the inline-heap engine ---
+
+// Pending must count live events only: cancelled-but-unswept heap entries
+// are invisible (the historical engine counted them until drained).
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := New()
+	h1 := e.At(1, func() {})
+	e.At(2, func() {})
+	e.At(3, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	h1.Cancel()
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after cancel = %d, want 2 (cancelled events must not count)", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+// Stopping a Ticker must take effect immediately — the pending tick leaves
+// the live count without waiting for the engine to drain past its time.
+func TestTickerStopDoesNotLinger(t *testing.T) {
+	e := New()
+	tk := e.Every(1000, func() {})
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 armed tick", e.Pending())
+	}
+	tk.Stop()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Stop = %d, want 0: the cancelled tick lingered", e.Pending())
+	}
+	tk.Stop() // idempotent
+	if e.Pending() != 0 {
+		t.Fatalf("second Stop changed Pending to %d", e.Pending())
+	}
+}
+
+// Handles are generation-counted: a handle whose slot has been recycled by
+// a later event must not cancel (or report pending for) the newcomer.
+func TestHandleSafeAcrossSlotReuse(t *testing.T) {
+	e := New()
+	stale := e.At(1, func() {})
+	e.Run() // fires the event, freeing its slot
+	fired := false
+	fresh := e.At(2, func() { fired = true }) // reuses the slot
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending after slot reuse")
+	}
+	if stale.Cancel() {
+		t.Fatal("stale handle cancelled a recycled slot's new event")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event lost by stale-handle interaction")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("fresh event did not fire")
+	}
+}
+
+// The zero Handle is inert.
+func TestZeroHandle(t *testing.T) {
+	var h Handle
+	if h.Pending() {
+		t.Fatal("zero handle pending")
+	}
+	if h.Cancel() {
+		t.Fatal("zero handle cancelled something")
+	}
+}
+
+// Mass cancellation must compact the heap instead of letting abandoned
+// entries accumulate until drained (the stopped-Ticker pattern).
+func TestCancelHeavyCompaction(t *testing.T) {
+	e := New()
+	handles := make([]Handle, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		handles = append(handles, e.At(Time(1000+i), func() {}))
+	}
+	e.At(5000, func() {}) // one survivor
+	for _, h := range handles {
+		h.Cancel()
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	if got := len(e.heap); got > 64 {
+		t.Fatalf("heap holds %d entries after mass cancel, want compaction to ~1", got)
+	}
+	e.Run()
+	if e.Fired() != 1 {
+		t.Fatalf("fired %d events, want 1", e.Fired())
+	}
+}
+
+// Cancelling from inside a running event must be safe and exact.
+func TestCancelDuringRun(t *testing.T) {
+	e := New()
+	var h2 Handle
+	fired2 := false
+	e.At(1, func() { h2.Cancel() })
+	h2 = e.At(2, func() { fired2 = true })
+	e.Run()
+	if fired2 {
+		t.Fatal("event fired despite in-run cancellation")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d at drain", e.Pending())
+	}
+}
+
+// The schedule→fire cycle must not allocate in steady state: entries,
+// slots, and free-list storage are all reused (the allocation budget the
+// perf work targets; see DESIGN.md "Performance engineering").
+func TestScheduleFireAllocBudget(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the engine so slices reach steady-state capacity.
+	for i := 0; i < 64; i++ {
+		e.After(1, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule→fire cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Cancel must not allocate either.
+func TestCancelAllocBudget(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(1, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h := e.After(1, fn)
+		h.Cancel()
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule→cancel cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Property: a deep interleaving of schedules, cancels, and ticks fires in
+// exactly (time, scheduling-order) sequence — the determinism contract the
+// parallel experiment harness relies on.
+func TestQuickCancelMixDeterminism(t *testing.T) {
+	f := func(raw []uint16, cancelMask []bool) bool {
+		run := func() []int {
+			e := New()
+			var fired []int
+			var hs []Handle
+			for i, r := range raw {
+				i := i
+				hs = append(hs, e.At(Time(r%512), func() { fired = append(fired, i) }))
+			}
+			for i, h := range hs {
+				if i < len(cancelMask) && cancelMask[i] {
+					h.Cancel()
+				}
+			}
+			e.Run()
+			return fired
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- microbenchmarks (compare with internal/des/baseline) ---
+
+// BenchmarkEngineScheduleFire is the steady-state hot path: one event
+// scheduled and fired per op with the heap near-empty.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleFireDepth1k keeps ~1000 events pending so every
+// sift traverses a realistically deep heap (a scaled-out cluster run).
+func BenchmarkEngineScheduleFireDepth1k(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	fn := func() {}
+	for i := 0; i < 1000; i++ {
+		e.After(Time(1+i), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1000, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancelHeavy exercises the lazy-cancel + compaction path:
+// every op schedules two events and cancels one (the Ticker re-arm
+// pattern).
+func BenchmarkEngineCancelHeavy(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.After(1, fn)
+		e.After(1, fn)
+		h.Cancel()
+		e.Step()
+	}
+}

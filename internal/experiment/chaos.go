@@ -91,14 +91,24 @@ func ChaosRun(mode scaling.Mode, seed uint64, duration des.Time, sched *chaos.Sc
 // ChaosTable runs every canonical scenario for EC2, DCM, and ConScale and
 // returns the tail-latency matrix — the robustness evaluation headline.
 // Within a scenario all three controllers face the identical schedule.
+// The full scenario×controller matrix fans out over the worker pool (the
+// DCM profile is trained once, up front); rows come back grouped by
+// scenario in canonical order, exactly as the sequential path emitted
+// them.
 func ChaosTable(seed uint64, duration des.Time) []ChaosRow {
 	profile := TrainDCM(seed, cluster.DefaultConfig())
-	var rows []ChaosRow
-	for _, sc := range ChaosScenarios() {
-		rows = append(rows, chaosScenarioRows(sc, seed, duration, profile)...)
-	}
+	scenarios := ChaosScenarios()
+	perScenario := len(chaosModes)
+	rows := make([]ChaosRow, len(scenarios)*perScenario)
+	parallelFor(len(rows), func(i int) {
+		sc := scenarios[i/perScenario]
+		rows[i] = chaosCell(sc, chaosModes[i%perScenario], seed, duration, profile)
+	})
 	return rows
 }
+
+// chaosModes is the canonical controller order of every chaos table.
+var chaosModes = []scaling.Mode{scaling.EC2, scaling.DCM, scaling.ConScale}
 
 // ChaosScenarioTable runs a single named scenario across the three
 // controllers (benchmarks, smoke tests). Unknown names return nil.
@@ -125,33 +135,41 @@ func ChaosTimelines(seed uint64, name string, duration des.Time) []*RunResult {
 			dur = 720 * des.Second
 		}
 		profile := TrainDCM(seed, cluster.DefaultConfig())
-		var out []*RunResult
-		for _, mode := range []scaling.Mode{scaling.EC2, scaling.DCM, scaling.ConScale} {
-			out = append(out, ChaosRun(mode, seed, duration, sc.Build(seed, dur), profile))
-		}
+		out := make([]*RunResult, len(chaosModes))
+		parallelFor(len(chaosModes), func(i int) {
+			// Each run gets its own freshly-built schedule: Build is pure
+			// in (seed, dur), so all controllers face identical faults
+			// without sharing mutable schedule state across goroutines.
+			out[i] = ChaosRun(chaosModes[i], seed, duration, sc.Build(seed, dur), profile)
+		})
 		return out
 	}
 	return nil
 }
 
 func chaosScenarioRows(sc ChaosScenario, seed uint64, duration des.Time, profile scaling.DCMProfile) []ChaosRow {
+	rows := make([]ChaosRow, len(chaosModes))
+	parallelFor(len(chaosModes), func(i int) {
+		rows[i] = chaosCell(sc, chaosModes[i], seed, duration, profile)
+	})
+	return rows
+}
+
+// chaosCell runs one (scenario, controller) pair and folds the result into
+// its table row.
+func chaosCell(sc ChaosScenario, mode scaling.Mode, seed uint64, duration des.Time, profile scaling.DCMProfile) ChaosRow {
 	dur := duration
 	if dur <= 0 {
 		dur = 720 * des.Second
 	}
-	var rows []ChaosRow
-	for _, mode := range []scaling.Mode{scaling.EC2, scaling.DCM, scaling.ConScale} {
-		sched := sc.Build(seed, dur)
-		res := ChaosRun(mode, seed, duration, sched, profile)
-		rows = append(rows, ChaosRow{
-			Scenario:  sc.Name,
-			Mode:      mode,
-			P95:       res.P95,
-			P99:       res.P99,
-			ErrorRate: res.ErrorRate,
-			Goodput:   res.Goodput,
-			Windows:   len(res.FaultWindows),
-		})
+	res := ChaosRun(mode, seed, duration, sc.Build(seed, dur), profile)
+	return ChaosRow{
+		Scenario:  sc.Name,
+		Mode:      mode,
+		P95:       res.P95,
+		P99:       res.P99,
+		ErrorRate: res.ErrorRate,
+		Goodput:   res.Goodput,
+		Windows:   len(res.FaultWindows),
 	}
-	return rows
 }

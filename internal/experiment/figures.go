@@ -48,10 +48,11 @@ func Fig3(seed uint64) Fig3Result {
 	twoBig.Cores = 2
 	twoBig.DatasetScale = 2
 
+	sweeps := SweepMany([]SweepConfig{one, two, twoBig})
 	return Fig3Result{
-		OneCore:         Sweep(one),
-		TwoCore:         Sweep(two),
-		TwoCoreEnlarged: Sweep(twoBig),
+		OneCore:         sweeps[0],
+		TwoCore:         sweeps[1],
+		TwoCoreEnlarged: sweeps[2],
 	}
 }
 
@@ -140,14 +141,20 @@ func Fig7(seed uint64) []Fig7Panel {
 	dbIO := dbCPU
 	dbIO.Mix = rubbos.ReadWrite
 
-	return []Fig7Panel{
-		{Label: "a: MySQL 1-core (browse-only)", Sweep: Sweep(db1)},
-		{Label: "d: MySQL 2-core (browse-only)", Sweep: Sweep(db2)},
-		{Label: "b: Tomcat original dataset", Sweep: Sweep(app)},
-		{Label: "e: Tomcat enlarged dataset", Sweep: Sweep(appBig)},
-		{Label: "c: MySQL CPU-intensive workload", Sweep: Sweep(dbCPU)},
-		{Label: "f: MySQL I/O-intensive workload", Sweep: Sweep(dbIO)},
+	labels := []string{
+		"a: MySQL 1-core (browse-only)",
+		"d: MySQL 2-core (browse-only)",
+		"b: Tomcat original dataset",
+		"e: Tomcat enlarged dataset",
+		"c: MySQL CPU-intensive workload",
+		"f: MySQL I/O-intensive workload",
 	}
+	sweeps := SweepMany([]SweepConfig{db1, db2, app, appBig, dbCPU, dbIO})
+	panels := make([]Fig7Panel, len(labels))
+	for i := range labels {
+		panels[i] = Fig7Panel{Label: labels[i], Sweep: sweeps[i]}
+	}
+	return panels
 }
 
 // TraceSeries is one Fig. 9 panel: a named user curve sampled at 1 s.
@@ -179,7 +186,8 @@ func Fig10(seed uint64) CompareResult {
 	e.Seed = seed
 	c := DefaultRunConfig(scaling.ConScale, workload.LargeVariations)
 	c.Seed = seed
-	return CompareResult{Baseline: Run(e), ConScale: Run(c)}
+	res := RunMany([]RunConfig{e, c})
+	return CompareResult{Baseline: res[0], ConScale: res[1]}
 }
 
 // Fig11 reproduces Figure 11: DCM (profile trained on the original
@@ -202,7 +210,8 @@ func Fig11(seed uint64) CompareResult {
 	c.Seed = seed
 	c.Cluster = &ccfg
 
-	return CompareResult{Baseline: Run(d), ConScale: Run(c)}
+	res := RunMany([]RunConfig{d, c})
+	return CompareResult{Baseline: res[0], ConScale: res[1]}
 }
 
 // Table1Row is one row of Table I: tail latencies for one trace.
@@ -215,14 +224,26 @@ type Table1Row struct {
 // Table1 reproduces Table I: 95th and 99th percentile response times of
 // EC2-AutoScaling vs ConScale under all six bursty traces.
 func Table1(seed uint64) []Table1Row {
-	rows := make([]Table1Row, 0, 6)
-	for _, tr := range workload.Names() {
-		e := DefaultRunConfig(scaling.EC2, tr)
+	return table1(seed, DefaultRunConfig)
+}
+
+// table1 runs the 6×2 (trace, framework) matrix through the worker pool;
+// the config builder is injected so tests can shrink the runs while
+// exercising the same merge path.
+func table1(seed uint64, mkConfig func(scaling.Mode, string) RunConfig) []Table1Row {
+	traces := workload.Names()
+	cfgs := make([]RunConfig, 0, len(traces)*2)
+	for _, tr := range traces {
+		e := mkConfig(scaling.EC2, tr)
 		e.Seed = seed
-		c := DefaultRunConfig(scaling.ConScale, tr)
+		c := mkConfig(scaling.ConScale, tr)
 		c.Seed = seed
-		er := Run(e)
-		cr := Run(c)
+		cfgs = append(cfgs, e, c)
+	}
+	results := RunMany(cfgs)
+	rows := make([]Table1Row, 0, len(traces))
+	for i, tr := range traces {
+		er, cr := results[2*i], results[2*i+1]
 		rows = append(rows, Table1Row{
 			Trace:       tr,
 			EC2P95:      er.P95,
@@ -246,24 +267,29 @@ type AblationRow struct {
 // reports the SCT estimate MySQL gets from the same scenario: too-coarse
 // windows smear the concurrency signal, too-fine ones starve bins.
 func AblationWindowSize(seed uint64) []AblationRow {
-	var rows []AblationRow
-	for _, w := range []des.Time{10 * des.Millisecond, 50 * des.Millisecond, 250 * des.Millisecond, des.Second} {
+	windows := []des.Time{10 * des.Millisecond, 50 * des.Millisecond, 250 * des.Millisecond, des.Second}
+	cfgs := make([]RunConfig, len(windows))
+	for i, w := range windows {
 		ccfg := cluster.DefaultConfig()
 		ccfg.Window = w
 		cfg := DefaultRunConfig(scaling.ConScale, workload.LargeVariations)
 		cfg.Seed = seed
 		cfg.Cluster = &ccfg
-		res := Run(cfg)
+		cfgs[i] = cfg
+	}
+	results := RunMany(cfgs)
+	rows := make([]AblationRow, len(windows))
+	for i, res := range results {
 		detail := "no estimate"
 		if est, ok := res.FinalEstimates["mysql1"]; ok {
 			detail = fmt.Sprintf("mysql1 Qlower=%d Qupper=%d", est.Qlower, est.Qupper)
 		}
-		rows = append(rows, AblationRow{
-			Label:  fmt.Sprintf("window=%dms", int(w/des.Millisecond)),
+		rows[i] = AblationRow{
+			Label:  fmt.Sprintf("window=%dms", int(windows[i]/des.Millisecond)),
 			P95:    res.P95,
 			P99:    res.P99,
 			Detail: detail,
-		})
+		}
 	}
 	return rows
 }
@@ -272,19 +298,20 @@ func AblationWindowSize(seed uint64) []AblationRow {
 // Qupper as the soft-resource setting: both sustain maximum throughput,
 // but the upper bound operates at higher latency.
 func AblationQupper(seed uint64) []AblationRow {
-	var rows []AblationRow
-	for _, upper := range []bool{false, true} {
+	labels := []string{"setting=Qlower", "setting=Qupper"}
+	cfgs := make([]RunConfig, len(labels))
+	for i, upper := range []bool{false, true} {
 		fcfg := scaling.DefaultConfig(scaling.ConScale)
 		fcfg.UseQupper = upper
 		cfg := DefaultRunConfig(scaling.ConScale, workload.LargeVariations)
 		cfg.Seed = seed
 		cfg.Framework = &fcfg
-		res := Run(cfg)
-		label := "setting=Qlower"
-		if upper {
-			label = "setting=Qupper"
-		}
-		rows = append(rows, AblationRow{Label: label, P95: res.P95, P99: res.P99})
+		cfgs[i] = cfg
+	}
+	results := RunMany(cfgs)
+	rows := make([]AblationRow, len(labels))
+	for i, res := range results {
+		rows[i] = AblationRow{Label: labels[i], P95: res.P95, P99: res.P99}
 	}
 	return rows
 }
@@ -292,15 +319,20 @@ func AblationQupper(seed uint64) []AblationRow {
 // AblationLBPolicy (A3) compares leastconn (the paper's deployment) with
 // roundrobin balancing under ConScale.
 func AblationLBPolicy(seed uint64) []AblationRow {
-	var rows []AblationRow
-	for _, policy := range []lb.Policy{lb.LeastConn, lb.RoundRobin} {
+	policies := []lb.Policy{lb.LeastConn, lb.RoundRobin}
+	cfgs := make([]RunConfig, len(policies))
+	for i, policy := range policies {
 		ccfg := cluster.DefaultConfig()
 		ccfg.LBPolicy = policy
 		cfg := DefaultRunConfig(scaling.ConScale, workload.LargeVariations)
 		cfg.Seed = seed
 		cfg.Cluster = &ccfg
-		res := Run(cfg)
-		rows = append(rows, AblationRow{Label: "lb=" + policy.String(), P95: res.P95, P99: res.P99})
+		cfgs[i] = cfg
+	}
+	results := RunMany(cfgs)
+	rows := make([]AblationRow, len(policies))
+	for i, res := range results {
+		rows[i] = AblationRow{Label: "lb=" + policies[i].String(), P95: res.P95, P99: res.P99}
 	}
 	return rows
 }
@@ -308,31 +340,34 @@ func AblationLBPolicy(seed uint64) []AblationRow {
 // AblationCooldown (A4) turns the "quick start but slow turn off" policy
 // off (aggressive scale-in) and measures the resulting oscillation.
 func AblationCooldown(seed uint64) []AblationRow {
-	var rows []AblationRow
-	for _, slow := range []bool{true, false} {
+	labels := []string{"slow-turn-off", "fast-turn-off"}
+	cfgs := make([]RunConfig, len(labels))
+	for i, slow := range []bool{true, false} {
 		fcfg := scaling.DefaultConfig(scaling.EC2)
-		label := "slow-turn-off"
 		if !slow {
 			fcfg.SustainIn = 5
 			fcfg.InCooldown = 10 * des.Second
-			label = "fast-turn-off"
 		}
 		cfg := DefaultRunConfig(scaling.EC2, workload.LargeVariations)
 		cfg.Seed = seed
 		cfg.Framework = &fcfg
-		res := Run(cfg)
+		cfgs[i] = cfg
+	}
+	results := RunMany(cfgs)
+	rows := make([]AblationRow, len(labels))
+	for i, res := range results {
 		ins := 0
 		for _, e := range res.Events {
 			if e.Kind == scaling.ScaleIn {
 				ins++
 			}
 		}
-		rows = append(rows, AblationRow{
-			Label:  label,
+		rows[i] = AblationRow{
+			Label:  labels[i],
 			P95:    res.P95,
 			P99:    res.P99,
 			Detail: fmt.Sprintf("%d scale-in events", ins),
-		})
+		}
 	}
 	return rows
 }
@@ -343,30 +378,33 @@ func AblationCooldown(seed uint64) []AblationRow {
 // Section III-C.1, whose optimal-concurrency doubling the SCT model must
 // track online.
 func AblationVertical(seed uint64) []AblationRow {
-	var rows []AblationRow
-	for _, vertical := range []bool{false, true} {
+	labels := []string{"db=horizontal", "db=vertical(4max)"}
+	cfgs := make([]RunConfig, len(labels))
+	for i, vertical := range []bool{false, true} {
 		fcfg := scaling.DefaultConfig(scaling.ConScale)
-		label := "db=horizontal"
 		if vertical {
 			fcfg.VerticalDBMaxCores = 4
-			label = "db=vertical(4max)"
 		}
 		cfg := DefaultRunConfig(scaling.ConScale, workload.LargeVariations)
 		cfg.Seed = seed
 		cfg.Framework = &fcfg
-		res := Run(cfg)
+		cfgs[i] = cfg
+	}
+	results := RunMany(cfgs)
+	rows := make([]AblationRow, len(labels))
+	for i, res := range results {
 		ups := 0
 		for _, e := range res.Events {
 			if e.Kind == scaling.ScaleOut && e.Tier == cluster.DB {
 				ups++
 			}
 		}
-		rows = append(rows, AblationRow{
-			Label:  label,
+		rows[i] = AblationRow{
+			Label:  labels[i],
 			P95:    res.P95,
 			P99:    res.P99,
 			Detail: fmt.Sprintf("%d db scale events", ups),
-		})
+		}
 	}
 	return rows
 }
@@ -374,31 +412,32 @@ func AblationVertical(seed uint64) []AblationRow {
 // AblationCacheTier (A6) adds the optional Memcached tier the paper
 // mentions and measures how much load it takes off the DB tier.
 func AblationCacheTier(seed uint64) []AblationRow {
-	var rows []AblationRow
-	for _, caches := range []int{0, 1} {
+	labels := []string{"cache=off", "cache=on(80%hit)"}
+	cfgs := make([]RunConfig, len(labels))
+	for i, caches := range []int{0, 1} {
 		ccfg := cluster.DefaultConfig()
 		ccfg.CacheServers = caches
 		ccfg.CacheHitRatio = 0.8
 		cfg := DefaultRunConfig(scaling.ConScale, workload.LargeVariations)
 		cfg.Seed = seed
 		cfg.Cluster = &ccfg
-		res := Run(cfg)
-		label := "cache=off"
-		if caches > 0 {
-			label = "cache=on(80%hit)"
-		}
+		cfgs[i] = cfg
+	}
+	results := RunMany(cfgs)
+	rows := make([]AblationRow, len(labels))
+	for i, res := range results {
 		dbOuts := 0
 		for _, e := range res.Events {
 			if e.Kind == scaling.ScaleOut && e.Tier == cluster.DB {
 				dbOuts++
 			}
 		}
-		rows = append(rows, AblationRow{
-			Label:  label,
+		rows[i] = AblationRow{
+			Label:  labels[i],
 			P95:    res.P95,
 			P99:    res.P99,
 			Detail: fmt.Sprintf("%d db scale-outs, goodput %d", dbOuts, res.Goodput),
-		})
+		}
 	}
 	return rows
 }
@@ -412,27 +451,30 @@ func AblationSLATrigger(seed uint64) []AblationRow {
 	ccfg := cluster.DefaultConfig()
 	ccfg.DatasetScale = 0.5 // system state changed after training
 
-	var rows []AblationRow
-	for _, withSLA := range []bool{false, true} {
+	labels := []string{"dcm", "dcm+sla-trigger"}
+	cfgs := make([]RunConfig, len(labels))
+	for i, withSLA := range []bool{false, true} {
 		fcfg := scaling.DefaultConfig(scaling.DCM)
 		fcfg.Profile = profile
-		label := "dcm"
 		if withSLA {
 			fcfg.SLATarget = 0.300 // the paper's web QoS example: p99 < 300 ms
 			fcfg.SLAPercentile = 99
-			label = "dcm+sla-trigger"
 		}
 		cfg := DefaultRunConfig(scaling.DCM, workload.LargeVariations)
 		cfg.Seed = seed
 		cfg.Cluster = &ccfg
 		cfg.Framework = &fcfg
-		res := Run(cfg)
-		rows = append(rows, AblationRow{
-			Label:  label,
+		cfgs[i] = cfg
+	}
+	results := RunMany(cfgs)
+	rows := make([]AblationRow, len(labels))
+	for i, res := range results {
+		rows[i] = AblationRow{
+			Label:  labels[i],
 			P95:    res.P95,
 			P99:    res.P99,
 			Detail: fmt.Sprintf("goodput %d", res.Goodput),
-		})
+		}
 	}
 	return rows
 }

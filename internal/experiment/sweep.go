@@ -75,6 +75,14 @@ type SweepResult struct {
 	MaxTP float64
 }
 
+// SweepMany runs several sweeps through the worker pool and returns their
+// results in input order (the Fig. 3 / Fig. 7 panel sets).
+func SweepMany(cfgs []SweepConfig) []SweepResult {
+	out := make([]SweepResult, len(cfgs))
+	parallelFor(len(cfgs), func(i int) { out[i] = Sweep(cfgs[i]) })
+	return out
+}
+
 // Sweep measures the target server's throughput and response time at each
 // controlled concurrency level, one fresh deterministic run per level.
 func Sweep(cfg SweepConfig) SweepResult {
@@ -94,9 +102,13 @@ func Sweep(cfg SweepConfig) SweepResult {
 		cfg.DatasetScale = 1
 	}
 	res := SweepResult{Config: cfg}
-	for _, level := range cfg.Levels {
-		res.Points = append(res.Points, sweepLevel(cfg, level))
-	}
+	// Levels are independent measurements (fresh cluster, level-derived
+	// seed), so they fan out over the worker pool; results land in level
+	// order regardless of completion order.
+	res.Points = make([]SweepPoint, len(cfg.Levels))
+	parallelFor(len(cfg.Levels), func(i int) {
+		res.Points[i] = sweepLevel(cfg, cfg.Levels[i])
+	})
 	// Knee: smallest level within 5% of the peak.
 	for _, p := range res.Points {
 		if p.Throughput > res.MaxTP {

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"testing"
+
+	"conscale/internal/des"
+)
+
+// The Arrive/Depart hot path runs once per request per tier — tens of
+// millions of times per 12-minute run — so its steady state (inside a
+// window) must not allocate at all.
+func TestArriveDepartAllocBudget(t *testing.T) {
+	r := NewRecorder(des.Second)
+	now := des.Time(0.25) // mid-window: no boundary crossing per op
+	r.Arrive(now)
+	r.Depart(now, 0.01)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Arrive(now)
+		r.Depart(now, 0.01)
+	})
+	if allocs != 0 {
+		t.Fatalf("Arrive/Depart steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Closing a window appends exactly one WindowSample; across many windows
+// the amortized cost must stay at (or below) one small append per window,
+// not per request.
+func TestWindowCloseAllocBudget(t *testing.T) {
+	r := NewRecorder(50 * des.Millisecond)
+	t0 := des.Time(0)
+	reqPerWindow := 20
+	allocs := testing.AllocsPerRun(400, func() {
+		for i := 0; i < reqPerWindow; i++ {
+			r.Arrive(t0)
+			r.Depart(t0, 0.005)
+		}
+		t0 += 50 * des.Millisecond
+	})
+	// One sample append per window, amortized below one allocation thanks
+	// to slice growth doubling.
+	if allocs > 1 {
+		t.Fatalf("window close amortizes to %.2f allocs per window, want <= 1", allocs)
+	}
+}
+
+// BenchmarkRecorderArriveDepart measures the per-request measurement cost
+// (one op = one request: Arrive + Depart inside the current window).
+func BenchmarkRecorderArriveDepart(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRecorder(50 * des.Millisecond)
+	now := des.Time(0.001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Arrive(now)
+		r.Depart(now, 0.002)
+	}
+}
+
+// BenchmarkRecorderWindowAdvance measures the window-boundary path: each
+// op records one request and crosses into the next 50 ms window, forcing a
+// flushWindow append. Flush keeps the sample slice from growing without
+// bound.
+func BenchmarkRecorderWindowAdvance(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRecorder(50 * des.Millisecond)
+	now := des.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Arrive(now)
+		r.Depart(now, 0.002)
+		now += 50 * des.Millisecond
+		if i%1024 == 1023 {
+			r.Flush(now)
+		}
+	}
+}
+
+// BenchmarkTimeWeightedSet measures the 1 s system-metric meter's hot path.
+func BenchmarkTimeWeightedSet(b *testing.B) {
+	b.ReportAllocs()
+	m := NewTimeWeighted(des.Second)
+	now := des.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(now, float64(i&1))
+		now += des.Millisecond
+		if i%4096 == 4095 {
+			m.Flush(now)
+		}
+	}
+}
