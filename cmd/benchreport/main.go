@@ -1,5 +1,5 @@
 // Command benchreport measures the repo's performance-critical paths and
-// writes the results as a machine-readable JSON file (BENCH_2.json), so
+// writes the results as a machine-readable JSON file (BENCH_3.json), so
 // every future change has a perf trajectory to compare against:
 //
 //   - DES engine microbenchmarks (inline 4-ary heap) against the frozen
@@ -7,14 +7,18 @@
 //     allocs/op for the schedule→fire hot path, a 1k-deep heap, and the
 //     cancel-heavy Ticker pattern;
 //   - metrics.Recorder Arrive/Depart and window-close costs;
+//   - trace microbenchmarks: the disabled-tracer hot path (must stay at
+//     zero allocations) and the sampled span-tree lifecycle;
 //   - the end-to-end experiment harness: the Table 1 run matrix executed
 //     sequentially and with the parallel worker pool, wall-clock for both,
-//     plus a byte-identity check that the fan-out changes nothing.
+//     plus a byte-identity check that the fan-out changes nothing;
+//   - tracer overhead end to end: the same run untraced, head-sampled at
+//     1/64, and fully sampled, with a timeline byte-identity check.
 //
 // Usage:
 //
-//	benchreport -out BENCH_2.json          # full measurement
-//	benchreport -short -out BENCH_2.json   # CI smoke (seconds, not minutes)
+//	benchreport -out BENCH_3.json          # full measurement
+//	benchreport -short -out BENCH_3.json   # CI smoke (seconds, not minutes)
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"conscale/internal/experiment"
 	"conscale/internal/metrics"
 	"conscale/internal/scaling"
+	"conscale/internal/trace"
 	"conscale/internal/workload"
 )
 
@@ -54,7 +59,19 @@ type Harness struct {
 	OutputsMatch  bool    `json:"outputs_byte_identical"`
 }
 
-// Report is the BENCH_2.json document.
+// Tracing records the tracer overhead measurement: one run untraced, the
+// same run head-sampled at the canonical 1/64, and fully sampled.
+type Tracing struct {
+	Experiment        string  `json:"experiment"`
+	OffSec            float64 `json:"tracer_off_seconds"`
+	SampledSec        float64 `json:"tracer_sampled_seconds"`
+	FullSec           float64 `json:"tracer_full_seconds"`
+	SampledPct        float64 `json:"sampled_overhead_pct"`
+	FullPct           float64 `json:"full_overhead_pct"`
+	TimelineIdentical bool    `json:"timeline_byte_identical"`
+}
+
+// Report is the BENCH_3.json document.
 type Report struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -62,6 +79,7 @@ type Report struct {
 	Short      bool               `json:"short"`
 	Benchmarks []Result           `json:"benchmarks"`
 	Harness    Harness            `json:"harness"`
+	Tracing    Tracing            `json:"tracing"`
 	Derived    map[string]float64 `json:"derived"`
 }
 
@@ -78,13 +96,13 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_2.json", "output path for the JSON report")
+		out   = flag.String("out", "BENCH_3.json", "output path for the JSON report")
 		short = flag.Bool("short", false, "shrink the harness measurement for CI smoke runs")
 	)
 	flag.Parse()
 
 	rep := Report{
-		Schema:     "conscale-bench/2",
+		Schema:     "conscale-bench/3",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Short:      *short,
@@ -186,6 +204,47 @@ func main() {
 			}
 		}),
 	)
+
+	fmt.Println("== trace microbenchmarks (disabled hot path must stay 0 allocs/op)")
+	rep.Benchmarks = append(rep.Benchmarks,
+		measure("trace/disabled_hot_path", func(b *testing.B) {
+			b.ReportAllocs()
+			tr := trace.New(trace.Config{SampleRate: 1})
+			tr.SetEnabled(false)
+			for i := 0; i < b.N; i++ {
+				sp := tr.StartRequest("browse", 1)
+				sp.EnterServer("web1", 1)
+				sp.NotePick("lb", 3)
+				sp.Admitted(2)
+				sp.AddProc(trace.SegCPUWait, trace.SegCPU, 2, 1, 3)
+				child := sp.StartChild(3)
+				child.Finish(4, trace.OutcomeOK)
+				tr.EndRequest(sp, 4, true)
+			}
+		}),
+		measure("trace/sampled_span_tree", func(b *testing.B) {
+			b.ReportAllocs()
+			tr := trace.New(trace.Config{SampleRate: 1, Reservoir: -1})
+			for i := 0; i < b.N; i++ {
+				// Re-arm periodically so the blame record list doesn't grow
+				// without bound across benchmark scaling.
+				if i%(1<<16) == 0 {
+					tr = trace.New(trace.Config{SampleRate: 1, Reservoir: -1})
+				}
+				now := des.Time(i)
+				sp := tr.StartRequest("browse", now)
+				sp.EnterServer("web1", now)
+				sp.Admitted(now + 0.001)
+				sp.AddProc(trace.SegCPUWait, trace.SegCPU, now+0.001, 0.002, now+0.004)
+				child := sp.StartChild(now + 0.004)
+				child.EnterServer("mysql1", now+0.004)
+				child.Admitted(now + 0.004)
+				child.AddProc(trace.SegDiskWait, trace.SegDisk, now+0.004, 0.001, now+0.006)
+				child.Finish(now+0.006, trace.OutcomeOK)
+				tr.EndRequest(sp, now+0.007, true)
+			}
+		}),
+	)
 	for _, r := range rep.Benchmarks {
 		fmt.Printf("   %-36s %12.1f ns/op %8d B/op %6d allocs/op\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
@@ -200,6 +259,8 @@ func main() {
 		rep.Derived["des_allocs_reduction_pct"] = 100 * float64(b.AllocsPerOp-n.AllocsPerOp) / float64(b.AllocsPerOp)
 		rep.Derived["des_ns_speedup"] = b.NsPerOp / n.NsPerOp
 	}
+	rep.Derived["trace_disabled_allocs_per_op"] = float64(byName["trace/disabled_hot_path"].AllocsPerOp)
+	rep.Derived["trace_sampled_ns_per_request"] = byName["trace/sampled_span_tree"].NsPerOp
 
 	fmt.Println("== experiment harness wall time (sequential vs parallel, byte-identity checked)")
 	rep.Harness = measureHarness(*short)
@@ -207,6 +268,14 @@ func main() {
 	fmt.Printf("   %s: sequential %.1fs, parallel %.1fs (workers=%d) -> %.2fx, identical=%v\n",
 		rep.Harness.Experiment, rep.Harness.SequentialSec, rep.Harness.ParallelSec,
 		rep.Harness.Workers, rep.Harness.Speedup, rep.Harness.OutputsMatch)
+
+	fmt.Println("== tracer overhead end to end (off vs 1/64 sampled vs fully sampled)")
+	rep.Tracing = measureTracing(*short)
+	rep.Derived["tracer_sampled_overhead_pct"] = rep.Tracing.SampledPct
+	rep.Derived["tracer_full_overhead_pct"] = rep.Tracing.FullPct
+	fmt.Printf("   %s: off %.1fs, sampled %.1fs (+%.1f%%), full %.1fs (+%.1f%%), timeline identical=%v\n",
+		rep.Tracing.Experiment, rep.Tracing.OffSec, rep.Tracing.SampledSec, rep.Tracing.SampledPct,
+		rep.Tracing.FullSec, rep.Tracing.FullPct, rep.Tracing.TimelineIdentical)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -226,6 +295,14 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 	if !rep.Harness.OutputsMatch {
 		fmt.Fprintln(os.Stderr, "FAIL: parallel harness output diverged from sequential")
+		os.Exit(1)
+	}
+	if !rep.Tracing.TimelineIdentical {
+		fmt.Fprintln(os.Stderr, "FAIL: traced run's timeline diverged from the untraced run")
+		os.Exit(1)
+	}
+	if rep.Derived["trace_disabled_allocs_per_op"] != 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: disabled tracer hot path allocates")
 		os.Exit(1)
 	}
 }
@@ -277,5 +354,50 @@ func measureHarness(short bool) Harness {
 		ParallelSec:   parSec,
 		Speedup:       seqSec / parSec,
 		OutputsMatch:  bytes.Equal(seq, par),
+	}
+}
+
+// measureTracing runs the same ConScale Large Variations experiment with
+// the tracer off, head-sampled at the canonical 1/64, and fully sampled,
+// and verifies tracing never perturbs the client-observed timeline.
+func measureTracing(short bool) Tracing {
+	duration := 720 * des.Second
+	users := 7500
+	label := "conscale large-variations (720s)"
+	if short {
+		duration = 120 * des.Second
+		users = 3000
+		label = "conscale large-variations (120s smoke)"
+	}
+	run := func(rate float64) (float64, []byte) {
+		cfg := experiment.DefaultRunConfig(scaling.ConScale, workload.LargeVariations)
+		cfg.Duration = duration
+		cfg.MaxUsers = users
+		if rate > 0 {
+			cfg.Tracing = &trace.Config{SampleRate: rate}
+		}
+		t0 := time.Now()
+		res := experiment.Run(cfg)
+		sec := time.Since(t0).Seconds()
+		var buf bytes.Buffer
+		if err := experiment.WriteTimelineCSV(&buf, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return sec, buf.Bytes()
+	}
+
+	offSec, offCSV := run(0)
+	sampledSec, sampledCSV := run(1.0 / 64)
+	fullSec, fullCSV := run(1)
+
+	return Tracing{
+		Experiment:        label,
+		OffSec:            offSec,
+		SampledSec:        sampledSec,
+		FullSec:           fullSec,
+		SampledPct:        100 * (sampledSec - offSec) / offSec,
+		FullPct:           100 * (fullSec - offSec) / offSec,
+		TimelineIdentical: bytes.Equal(offCSV, sampledCSV) && bytes.Equal(offCSV, fullCSV),
 	}
 }

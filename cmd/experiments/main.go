@@ -20,17 +20,21 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"conscale/internal/experiment"
+	"conscale/internal/trace"
 )
 
-var runners = []struct {
+type runner struct {
 	name string
 	desc string
 	fn   func(seed uint64, outDir string) error
-}{
+}
+
+var runners = []runner{
 	{"fig1", "EC2-AutoScaling RT fluctuations under the Large Variations trace", runFig1},
 	{"fig3", "Tomcat concurrency sweeps: 1-core / 2-core / enlarged dataset", runFig3},
 	{"fig5", "MySQL fine-grained 50 ms series during the 1/1/1 -> 1/2/1 scaling", runFig5},
@@ -42,7 +46,53 @@ var runners = []struct {
 	{"fig11", "DCM (stale profile) vs ConScale after a system-state change", runFig11},
 	{"ablations", "A1 window size, A2 Qupper, A3 LB policy, A4 cooldown", runAblations},
 	{"chaos", "Controller robustness under injected cloud faults", runChaos},
+	{"blame", "Latency-blame attribution: traced EC2 vs DCM vs ConScale", runBlame},
 	{"report", "All-in-one reproduction report (Table I + Fig. 3 + Fig. 11)", runReport},
+}
+
+// selectRunners resolves a -run spec ("all" or a comma-separated id list)
+// against the runner table, preserving table order and deduplicating.
+// Unknown ids are an error that names every available id.
+func selectRunners(spec string) ([]runner, error) {
+	if strings.TrimSpace(strings.ToLower(spec)) == "all" {
+		return runners, nil
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id != "" {
+			want[id] = true
+		}
+	}
+	var picked []runner
+	for _, r := range runners {
+		if want[r.name] {
+			picked = append(picked, r)
+			delete(want, r.name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown experiment id(s) %s; available: all, %s",
+			strings.Join(unknown, ", "), availableIDs())
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("no experiment ids in %q; available: all, %s",
+			spec, availableIDs())
+	}
+	return picked, nil
+}
+
+func availableIDs() string {
+	ids := make([]string, len(runners))
+	for i, r := range runners {
+		ids[i] = r.name
+	}
+	return strings.Join(ids, ", ")
 }
 
 func main() {
@@ -83,18 +133,14 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	want := map[string]bool{}
-	all := *run == "all"
-	for _, id := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(strings.ToLower(id))] = true
+	picked, err := selectRunners(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
-	ran := 0
 	total := time.Now()
-	for _, r := range runners {
-		if !all && !want[r.name] {
-			continue
-		}
+	for _, r := range picked {
 		fmt.Printf("== %s: %s\n", r.name, r.desc)
 		start := time.Now()
 		if err := r.fn(*seed, *out); err != nil {
@@ -102,14 +148,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *run)
-		os.Exit(2)
 	}
 	fmt.Printf("total: %d experiments in %.1fs (workers=%d)\n",
-		ran, time.Since(total).Seconds(), experiment.MaxWorkers())
+		len(picked), time.Since(total).Seconds(), experiment.MaxWorkers())
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -332,6 +373,40 @@ func runChaos(seed uint64, outDir string) error {
 		}
 		return nil
 	})
+}
+
+func runBlame(seed uint64, outDir string) error {
+	results := experiment.Blame(seed)
+	experiment.RenderBlame(os.Stdout, results)
+
+	for _, b := range results {
+		mode := sanitize(b.Mode.String())
+		if err := writeCSV(outDir, "blame_"+mode+".csv", func(f *os.File) error {
+			return trace.WriteBlameCSV(f, b.Mode.String(), b.Rows)
+		}); err != nil {
+			return err
+		}
+		if err := writeCSV(outDir, "blame_audit_"+mode+".csv", func(f *os.File) error {
+			return trace.WriteAuditCSV(f, b.Res.Audit)
+		}); err != nil {
+			return err
+		}
+		slowest := b.Res.Tracer.Slowest()
+		if err := writeCSV(outDir, "blame_trace_"+mode+".json", func(f *os.File) error {
+			return trace.WriteChromeTrace(f, slowest, b.Res.Audit)
+		}); err != nil {
+			return err
+		}
+		// Waterfall of the single slowest sampled request per controller.
+		if len(slowest) > 0 {
+			fmt.Printf("\n   slowest sampled request, %s (rt=%.0fms):\n", b.Mode, slowest[0].RT()*1000)
+			if err := trace.WriteWaterfall(os.Stdout, slowest[0]); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("\n%s\n", trace.WaterfallLegend)
+	return nil
 }
 
 func runReport(seed uint64, outDir string) error {

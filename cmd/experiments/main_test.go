@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func names(rs []runner) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.name
+	}
+	return out
+}
+
+func TestSelectRunnersAll(t *testing.T) {
+	for _, spec := range []string{"all", "ALL", " all "} {
+		rs, err := selectRunners(spec)
+		if err != nil {
+			t.Fatalf("selectRunners(%q): %v", spec, err)
+		}
+		if len(rs) != len(runners) {
+			t.Fatalf("selectRunners(%q) picked %d of %d runners", spec, len(rs), len(runners))
+		}
+	}
+}
+
+func TestSelectRunnersSubset(t *testing.T) {
+	// Order follows the runner table, not the spec; duplicates collapse.
+	rs, err := selectRunners("table1, fig3,fig3")
+	if err != nil {
+		t.Fatalf("selectRunners: %v", err)
+	}
+	got := names(rs)
+	if len(got) != 2 || got[0] != "fig3" || got[1] != "table1" {
+		t.Fatalf("picked %v, want [fig3 table1]", got)
+	}
+}
+
+func TestSelectRunnersUnknown(t *testing.T) {
+	_, err := selectRunners("fig3,figx,nope")
+	if err == nil {
+		t.Fatal("unknown ids must be rejected")
+	}
+	msg := err.Error()
+	for _, want := range []string{"figx", "nope"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not name unknown id %q", msg, want)
+		}
+	}
+	// The error must list every available id so the user can self-correct.
+	for _, r := range runners {
+		if !strings.Contains(msg, r.name) {
+			t.Errorf("error %q does not list available id %q", msg, r.name)
+		}
+	}
+}
+
+func TestSelectRunnersEmpty(t *testing.T) {
+	for _, spec := range []string{"", " , ,"} {
+		if _, err := selectRunners(spec); err == nil {
+			t.Errorf("selectRunners(%q) should fail", spec)
+		}
+	}
+}
+
+func TestRunnerNamesUniqueAndLower(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if r.name != strings.ToLower(r.name) {
+			t.Errorf("runner id %q is not lower-case", r.name)
+		}
+		if seen[r.name] {
+			t.Errorf("duplicate runner id %q", r.name)
+		}
+		seen[r.name] = true
+	}
+	if !seen["blame"] {
+		t.Error("blame runner missing from table")
+	}
+}

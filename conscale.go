@@ -39,6 +39,8 @@
 package conscale
 
 import (
+	"io"
+
 	"conscale/internal/chaos"
 	"conscale/internal/cluster"
 	"conscale/internal/des"
@@ -50,6 +52,7 @@ import (
 	"conscale/internal/rubbos"
 	"conscale/internal/scaling"
 	"conscale/internal/sct"
+	"conscale/internal/trace"
 	"conscale/internal/workload"
 )
 
@@ -357,3 +360,61 @@ func NewMgmtAgent(addr string, target mgmt.Target) (*MgmtAgent, error) {
 
 // MgmtDial connects to a management agent.
 func MgmtDial(addr string) (*MgmtClient, error) { return mgmt.Dial(addr) }
+
+// Tracing: per-request spans, latency blame, and the controller audit
+// trail.
+type (
+	// Tracer is the head-sampling per-request tracer.
+	Tracer = trace.Tracer
+	// TraceConfig tunes sampling, reservoir size, and the audit trail.
+	TraceConfig = trace.Config
+	// Span is one traced request (root) or downstream call (child).
+	Span = trace.Span
+	// Segment is one attributed interval of a span's lifetime.
+	Segment = trace.Segment
+	// SegKind classifies a segment (queue wait, CPU service, ...).
+	SegKind = trace.SegKind
+	// TraceTierID buckets servers into client/web/app/cache/DB tiers.
+	TraceTierID = trace.TierID
+	// BlameRow is one (time window, request class) latency decomposition.
+	BlameRow = trace.BlameRow
+	// AuditEvent is one controller decision with its cause annotation.
+	AuditEvent = trace.AuditEvent
+	// AuditKind enumerates the audited decision types.
+	AuditKind = trace.AuditKind
+	// BlameResult bundles one traced controller run with its blame table.
+	BlameResult = experiment.BlameResult
+)
+
+// NewTracer returns a tracer; a nil *Tracer is a safe no-op everywhere.
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// BlameSummary aggregates blame rows of one class over [from, to).
+func BlameSummary(rows []BlameRow, class string, from, to Time) (BlameRow, bool) {
+	return trace.BlameSummary(rows, class, from, to)
+}
+
+// WriteChromeTrace exports spans and audit marks as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, roots []*Span, audit []AuditEvent) error {
+	return trace.WriteChromeTrace(w, roots, audit)
+}
+
+// WriteWaterfall renders one request tree as an ASCII waterfall.
+func WriteWaterfall(w io.Writer, root *Span) error { return trace.WriteWaterfall(w, root) }
+
+// WriteBlameCSV exports a blame table as CSV.
+func WriteBlameCSV(w io.Writer, mode string, rows []BlameRow) error {
+	return trace.WriteBlameCSV(w, mode, rows)
+}
+
+// WriteAuditCSV exports a controller audit trail as CSV.
+func WriteAuditCSV(w io.Writer, events []AuditEvent) error {
+	return trace.WriteAuditCSV(w, events)
+}
+
+// BlameRuns compares traced EC2, DCM, and ConScale runs and returns each
+// with its blame table.
+func BlameRuns(seed uint64, duration Time, users int) []BlameResult {
+	return experiment.BlameRuns(seed, duration, users)
+}

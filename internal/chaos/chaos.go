@@ -22,6 +22,7 @@ import (
 	"conscale/internal/cluster"
 	"conscale/internal/des"
 	"conscale/internal/rng"
+	"conscale/internal/trace"
 )
 
 // Kind enumerates the fault types.
@@ -192,6 +193,7 @@ type Injector struct {
 
 	windows    []Window
 	onActivate func(Window)
+	audit      *trace.Audit
 }
 
 // NewInjector couples a schedule to a cluster. seed feeds the injector's
@@ -203,6 +205,11 @@ func NewInjector(c *cluster.Cluster, sched *Schedule, seed uint64) *Injector {
 // OnActivate registers a callback fired at each fault activation (after
 // the fault takes effect), for live overlays and logging.
 func (in *Injector) OnActivate(fn func(Window)) { in.onActivate = fn }
+
+// SetAudit mirrors every fault activation into a controller audit trail,
+// so scaling decisions can be read against the disturbances that provoked
+// them (nil detaches).
+func (in *Injector) SetAudit(a *trace.Audit) { in.audit = a }
 
 // Windows returns the faults activated so far, with resolved targets, in
 // activation order.
@@ -241,6 +248,14 @@ func (in *Injector) activate(f Fault) {
 // record stores the window and notifies the activation callback.
 func (in *Injector) record(w Window) {
 	in.windows = append(in.windows, w)
+	in.audit.Record(trace.AuditEvent{
+		Time:   w.Start,
+		Kind:   trace.AuditFault,
+		Tier:   w.Fault.Tier.String(),
+		Cause:  w.Fault.Kind.String(),
+		Detail: w.Target,
+		Value:  float64(w.End - w.Start),
+	})
 	if in.onActivate != nil {
 		in.onActivate(w)
 	}

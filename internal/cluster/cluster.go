@@ -15,6 +15,7 @@ import (
 	"conscale/internal/rng"
 	"conscale/internal/rubbos"
 	"conscale/internal/server"
+	"conscale/internal/trace"
 )
 
 // Tier identifies one of the three tiers.
@@ -165,6 +166,11 @@ type Cluster struct {
 	// bootFactor multiplies the VM preparation period (slow-booting
 	// stragglers; 1 = nominal). Read when a boot starts.
 	bootFactor float64
+
+	// tracer samples requests into span trees (nil = tracing off; the
+	// tracer draws from its own stream, so arming it never changes the
+	// simulation's random sequence).
+	tracer *trace.Tracer
 }
 
 // New builds the initial topology on a fresh engine.
@@ -472,16 +478,34 @@ func (c *Cluster) CollectInto(w *metrics.Warehouse) {
 	}
 }
 
+// SetTracer arms per-request tracing on the cluster (nil disarms). The
+// root span of each sampled request doubles as its web-tier visit span.
+func (c *Cluster) SetTracer(t *trace.Tracer) { c.tracer = t }
+
+// Tracer returns the armed tracer (nil when tracing is off).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
+
 // Submit issues one end-to-end client request (a workload.Submitter).
 func (c *Cluster) Submit(done func(ok bool)) {
 	sv := c.wl.Pick(c.rnd)
+	root := c.tracer.StartRequest(sv.Name, c.Eng.Now())
+	if root != nil {
+		inner := done
+		done = func(ok bool) {
+			c.tracer.EndRequest(root, c.Eng.Now(), ok)
+			inner(ok)
+		}
+	}
 	req := &server.Request{
 		Phases: c.webPhases(sv),
 		Done:   done,
+		Span:   root,
 	}
 	if d := c.netDelay[Web]; d > 0 {
 		// Jitter on the client->web edge: the request transits the slow
 		// network before reaching the web balancer.
+		now := c.Eng.Now()
+		root.AddSeg(trace.SegNet, now, now+d)
 		c.Eng.After(d, func() { c.webLB.Submit(req) })
 		return
 	}
@@ -496,7 +520,7 @@ func (c *Cluster) webPhases(sv *rubbos.Servlet) []server.Phase {
 		{Kind: server.PhaseCPU, Duration: des.Time(sv.WebCPU)},
 	}
 	if d := c.netDelay[App]; d > 0 {
-		phases = append(phases, server.Phase{Kind: server.PhaseSleep, Duration: d})
+		phases = append(phases, server.Phase{Kind: server.PhaseNet, Duration: d})
 	}
 	return append(phases, server.Phase{Kind: server.PhaseCall, Call: &server.OutCall{
 		Target: c.appLB,
@@ -531,7 +555,7 @@ func (c *Cluster) appPhases(sv *rubbos.Servlet) []server.Phase {
 func (c *Cluster) queryPhases(sv *rubbos.Servlet) []server.Phase {
 	var dbEdge []server.Phase
 	if d := c.netDelay[DB]; d > 0 {
-		dbEdge = []server.Phase{{Kind: server.PhaseSleep, Duration: d}}
+		dbEdge = []server.Phase{{Kind: server.PhaseNet, Duration: d}}
 	}
 	dbCall := server.Phase{Kind: server.PhaseCall, Call: &server.OutCall{
 		Target:        c.dbLB,
@@ -543,7 +567,7 @@ func (c *Cluster) queryPhases(sv *rubbos.Servlet) []server.Phase {
 	}
 	var cacheEdge []server.Phase
 	if d := c.netDelay[Cache]; d > 0 {
-		cacheEdge = []server.Phase{{Kind: server.PhaseSleep, Duration: d}}
+		cacheEdge = []server.Phase{{Kind: server.PhaseNet, Duration: d}}
 	}
 	lookup := server.Phase{Kind: server.PhaseCall, Call: &server.OutCall{
 		Target: c.cacheLB,

@@ -18,6 +18,7 @@ import (
 	"conscale/internal/rubbos"
 	"conscale/internal/scaling"
 	"conscale/internal/sct"
+	"conscale/internal/trace"
 	"conscale/internal/workload"
 )
 
@@ -49,6 +50,12 @@ type RunConfig struct {
 	// derived from the run seed but consumed only by the schedule's own
 	// random draws.
 	Chaos *chaos.Schedule
+
+	// Tracing (if non-nil) arms per-request tracing plus the controller
+	// audit trail. The tracer samples from its own stream derived from
+	// the run seed, so a traced run's timeline is byte-identical to an
+	// untraced one.
+	Tracing *trace.Config
 
 	// WarmupSkip excludes the initial span from tail-latency statistics.
 	WarmupSkip des.Time
@@ -107,6 +114,12 @@ type RunResult struct {
 	// FaultWindows lists the chaos faults that activated during the run
 	// (empty without a schedule) — the overlay data for timelines.
 	FaultWindows []chaos.Window
+
+	// Tracer holds the armed tracer (nil when RunConfig.Tracing was nil):
+	// the blame table, the slowest-request reservoir, and the counters.
+	Tracer *trace.Tracer
+	// Audit is the controller decision trail of the run (nil untraced).
+	Audit []trace.AuditEvent
 }
 
 // Run executes one full scaling experiment.
@@ -127,7 +140,19 @@ func Run(cfg RunConfig) *RunResult {
 	if fcfg.WarehouseRetention < cfg.Duration+60*des.Second {
 		fcfg.WarehouseRetention = cfg.Duration + 60*des.Second
 	}
+
+	var tracer *trace.Tracer
+	if cfg.Tracing != nil {
+		tcfg := *cfg.Tracing
+		if tcfg.Seed == 0 {
+			tcfg.Seed = cfg.Seed
+		}
+		tracer = trace.New(tcfg)
+		c.SetTracer(tracer)
+	}
+
 	f := scaling.New(c, fcfg)
+	f.SetAudit(tracer.Audit())
 	f.Start()
 
 	think := cfg.ThinkTime
@@ -162,6 +187,7 @@ func Run(cfg RunConfig) *RunResult {
 	var inj *chaos.Injector
 	if cfg.Chaos != nil {
 		inj = chaos.NewInjector(c, cfg.Chaos, cfg.Seed^0xc4a05)
+		inj.SetAudit(tracer.Audit())
 		inj.Arm()
 	}
 
@@ -180,6 +206,10 @@ func Run(cfg RunConfig) *RunResult {
 	}
 	res.Warehouse = f.Warehouse()
 	res.FinalEstimates = f.Estimates()
+	if tracer != nil {
+		res.Tracer = tracer
+		res.Audit = tracer.Audit().Events()
+	}
 
 	warm := cfg.WarmupSkip
 	res.P50 = gen.TailLatency(50, warm)

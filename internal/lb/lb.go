@@ -134,6 +134,7 @@ func (b *Balancer) Submit(req *server.Request) {
 		done(false)
 		return
 	}
+	req.Span.NotePick(b.name, be.inFlight)
 	be.inFlight++
 	inner := req.Done
 	req.Done = nil

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"conscale/internal/des"
+)
+
+// Drop exactly on a window boundary belongs to the NEW window: advance()
+// closes every window strictly before t, so the closed window keeps the
+// request's full concurrency contribution and no error.
+func TestRecorderDropAtWindowBoundary(t *testing.T) {
+	r := NewRecorder(DefaultWindow)
+	r.Arrive(0)
+	r.Drop(DefaultWindow) // t = 50 ms, the first boundary
+	samples := r.Flush(2 * DefaultWindow)
+	if len(samples) != 2 {
+		t.Fatalf("got %d windows, want 2", len(samples))
+	}
+	if samples[0].Errors != 0 {
+		t.Fatalf("boundary drop leaked into the closed window: %+v", samples[0])
+	}
+	if math.Abs(samples[0].Concurrency-1) > 1e-9 {
+		t.Fatalf("window 0 concurrency = %v, want 1 (in flight to the boundary)", samples[0].Concurrency)
+	}
+	if samples[1].Errors != 1 {
+		t.Fatalf("drop not counted in the boundary's window: %+v", samples[1])
+	}
+	// Dropped at the window's first instant: zero concurrency afterwards.
+	if samples[1].Concurrency != 0 {
+		t.Fatalf("window 1 concurrency = %v, want 0", samples[1].Concurrency)
+	}
+}
+
+func TestRecorderRejectAtWindowBoundary(t *testing.T) {
+	r := NewRecorder(DefaultWindow)
+	r.Reject(DefaultWindow)
+	samples := r.Flush(2 * DefaultWindow)
+	if len(samples) != 2 {
+		t.Fatalf("got %d windows, want 2", len(samples))
+	}
+	if samples[0].Errors != 0 || samples[1].Errors != 1 {
+		t.Fatalf("boundary reject windowed wrong: %+v / %+v", samples[0], samples[1])
+	}
+	// Rejects never enter service: no concurrency anywhere.
+	if samples[0].Concurrency != 0 || samples[1].Concurrency != 0 {
+		t.Fatal("reject contributed concurrency")
+	}
+	arrived, completed, errored := r.Totals()
+	if arrived != 0 || completed != 0 || errored != 1 {
+		t.Fatalf("Totals = %d/%d/%d", arrived, completed, errored)
+	}
+}
+
+// Drop and Depart one tick before a boundary stay in the closing window —
+// the complement of the boundary cases above.
+func TestRecorderErrorsJustBeforeBoundary(t *testing.T) {
+	eps := des.Millisecond
+	r := NewRecorder(DefaultWindow)
+	r.Arrive(0)
+	r.Arrive(0)
+	r.Drop(DefaultWindow - eps)
+	r.Reject(DefaultWindow - eps)
+	r.Depart(DefaultWindow-eps, 0.049)
+	samples := r.Flush(2 * DefaultWindow)
+	if samples[0].Errors != 2 || samples[0].Completions != 1 {
+		t.Fatalf("window 0 = %+v, want 2 errors 1 completion", samples[0])
+	}
+	if samples[1].Errors != 0 || samples[1].Completions != 0 {
+		t.Fatalf("window 1 not empty: %+v", samples[1])
+	}
+}
+
+// Retention pruning is driven by each server's own latest sample, so an
+// idle server's history survives while a busy one's is trimmed.
+func TestWarehouseRetentionIsPerServer(t *testing.T) {
+	w := NewWarehouse(5 * des.Second)
+	w.PutFine("idle", []WindowSample{{Start: 0}, {Start: 1}})
+	for i := 0; i < 20; i++ {
+		w.PutFine("busy", []WindowSample{{Start: des.Time(i)}})
+	}
+	if got := w.FineSince("idle", 0); len(got) != 2 {
+		t.Fatalf("idle server pruned by busy server's clock: %d samples", len(got))
+	}
+	busy := w.FineSince("busy", 0)
+	if len(busy) == 20 {
+		t.Fatal("busy server not pruned")
+	}
+	for _, s := range busy {
+		if s.Start < 19-5 {
+			t.Fatalf("sample at %v survived a 5 s retention ending at 19", s.Start)
+		}
+	}
+}
+
+// Forget then repopulate: the name reappears with only fresh samples, and
+// retention keeps working against the new series — the VM-recycled-name
+// scenario (scale-in forgets, a later scale-out reuses the slot).
+func TestWarehouseForgetThenRepopulate(t *testing.T) {
+	w := NewWarehouse(5 * des.Second)
+	w.PutFine("tomcat2", []WindowSample{{Start: 1, Completions: 111}})
+	w.PutCPU("tomcat2", []TWSample{{Start: 1, Mean: 0.9}})
+	w.PutFine("tomcat3", []WindowSample{{Start: 1}})
+	w.Forget("tomcat2")
+
+	if names := w.Servers(); len(names) != 1 || names[0] != "tomcat3" {
+		t.Fatalf("Servers after Forget = %v", names)
+	}
+	if _, ok := w.MeanCPU("tomcat2", 0); ok {
+		t.Fatal("forgotten CPU series still served")
+	}
+
+	w.PutFine("tomcat2", []WindowSample{{Start: 100, Completions: 7}})
+	got := w.FineSince("tomcat2", 0)
+	if len(got) != 1 || got[0].Completions != 7 {
+		t.Fatalf("repopulated series polluted by pre-Forget data: %+v", got)
+	}
+	// The sibling server was untouched throughout.
+	if len(w.FineSince("tomcat3", 0)) != 1 {
+		t.Fatal("Forget removed another server's data")
+	}
+
+	// Retention continues against the fresh series.
+	w.PutFine("tomcat2", []WindowSample{{Start: 200}})
+	got = w.FineSince("tomcat2", 0)
+	if len(got) != 1 || got[0].Start != 200 {
+		t.Fatalf("retention broken after repopulate: %+v", got)
+	}
+}
+
+// Samples exactly at the retention cut (Start == now-retention) survive;
+// one tick older is pruned.
+func TestWarehouseRetentionCutIsInclusive(t *testing.T) {
+	w := NewWarehouse(5 * des.Second)
+	w.PutFine("s", []WindowSample{{Start: 4}, {Start: 5}, {Start: 6}, {Start: 10}})
+	got := w.FineSince("s", 0)
+	if len(got) != 3 || got[0].Start != 5 {
+		t.Fatalf("cut at 10-5=5 kept %+v, want Starts 5,6,10", got)
+	}
+}

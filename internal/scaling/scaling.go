@@ -27,6 +27,7 @@ import (
 	"conscale/internal/sct"
 	"conscale/internal/server"
 	"conscale/internal/sla"
+	"conscale/internal/trace"
 )
 
 // Mode selects the framework behaviour.
@@ -205,6 +206,9 @@ type Framework struct {
 	slaFed   des.Time
 
 	events []Event
+	// audit receives every decision with its cause annotation (nil = no
+	// audit trail; Record on nil is a no-op).
+	audit *trace.Audit
 
 	collector *des.Ticker
 	decider   *des.Ticker
@@ -266,6 +270,11 @@ func (f *Framework) Warehouse() *metrics.Warehouse { return f.w }
 // Events returns the scaling log.
 func (f *Framework) Events() []Event { return f.events }
 
+// SetAudit attaches a controller decision audit trail: every threshold
+// trigger, cooldown suppression, VM action, SCT estimate, and pool resize
+// is recorded there with its cause (nil detaches).
+func (f *Framework) SetAudit(a *trace.Audit) { f.audit = a }
+
 // Mode returns the framework's mode.
 func (f *Framework) Mode() Mode { return f.cfg.Mode }
 
@@ -323,14 +332,21 @@ func (f *Framework) repairTier(tier cluster.Tier) {
 	f.pendingScale[tier] = true
 	now := f.c.Eng.Now()
 	f.log(Event{Time: now, Kind: Repair, Tier: tier, Detail: "tier dark: provisioning replacement"})
+	f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditRepair, Tier: tier.String(),
+		Cause: "tier dark: zero ready VMs", Detail: "launch replacement"})
 	launched := f.c.AddVM(tier, func(srv *server.Server) {
+		ready := f.c.Eng.Now()
 		f.pendingScale[tier] = false
-		f.lastOut[tier] = f.c.Eng.Now()
-		f.log(Event{Time: f.c.Eng.Now(), Kind: Repair, Tier: tier, Detail: srv.Name() + " ready"})
+		f.lastOut[tier] = ready
+		f.log(Event{Time: ready, Kind: Repair, Tier: tier, Detail: srv.Name() + " ready"})
+		f.audit.Record(trace.AuditEvent{Time: ready, Kind: trace.AuditRepair, Tier: tier.String(),
+			Cause: "tier dark: zero ready VMs", Detail: srv.Name() + " ready"})
 		f.afterHardwareScaling(tier)
 	})
 	if !launched {
 		f.pendingScale[tier] = false
+		f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditScaleOutDenied, Tier: tier.String(),
+			Cause: "repair launch refused: tier at capacity"})
 	}
 }
 
@@ -370,13 +386,28 @@ func (f *Framework) decideSLA() {
 	if f.c.TierCPU(cluster.DB) > f.c.TierCPU(cluster.App) {
 		tier = cluster.DB
 	}
+	cause := fmt.Sprintf("sla trigger: p%.0f=%.0fms > %.0fms", f.cfg.SLAPercentile, tail*1000, f.cfg.SLATarget*1000)
 	if f.pendingScale[tier] || now-f.lastOut[tier] < f.cfg.OutCooldown {
+		if f.slaAbove == f.cfg.SustainOut {
+			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditCooldownSkip, Tier: tier.String(),
+				Cause: cause, Detail: suppression(f.pendingScale[tier]), Value: tail})
+		}
 		return
 	}
 	f.slaAbove = 0
 	f.log(Event{Time: now, Kind: ScaleOut, Tier: tier,
 		Detail: fmt.Sprintf("sla trigger: p%.0f=%.0fms > %.0fms", f.cfg.SLAPercentile, tail*1000, f.cfg.SLATarget*1000)})
-	f.scaleOut(tier)
+	f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditThresholdTrigger, Tier: tier.String(),
+		Cause: cause, Value: tail})
+	f.scaleOut(tier, cause)
+}
+
+// suppression names why a trigger could not act, for audit annotations.
+func suppression(pending bool) string {
+	if pending {
+		return "suppressed: scale already pending"
+	}
+	return "suppressed: cooldown active"
 }
 
 func (f *Framework) decideTier(tier cluster.Tier) {
@@ -393,11 +424,20 @@ func (f *Framework) decideTier(tier cluster.Tier) {
 		f.below[tier] = 0
 	}
 
-	if f.above[tier] >= f.cfg.SustainOut &&
-		!f.pendingScale[tier] &&
-		now-f.lastOut[tier] >= f.cfg.OutCooldown {
-		f.scaleOut(tier)
-		return
+	if f.above[tier] >= f.cfg.SustainOut {
+		cause := fmt.Sprintf("cpu=%.2f > %.2f for %d checks", cpu, f.cfg.High, f.above[tier])
+		if !f.pendingScale[tier] && now-f.lastOut[tier] >= f.cfg.OutCooldown {
+			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditThresholdTrigger, Tier: tier.String(),
+				Cause: cause, Value: cpu})
+			f.scaleOut(tier, cause)
+			return
+		}
+		// Audit the suppressed trigger once per episode (the first check
+		// on which it would have fired).
+		if f.above[tier] == f.cfg.SustainOut {
+			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditCooldownSkip, Tier: tier.String(),
+				Cause: cause, Detail: suppression(f.pendingScale[tier]), Value: cpu})
+		}
 	}
 	if f.below[tier] >= f.cfg.SustainIn &&
 		!f.pendingScale[tier] &&
@@ -407,7 +447,7 @@ func (f *Framework) decideTier(tier cluster.Tier) {
 	}
 }
 
-func (f *Framework) scaleOut(tier cluster.Tier) {
+func (f *Framework) scaleOut(tier cluster.Tier, cause string) {
 	now := f.c.Eng.Now()
 	// Vertical scaling first, when enabled for the DB tier: adding a
 	// vCPU to a live VM needs no data replication or preparation period.
@@ -421,6 +461,8 @@ func (f *Framework) scaleOut(tier cluster.Tier) {
 			f.above[tier] = 0
 			f.log(Event{Time: now, Kind: ScaleOut, Tier: tier,
 				Detail: fmt.Sprintf("scale-up %s to %d cores", srv.Name(), srv.Cores())})
+			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditScaleUp, Tier: tier.String(),
+				Cause: cause, Detail: srv.Name(), Value: float64(srv.Cores())})
 			f.afterHardwareScaling(tier)
 			return
 		}
@@ -431,14 +473,20 @@ func (f *Framework) scaleOut(tier cluster.Tier) {
 		f.pendingScale[tier] = false
 		f.lastOut[tier] = ready
 		f.log(Event{Time: ready, Kind: ScaleOut, Tier: tier, Detail: srv.Name() + " ready"})
+		f.audit.Record(trace.AuditEvent{Time: ready, Kind: trace.AuditScaleOutReady, Tier: tier.String(),
+			Cause: cause, Detail: srv.Name() + " ready"})
 		f.afterHardwareScaling(tier)
 	})
 	if !launched { // tier at capacity
 		f.pendingScale[tier] = false
 		f.lastOut[tier] = now // back off instead of retrying every tick
+		f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditScaleOutDenied, Tier: tier.String(),
+			Cause: cause, Detail: "tier at capacity"})
 		return
 	}
 	f.above[tier] = 0
+	f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditScaleOutLaunch, Tier: tier.String(),
+		Cause: cause, Detail: "VM launched: preparation period started"})
 }
 
 func (f *Framework) scaleIn(tier cluster.Tier) {
@@ -451,6 +499,8 @@ func (f *Framework) scaleIn(tier cluster.Tier) {
 	f.above[tier], f.below[tier] = 0, 0
 	f.w.Forget(name)
 	f.log(Event{Time: now, Kind: ScaleIn, Tier: tier, Detail: name})
+	f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditScaleIn, Tier: tier.String(),
+		Cause: fmt.Sprintf("cpu < %.2f for %d checks", f.cfg.Low, f.cfg.SustainIn), Detail: name})
 	f.afterHardwareScaling(tier)
 }
 
@@ -487,6 +537,10 @@ func (f *Framework) applyDCM() {
 	f.c.SetDBConns(perApp)
 	f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.App,
 		Detail: fmt.Sprintf("dcm profile: threads=%d dbconns=%d", threads, perApp)})
+	f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.App.String(),
+		Cause: "dcm offline profile", Detail: "app threads", Value: float64(threads)})
+	f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.DB.String(),
+		Cause: "dcm offline profile", Detail: "db conns per app", Value: float64(perApp)})
 }
 
 // refreshEstimates re-runs the SCT model over each server's recent window
@@ -505,6 +559,9 @@ func (f *Framework) refreshEstimates() {
 				continue
 			}
 			f.cachedEstimate[srv.Name()] = timedEstimate{est: est, at: now}
+			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditSCTEstimate, Tier: tier.String(),
+				Cause: "estimator refresh", Detail: srv.Name(),
+				Qlower: est.Qlower, Qupper: est.Qupper, Value: est.PlateauTP})
 		}
 	}
 	f.escapeUnderAllocation(now)
@@ -539,6 +596,9 @@ func (f *Framework) escapeUnderAllocation(now des.Time) {
 			f.lastEscape[cluster.App] = now
 			f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.App,
 				Detail: fmt.Sprintf("under-allocation escape: app threads %d->%d", threads, grown)})
+			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.App.String(),
+				Cause: fmt.Sprintf("under-allocation escape: %d queued while max cpu=%.2f", queued, maxAppCPU),
+				Detail: "app threads", Value: float64(grown)})
 		}
 	}
 	// DB connections: app threads pile up waiting for the pool while the
@@ -569,6 +629,9 @@ func (f *Framework) escapeUnderAllocation(now des.Time) {
 			f.lastEscape[cluster.DB] = now
 			f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.DB,
 				Detail: fmt.Sprintf("under-allocation escape: db conns %d->%d", conns, grown)})
+			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.DB.String(),
+				Cause: fmt.Sprintf("under-allocation escape: %d waiting while max db busy=%.2f", waiting, maxDBBusy),
+				Detail: "db conns per app", Value: float64(grown)})
 		}
 	}
 }
@@ -596,6 +659,9 @@ func (f *Framework) applyConScale() {
 			f.c.SetAppThreads(threads)
 			f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.App,
 				Detail: fmt.Sprintf("sct: app threads=%d", threads)})
+			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.App.String(),
+				Cause: fmt.Sprintf("sct optimal=%d saturated=%v", appOpt, saturated),
+				Detail: "app threads", Value: float64(threads)})
 		}
 	}
 	if dbOpt, saturated, ok := f.tierOptimal(cluster.DB); ok {
@@ -608,6 +674,9 @@ func (f *Framework) applyConScale() {
 				f.c.SetDBConns(perApp)
 				f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.DB,
 					Detail: fmt.Sprintf("sct: db optimal=%d/server -> conns=%d/app", dbOpt, perApp)})
+				f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.DB.String(),
+					Cause: fmt.Sprintf("sct optimal=%d/server saturated=%v", dbOpt, saturated),
+					Detail: "db conns per app", Value: float64(perApp)})
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"conscale/internal/des"
 	"conscale/internal/metrics"
 	"conscale/internal/rng"
+	"conscale/internal/trace"
 )
 
 func mathPow(a, b float64) float64 { return math.Pow(a, b) }
@@ -27,6 +28,9 @@ type Request struct {
 	Phases []Phase
 	// Done receives the outcome.
 	Done func(ok bool)
+	// Span is the request's trace span (nil on unsampled requests — the
+	// common case; every span hook is a no-op then).
+	Span *trace.Span
 
 	arrival des.Time
 	phase   int
@@ -37,13 +41,16 @@ type Request struct {
 type PhaseKind int
 
 // Phase kinds: CPU burst, disk burst, pure dwell (network/protocol wait
-// that holds the thread but no hardware resource), and a synchronous
-// downstream call.
+// that holds the thread but no hardware resource), a synchronous
+// downstream call, and a network-edge transit. PhaseNet behaves exactly
+// like PhaseSleep (a thread-holding dwell, jittered the same way); the
+// distinct kind only changes how tracing classifies the time.
 const (
 	PhaseCPU PhaseKind = iota
 	PhaseDisk
 	PhaseSleep
 	PhaseCall
+	PhaseNet
 )
 
 // Phase is one step of a visit program.
@@ -241,6 +248,7 @@ func (s *Server) Kill() {
 	now := s.eng.Now()
 	for _, req := range queued {
 		s.rec.Reject(now)
+		req.Span.Finish(now, trace.OutcomeFailed)
 		done := req.Done
 		req.Done = nil
 		s.eng.After(0, func() { done(false) })
@@ -256,6 +264,7 @@ func (s *Server) Submit(req *Request) {
 		// Reject before entering the request log's in-flight accounting;
 		// the error still counts in this window.
 		s.rec.Reject(s.eng.Now())
+		req.Span.Finish(s.eng.Now(), trace.OutcomeRejected)
 		done := req.Done
 		req.Done = nil
 		// Deliver the failure asynchronously so callers never observe
@@ -264,6 +273,7 @@ func (s *Server) Submit(req *Request) {
 		return
 	}
 	req.arrival = s.eng.Now()
+	req.Span.EnterServer(s.name, req.arrival)
 	s.accept = append(s.accept, req)
 	s.admit()
 }
@@ -278,6 +288,7 @@ func (s *Server) admit() {
 		// time still counts toward the recorded response time because RT
 		// is measured from submission.
 		s.rec.Arrive(s.eng.Now())
+		req.Span.Admitted(s.eng.Now())
 		s.step(req)
 	}
 }
@@ -297,14 +308,39 @@ func (s *Server) step(req *Request) {
 	switch ph.Kind {
 	case PhaseCPU:
 		d := s.jitter(ph.Duration) * des.Time(s.overhead.Factor(s.active, s.cpu.Channels())*s.cpuSlowdown)
+		if sp := req.Span; sp != nil {
+			t0 := s.eng.Now()
+			s.cpu.Demand(d, func() {
+				sp.AddProc(trace.SegCPUWait, trace.SegCPU, t0, d, s.eng.Now())
+				s.step(req)
+			})
+			return
+		}
 		s.cpu.Demand(d, func() { s.step(req) })
 	case PhaseDisk:
 		if s.disk == nil {
 			panic(fmt.Sprintf("server %s: disk phase without a disk", s.name))
 		}
-		s.disk.Demand(s.jitter(ph.Duration), func() { s.step(req) })
-	case PhaseSleep:
-		s.eng.After(s.jitter(ph.Duration), func() { s.step(req) })
+		d := s.jitter(ph.Duration)
+		if sp := req.Span; sp != nil {
+			t0 := s.eng.Now()
+			s.disk.Demand(d, func() {
+				sp.AddProc(trace.SegDiskWait, trace.SegDisk, t0, d, s.eng.Now())
+				s.step(req)
+			})
+			return
+		}
+		s.disk.Demand(d, func() { s.step(req) })
+	case PhaseSleep, PhaseNet:
+		d := s.jitter(ph.Duration)
+		if sp := req.Span; sp != nil {
+			kind := trace.SegDwell
+			if ph.Kind == PhaseNet {
+				kind = trace.SegNet
+			}
+			sp.AddSeg(kind, s.eng.Now(), s.eng.Now()+d)
+		}
+		s.eng.After(d, func() { s.step(req) })
 	case PhaseCall:
 		s.call(req, ph.Call)
 	default:
@@ -317,9 +353,20 @@ func (s *Server) call(req *Request, out *OutCall) {
 	if out.UseServerPool {
 		pool = s.callPool
 	}
+	sp := req.Span
+	t0 := s.eng.Now()
 	issue := func() {
+		var child *trace.Span
+		if sp != nil {
+			now := s.eng.Now()
+			if pool != nil {
+				sp.AddSeg(trace.SegPoolWait, t0, now)
+			}
+			child = sp.StartChild(now)
+		}
 		down := &Request{
 			Phases: out.Build(),
+			Span:   child,
 			Done: func(ok bool) {
 				if pool != nil {
 					pool.Release()
@@ -344,8 +391,10 @@ func (s *Server) finish(req *Request) {
 	now := s.eng.Now()
 	if req.failed {
 		s.rec.Drop(now)
+		req.Span.Finish(now, trace.OutcomeFailed)
 	} else {
 		s.rec.Depart(now, float64(now-req.arrival))
+		req.Span.Finish(now, trace.OutcomeOK)
 	}
 	done := req.Done
 	req.Done = nil

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"conscale/internal/des"
+)
+
+// AuditKind labels one Decision Controller action class.
+type AuditKind uint8
+
+// The audited controller actions. Every scaling, estimation, pool, and
+// repair decision lands here with its cause, on the same simulated clock
+// as the request spans, so latency episodes can be lined up against the
+// decisions that caused or cured them.
+const (
+	// AuditThresholdTrigger fires when a sustained CPU breach (or SLA tail
+	// breach) arms a scale-out.
+	AuditThresholdTrigger AuditKind = iota
+	// AuditCooldownSkip records a trigger that was suppressed by a pending
+	// scale or an active cooldown.
+	AuditCooldownSkip
+	// AuditScaleOutLaunch marks a VM launch (preparation period starts).
+	AuditScaleOutLaunch
+	// AuditScaleOutReady marks the launched VM entering service.
+	AuditScaleOutReady
+	// AuditScaleOutDenied marks a launch refused at tier capacity.
+	AuditScaleOutDenied
+	// AuditScaleUp marks vertical scaling (a live VM gained a vCPU).
+	AuditScaleUp
+	// AuditScaleIn marks a VM retirement.
+	AuditScaleIn
+	// AuditPoolResize marks a soft-resource actuation (thread pool or
+	// connection pool); Value carries the new setting.
+	AuditPoolResize
+	// AuditSCTEstimate records one refreshed per-server SCT estimate with
+	// its rational range [Qlower, Qupper].
+	AuditSCTEstimate
+	// AuditRepair marks the dark-tier repair path re-provisioning a tier
+	// emptied by external faults.
+	AuditRepair
+	// AuditFault records a chaos fault activation (the disturbance the
+	// controller is reacting to).
+	AuditFault
+)
+
+// String implements fmt.Stringer.
+func (k AuditKind) String() string {
+	switch k {
+	case AuditThresholdTrigger:
+		return "threshold-trigger"
+	case AuditCooldownSkip:
+		return "cooldown-skip"
+	case AuditScaleOutLaunch:
+		return "scale-out-launch"
+	case AuditScaleOutReady:
+		return "scale-out-ready"
+	case AuditScaleOutDenied:
+		return "scale-out-denied"
+	case AuditScaleUp:
+		return "scale-up"
+	case AuditScaleIn:
+		return "scale-in"
+	case AuditPoolResize:
+		return "pool-resize"
+	case AuditSCTEstimate:
+		return "sct-estimate"
+	case AuditRepair:
+		return "repair"
+	case AuditFault:
+		return "fault"
+	default:
+		return "audit?"
+	}
+}
+
+// AuditEvent is one annotated controller action.
+type AuditEvent struct {
+	Time des.Time
+	Kind AuditKind
+	// Tier names the acted-on tier ("tomcat", "mysql", ...).
+	Tier string
+	// Cause explains why the controller acted (the trigger condition).
+	Cause string
+	// Detail names what was acted on (server name, setting transition).
+	Detail string
+	// Qlower/Qupper carry the rational range of AuditSCTEstimate events.
+	Qlower, Qupper int
+	// Value carries the event's scalar: triggering CPU, new pool size,
+	// new core count, or estimated plateau throughput, per Kind.
+	Value float64
+}
+
+// String renders the event for logs.
+func (e AuditEvent) String() string {
+	s := fmt.Sprintf("[%7.1fs] %-17s %-9s", float64(e.Time), e.Kind, e.Tier)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	if e.Cause != "" {
+		s += " (" + e.Cause + ")"
+	}
+	return s
+}
+
+// Audit is the append-only controller decision trail. Record runs on the
+// simulation goroutine; the enable switch and the event counter are
+// atomics so a management agent can toggle and poll it live. A nil *Audit
+// is a valid, inert receiver.
+type Audit struct {
+	enabled atomic.Bool
+	count   atomic.Uint64
+	events  []AuditEvent
+}
+
+// NewAudit returns an enabled, empty trail.
+func NewAudit() *Audit {
+	a := &Audit{}
+	a.enabled.Store(true)
+	return a
+}
+
+// SetEnabled flips recording live (safe from any goroutine).
+func (a *Audit) SetEnabled(on bool) {
+	if a != nil {
+		a.enabled.Store(on)
+	}
+}
+
+// Enabled reports the live switch.
+func (a *Audit) Enabled() bool { return a != nil && a.enabled.Load() }
+
+// Record appends one event (no-op when nil or disabled).
+func (a *Audit) Record(e AuditEvent) {
+	if a == nil || !a.enabled.Load() {
+		return
+	}
+	a.events = append(a.events, e)
+	a.count.Add(1)
+}
+
+// Len returns the recorded event count (safe from any goroutine).
+func (a *Audit) Len() int {
+	if a == nil {
+		return 0
+	}
+	return int(a.count.Load())
+}
+
+// Events returns a copy of the trail (simulation goroutine only).
+func (a *Audit) Events() []AuditEvent {
+	if a == nil {
+		return nil
+	}
+	out := make([]AuditEvent, len(a.events))
+	copy(out, a.events)
+	return out
+}

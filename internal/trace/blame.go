@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"math"
+	"sort"
+
+	"conscale/internal/des"
+)
+
+// blameRec is the compact per-request record the aggregator keeps instead
+// of whole span trees: response time plus the (tier, segment-kind) time
+// decomposition, keyed by completion time for windowing.
+type blameRec struct {
+	end  des.Time
+	rt   float64
+	ok   bool
+	comp [NumTiers][NumSegKinds]float32
+}
+
+// blameAgg accumulates every sampled request's decomposition.
+type blameAgg struct {
+	window des.Time
+	recs   []blameRec
+}
+
+// add folds one finished span tree into the record list.
+func (a *blameAgg) add(root *Span) {
+	rec := blameRec{
+		end: root.End,
+		rt:  float64(root.RT()),
+		ok:  root.Outcome == OutcomeOK,
+	}
+	root.Walk(func(sp *Span, _ int) {
+		tier := TierOf(sp.Server)
+		for _, seg := range sp.Segs {
+			rec.comp[tier][seg.Kind] += float32(seg.End - seg.Start)
+		}
+	})
+	a.recs = append(a.recs, rec)
+}
+
+// BlameRow is one (window, latency-class) row of the blame table: how many
+// requests, their mean response time, and where that time went per tier
+// and segment kind (mean seconds per request).
+type BlameRow struct {
+	// Window is the window's start time.
+	Window des.Time
+	// Class is "mean", "p50", "p95", or "p99" — the mean decomposition of
+	// all requests, the p40–p60 band, the p90–p99 band, and the top 1%.
+	Class string
+	// Requests is the class population in the window.
+	Requests int
+	// RT is the class's mean response time (seconds).
+	RT float64
+	// Comp is the class's mean per-request time in each (tier, kind)
+	// component (seconds). Summing Comp recovers RT up to think-free
+	// client time (LB dispatch is instantaneous).
+	Comp [NumTiers][NumSegKinds]float64
+}
+
+// WaitShare returns the fraction of the row's response time spent in
+// soft-resource waits (queue + pool) at the given tier.
+func (r BlameRow) WaitShare(tier TierID) float64 {
+	if r.RT <= 0 {
+		return 0
+	}
+	return (r.Comp[tier][SegQueue] + r.Comp[tier][SegPoolWait]) / r.RT
+}
+
+// Total returns the row's mean time in one component (seconds).
+func (r BlameRow) Total(tier TierID, kind SegKind) float64 { return r.Comp[tier][kind] }
+
+// Sum returns the row's total attributed time across every component
+// (seconds) — up to scheduling epsilons, the row's mean response time.
+func (r BlameRow) Sum() float64 {
+	var sum float64
+	for tier := TierID(0); tier < NumTiers; tier++ {
+		for kind := SegKind(0); kind < NumSegKinds; kind++ {
+			sum += r.Comp[tier][kind]
+		}
+	}
+	return sum
+}
+
+// BlameTable builds the windowed latency decomposition from everything
+// sampled so far: rows ordered by window then class (mean, p50, p95, p99);
+// classes with no population are omitted.
+func (t *Tracer) BlameTable() []BlameRow {
+	if t == nil {
+		return nil
+	}
+	return t.blame.table()
+}
+
+// blameClasses defines the percentile bands of the table: [lo, hi) rank
+// fractions of the window's requests sorted by response time.
+var blameClasses = []struct {
+	name   string
+	lo, hi float64
+}{
+	{"mean", 0, 1},
+	{"p50", 0.40, 0.60},
+	{"p95", 0.90, 0.99},
+	{"p99", 0.99, 1},
+}
+
+func (a *blameAgg) table() []BlameRow {
+	if len(a.recs) == 0 {
+		return nil
+	}
+	byWindow := make(map[des.Time][]int)
+	var windows []des.Time
+	for i, rec := range a.recs {
+		w := des.Time(math.Floor(float64(rec.end/a.window))) * a.window
+		if _, seen := byWindow[w]; !seen {
+			windows = append(windows, w)
+		}
+		byWindow[w] = append(byWindow[w], i)
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+
+	var rows []BlameRow
+	for _, w := range windows {
+		idx := byWindow[w]
+		sort.Slice(idx, func(i, j int) bool { return a.recs[idx[i]].rt < a.recs[idx[j]].rt })
+		n := len(idx)
+		for _, cl := range blameClasses {
+			lo, hi := int(cl.lo*float64(n)), int(cl.hi*float64(n))
+			if hi > n {
+				hi = n
+			}
+			if cl.hi == 1 {
+				hi = n
+			}
+			if hi <= lo {
+				continue
+			}
+			row := BlameRow{Window: w, Class: cl.name, Requests: hi - lo}
+			for _, i := range idx[lo:hi] {
+				rec := &a.recs[i]
+				row.RT += rec.rt
+				for tier := TierID(0); tier < NumTiers; tier++ {
+					for kind := SegKind(0); kind < NumSegKinds; kind++ {
+						row.Comp[tier][kind] += float64(rec.comp[tier][kind])
+					}
+				}
+			}
+			inv := 1 / float64(row.Requests)
+			row.RT *= inv
+			for tier := TierID(0); tier < NumTiers; tier++ {
+				for kind := SegKind(0); kind < NumSegKinds; kind++ {
+					row.Comp[tier][kind] *= inv
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// BlameSummary condenses rows into one aggregate decomposition over a time
+// range [from, to) and class — the per-mode comparison the blame
+// experiment prints. Returns false when no row matches.
+func BlameSummary(rows []BlameRow, class string, from, to des.Time) (BlameRow, bool) {
+	agg := BlameRow{Class: class, Window: from}
+	total := 0
+	for _, r := range rows {
+		if r.Class != class || r.Window < from || r.Window >= to {
+			continue
+		}
+		agg.Requests += r.Requests
+		agg.RT += r.RT * float64(r.Requests)
+		for tier := TierID(0); tier < NumTiers; tier++ {
+			for kind := SegKind(0); kind < NumSegKinds; kind++ {
+				agg.Comp[tier][kind] += r.Comp[tier][kind] * float64(r.Requests)
+			}
+		}
+		total += r.Requests
+	}
+	if total == 0 {
+		return BlameRow{}, false
+	}
+	inv := 1 / float64(total)
+	agg.RT *= inv
+	for tier := TierID(0); tier < NumTiers; tier++ {
+		for kind := SegKind(0); kind < NumSegKinds; kind++ {
+			agg.Comp[tier][kind] *= inv
+		}
+	}
+	return agg, true
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"conscale/internal/des"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events for spans and segments, "i" instant events for audit entries).
+// The format is what Perfetto and chrome://tracing load directly:
+// https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  uint64         `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object envelope of the trace-event format.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usec(t des.Time) float64 { return float64(t) * 1e6 }
+
+// BuildChromeTrace converts span trees plus the audit trail into the
+// trace-event document. Each request becomes one pid (its root span ID);
+// each span of the tree gets its own tid, depth-first, so the waterfall
+// nests naturally in the viewer. Audit events land on pid 0 as global
+// instants.
+func BuildChromeTrace(roots []*Span, audit []AuditEvent) ChromeTrace {
+	doc := ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	for _, root := range roots {
+		if root == nil {
+			continue
+		}
+		pid := root.ID
+		tid := uint64(0)
+		root.Walk(func(sp *Span, depth int) {
+			tid++
+			name := sp.Server
+			if name == "" {
+				name = "unrouted"
+			}
+			if sp.Op != "" {
+				name = sp.Op + "@" + name
+			}
+			ev := ChromeEvent{
+				Name: name,
+				Cat:  "span",
+				Ph:   "X",
+				Ts:   usec(sp.Start),
+				Dur:  usec(sp.End - sp.Start),
+				Pid:  pid,
+				Tid:  tid,
+				Args: map[string]any{
+					"outcome": sp.Outcome.String(),
+					"tier":    TierOf(sp.Server).String(),
+				},
+			}
+			if sp.LB != "" {
+				ev.Args["lb"] = sp.LB
+				ev.Args["pick_in_flight"] = sp.PickInFlight
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+			for _, seg := range sp.Segs {
+				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+					Name: seg.Kind.String(),
+					Cat:  "seg",
+					Ph:   "X",
+					Ts:   usec(seg.Start),
+					Dur:  usec(seg.End - seg.Start),
+					Pid:  pid,
+					Tid:  tid,
+				})
+			}
+		})
+	}
+	for _, e := range audit {
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: e.Kind.String(),
+			Cat:  "audit",
+			Ph:   "i",
+			Ts:   usec(e.Time),
+			S:    "g",
+			Args: map[string]any{
+				"tier":   e.Tier,
+				"cause":  e.Cause,
+				"detail": e.Detail,
+				"value":  e.Value,
+			},
+		})
+	}
+	return doc
+}
+
+// WriteChromeTrace writes the Perfetto-loadable JSON document.
+func WriteChromeTrace(w io.Writer, roots []*Span, audit []AuditEvent) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildChromeTrace(roots, audit))
+}
+
+// segLetter maps each segment kind to its waterfall glyph.
+var segLetter = [NumSegKinds]byte{
+	SegQueue:    'q',
+	SegPoolWait: 'p',
+	SegCPUWait:  'w',
+	SegCPU:      'C',
+	SegDiskWait: 'k',
+	SegDisk:     'D',
+	SegDwell:    's',
+	SegNet:      'n',
+}
+
+// WaterfallLegend explains the glyphs of WriteWaterfall.
+const WaterfallLegend = "q=queue p=pool-wait w=cpu-wait C=cpu k=disk-wait D=disk s=dwell n=net .=downstream"
+
+// WriteWaterfall renders one span tree as an ASCII waterfall: one bar per
+// span, scaled to the root's wall time, each column showing the dominant
+// segment kind of that slice ('.' where the span was blocked on a child).
+func WriteWaterfall(w io.Writer, root *Span) error {
+	if root == nil {
+		return nil
+	}
+	const width = 64
+	span := float64(root.End - root.Start)
+	if span <= 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "trace #%d %s %s rt=%.1fms  [%s]\n",
+		root.ID, root.Op, root.Outcome, span*1000, WaterfallLegend); err != nil {
+		return err
+	}
+	var werr error
+	root.Walk(func(sp *Span, depth int) {
+		if werr != nil {
+			return
+		}
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		col := func(t des.Time) int {
+			c := int(float64(t-root.Start) / span * width)
+			if c < 0 {
+				c = 0
+			}
+			if c > width {
+				c = width
+			}
+			return c
+		}
+		for i, hi := col(sp.Start), col(sp.End); i < hi; i++ {
+			bar[i] = '.'
+		}
+		for _, seg := range sp.Segs {
+			lo, hi := col(seg.Start), col(seg.End)
+			if hi == lo && hi < width {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				bar[i] = segLetter[seg.Kind]
+			}
+		}
+		name := sp.Server
+		if name == "" {
+			name = "(unrouted)"
+		}
+		wait, svc := 0.0, 0.0
+		for _, seg := range sp.Segs {
+			d := float64(seg.End - seg.Start)
+			if seg.Kind.IsWait() {
+				wait += d
+			} else {
+				svc += d
+			}
+		}
+		_, werr = fmt.Fprintf(w, "  %s%-*s |%s| wait %.1fms svc %.1fms\n",
+			strings.Repeat("  ", depth), 14-2*depth, name, bar, wait*1000, svc*1000)
+	})
+	return werr
+}
+
+// WriteBlameCSV writes the blame table in long form: one row per
+// (window, class, tier, component) with its mean per-request milliseconds
+// and its share of the class's response time.
+func WriteBlameCSV(w io.Writer, label string, rows []BlameRow) error {
+	if _, err := fmt.Fprintln(w, "mode,window_s,class,requests,rt_ms,tier,component,ms,share"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for tier := TierID(0); tier < NumTiers; tier++ {
+			for kind := SegKind(0); kind < NumSegKinds; kind++ {
+				ms := r.Comp[tier][kind] * 1000
+				if ms < 1e-4 {
+					continue
+				}
+				share := 0.0
+				if r.RT > 0 {
+					share = r.Comp[tier][kind] / r.RT
+				}
+				if _, err := fmt.Fprintf(w, "%s,%.0f,%s,%d,%.2f,%s,%s,%.3f,%.4f\n",
+					label, float64(r.Window), r.Class, r.Requests, r.RT*1000,
+					tier, kind, ms, share); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteAuditCSV writes the controller decision trail as CSV.
+func WriteAuditCSV(w io.Writer, events []AuditEvent) error {
+	if _, err := fmt.Fprintln(w, "time_s,kind,tier,cause,detail,qlower,qupper,value"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "%.3f,%s,%s,%s,%s,%d,%d,%.3f\n",
+			float64(e.Time), e.Kind, e.Tier, csvField(e.Cause), csvField(e.Detail),
+			e.Qlower, e.Qupper, e.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvField keeps annotation strings CSV-safe (causes contain no quotes;
+// commas become semicolons rather than dragging in full quoting).
+func csvField(s string) string { return strings.ReplaceAll(s, ",", ";") }

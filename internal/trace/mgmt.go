@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"conscale/internal/mgmt"
+)
+
+// RegisterMgmt exposes the tracer's live controls and counters through a
+// management Store (the same JMX-substitute path that reconfigures pools):
+//
+//	trace.enabled  RW  "true"/"false" — the head-sampling master switch
+//	trace.sample   RW  sampling probability in [0, 1]
+//	trace.started  RO  requests offered to the sampler
+//	trace.sampled  RO  requests traced
+//	audit.enabled  RW  controller audit trail switch
+//	audit.events   RO  recorded audit event count
+//
+// The setters only touch the tracer's atomics, so an Agent can drive them
+// from its connection goroutines while the simulation runs.
+func (t *Tracer) RegisterMgmt(s *mgmt.Store) {
+	if t == nil || s == nil {
+		return
+	}
+	s.Register("trace.enabled",
+		func() string { return strconv.FormatBool(t.Enabled()) },
+		func(v string) error {
+			on, err := strconv.ParseBool(strings.TrimSpace(v))
+			if err != nil {
+				return fmt.Errorf("trace.enabled: %w", err)
+			}
+			t.SetEnabled(on)
+			return nil
+		})
+	s.Register("trace.sample",
+		func() string { return strconv.FormatFloat(t.SampleRate(), 'g', -1, 64) },
+		func(v string) error {
+			r, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return fmt.Errorf("trace.sample: %w", err)
+			}
+			if r < 0 || r > 1 {
+				return fmt.Errorf("trace.sample: %v outside [0, 1]", r)
+			}
+			t.SetSampleRate(r)
+			return nil
+		})
+	s.Register("trace.started", func() string {
+		started, _, _, _ := t.Stats()
+		return strconv.FormatUint(started, 10)
+	}, nil)
+	s.Register("trace.sampled", func() string {
+		_, sampled, _, _ := t.Stats()
+		return strconv.FormatUint(sampled, 10)
+	}, nil)
+	a := t.Audit()
+	s.Register("audit.enabled",
+		func() string { return strconv.FormatBool(a.Enabled()) },
+		func(v string) error {
+			on, err := strconv.ParseBool(strings.TrimSpace(v))
+			if err != nil {
+				return fmt.Errorf("audit.enabled: %w", err)
+			}
+			a.SetEnabled(on)
+			return nil
+		})
+	s.Register("audit.events", func() string {
+		return strconv.Itoa(a.Len())
+	}, nil)
+}

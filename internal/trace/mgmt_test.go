@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"conscale/internal/des"
+	"conscale/internal/mgmt"
+)
+
+func TestRegisterMgmtKeysAndValidation(t *testing.T) {
+	tr := New(Config{SampleRate: 0.25})
+	store := mgmt.NewStore()
+	tr.RegisterMgmt(store)
+
+	for _, key := range []string{"trace.enabled", "trace.sample", "trace.started",
+		"trace.sampled", "audit.enabled", "audit.events"} {
+		if _, err := store.Get(key); err != nil {
+			t.Fatalf("GET %s: %v", key, err)
+		}
+	}
+	if v, _ := store.Get("trace.sample"); v != "0.25" {
+		t.Fatalf("trace.sample = %q", v)
+	}
+	if err := store.Set("trace.sample", "1.5"); err == nil {
+		t.Fatal("out-of-range sample rate accepted")
+	}
+	if err := store.Set("trace.sample", "bogus"); err == nil {
+		t.Fatal("non-numeric sample rate accepted")
+	}
+	if err := store.Set("trace.started", "7"); err == nil {
+		t.Fatal("read-only counter writable")
+	}
+	if err := store.Set("trace.enabled", "false"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Enabled() {
+		t.Fatal("SET trace.enabled false did not stick")
+	}
+	if err := store.Set("audit.enabled", "false"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Audit().Enabled() {
+		t.Fatal("SET audit.enabled false did not stick")
+	}
+
+	// Nil receivers register nothing and must not panic.
+	var nilTracer *Tracer
+	nilTracer.RegisterMgmt(store)
+	tr.RegisterMgmt(nil)
+}
+
+func TestMgmtAgentConcurrentWithTracing(t *testing.T) {
+	// The live-toggle contract: Agent connection goroutines flip and poll
+	// the tracer while the simulation goroutine traces. Run under -race
+	// this pins the atomics discipline of the mgmt surface.
+	tr := New(Config{Seed: 5, SampleRate: 0.5, Reservoir: 4})
+	store := mgmt.NewStore()
+	tr.RegisterMgmt(store)
+	agent, err := mgmt.NewAgent("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	const requests = 3000
+	done := make(chan struct{})
+	go func() { // the "simulation" goroutine
+		defer close(done)
+		for i := 0; i < requests; i++ {
+			now := des.Time(i)
+			sp := tr.StartRequest("browse", now)
+			sp.EnterServer("web1", now)
+			sp.Admitted(now)
+			sp.AddProc(SegCPUWait, SegCPU, now, 0.5, now+1)
+			tr.EndRequest(sp, now+1, true)
+			tr.Audit().Record(AuditEvent{Time: now, Kind: AuditSCTEstimate,
+				Tier: "mysql", Cause: "estimator refresh"})
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := mgmt.Dial(agent.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 100; i++ {
+				switch g % 2 {
+				case 0: // toggler
+					if err := cl.Set("trace.enabled", strconv.FormatBool(i%2 == 0)); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := cl.Set("trace.sample", []string{"0.1", "0.9"}[i%2]); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1: // poller
+					for _, key := range []string{"trace.started", "trace.sampled", "audit.events", "trace.enabled"} {
+						if _, err := cl.Get(key); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	<-done
+
+	tr.SetEnabled(true)
+	tr.SetSampleRate(1)
+	if sp := tr.StartRequest("browse", requests); sp == nil {
+		t.Fatal("tracer unusable after concurrent toggling")
+	} else {
+		tr.EndRequest(sp, requests+1, true)
+	}
+	if started, sampled, _, _ := tr.Stats(); started == 0 || sampled == 0 {
+		t.Fatal("no requests traced during the concurrent phase")
+	}
+	if tr.Audit().Len() != requests {
+		t.Fatalf("audit recorded %d of %d events", tr.Audit().Len(), requests)
+	}
+}
