@@ -1,5 +1,5 @@
 // Command benchreport measures the repo's performance-critical paths and
-// writes the results as a machine-readable JSON file (BENCH_3.json), so
+// writes the results as a machine-readable JSON file (BENCH_4.json), so
 // every future change has a perf trajectory to compare against:
 //
 //   - DES engine microbenchmarks (inline 4-ary heap) against the frozen
@@ -13,12 +13,18 @@
 //     sequentially and with the parallel worker pool, wall-clock for both,
 //     plus a byte-identity check that the fan-out changes nothing;
 //   - tracer overhead end to end: the same run untraced, head-sampled at
-//     1/64, and fully sampled, with a timeline byte-identity check.
+//     1/64, and fully sampled, with a timeline byte-identity check;
+//   - telemetry registry microbenchmarks: counter increment and histogram
+//     observe enabled and disabled (the disabled path must stay at zero
+//     allocations) plus a full scrape snapshot of a populated registry;
+//   - telemetry overhead end to end: the same run bare and with the whole
+//     layer armed (registry, collectors, 5 s scraper, SLO monitor), with a
+//     timeline byte-identity check.
 //
 // Usage:
 //
-//	benchreport -out BENCH_3.json          # full measurement
-//	benchreport -short -out BENCH_3.json   # CI smoke (seconds, not minutes)
+//	benchreport -out BENCH_4.json          # full measurement
+//	benchreport -short -out BENCH_4.json   # CI smoke (seconds, not minutes)
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"conscale/internal/experiment"
 	"conscale/internal/metrics"
 	"conscale/internal/scaling"
+	"conscale/internal/telemetry"
 	"conscale/internal/trace"
 	"conscale/internal/workload"
 )
@@ -71,7 +78,18 @@ type Tracing struct {
 	TimelineIdentical bool    `json:"timeline_byte_identical"`
 }
 
-// Report is the BENCH_3.json document.
+// Telemetry records the telemetry-layer overhead measurement: one run
+// bare and the same run with the full layer armed.
+type Telemetry struct {
+	Experiment        string  `json:"experiment"`
+	OffSec            float64 `json:"telemetry_off_seconds"`
+	OnSec             float64 `json:"telemetry_on_seconds"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	Scrapes           int     `json:"scrapes"`
+	TimelineIdentical bool    `json:"timeline_byte_identical"`
+}
+
+// Report is the BENCH_4.json document.
 type Report struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -80,6 +98,7 @@ type Report struct {
 	Benchmarks []Result           `json:"benchmarks"`
 	Harness    Harness            `json:"harness"`
 	Tracing    Tracing            `json:"tracing"`
+	Telemetry  Telemetry          `json:"telemetry"`
 	Derived    map[string]float64 `json:"derived"`
 }
 
@@ -96,13 +115,13 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_3.json", "output path for the JSON report")
+		out   = flag.String("out", "BENCH_4.json", "output path for the JSON report")
 		short = flag.Bool("short", false, "shrink the harness measurement for CI smoke runs")
 	)
 	flag.Parse()
 
 	rep := Report{
-		Schema:     "conscale-bench/3",
+		Schema:     "conscale-bench/4",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Short:      *short,
@@ -245,6 +264,64 @@ func main() {
 			}
 		}),
 	)
+	fmt.Println("== telemetry registry microbenchmarks (disabled hot path must stay 0 allocs/op)")
+	rep.Benchmarks = append(rep.Benchmarks,
+		measure("telemetry/counter_inc", func(b *testing.B) {
+			b.ReportAllocs()
+			reg := telemetry.NewRegistry()
+			c := reg.Counter("bench_requests_total", "bench", "server", "web1")
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+			}
+		}),
+		measure("telemetry/histogram_observe", func(b *testing.B) {
+			b.ReportAllocs()
+			reg := telemetry.NewRegistry()
+			h := reg.Histogram("bench_rt_seconds", "bench", "server", "web1")
+			for i := 0; i < b.N; i++ {
+				h.Observe(0.042)
+			}
+		}),
+		measure("telemetry/disabled_hot_path", func(b *testing.B) {
+			b.ReportAllocs()
+			reg := telemetry.NewRegistry()
+			reg.SetEnabled(false)
+			c := reg.Counter("bench_requests_total", "bench", "server", "web1")
+			h := reg.Histogram("bench_rt_seconds", "bench", "server", "web1")
+			g := reg.Gauge("bench_depth", "bench", "server", "web1")
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+				h.Observe(0.042)
+				g.Set(float64(i))
+			}
+		}),
+		measure("telemetry/scrape_snapshot", func(b *testing.B) {
+			// A populated registry shaped like a mid-size cluster: 24
+			// servers x (histogram + 2 counters + 3 gauges).
+			reg := telemetry.NewRegistry()
+			for s := 0; s < 24; s++ {
+				name := fmt.Sprintf("web%d", s)
+				h := reg.Histogram("bench_rt_seconds", "bench", "server", name)
+				for i := 0; i < 200; i++ {
+					h.Observe(0.01 * float64(i%37+1))
+				}
+				reg.Counter("bench_completed_total", "bench", "server", name).Add(1000)
+				reg.Counter("bench_errored_total", "bench", "server", name).Add(3)
+				reg.Gauge("bench_threads", "bench", "server", name).Set(40)
+				reg.Gauge("bench_queue", "bench", "server", name).Set(7)
+				reg.Gauge("bench_cpu", "bench", "server", name).Set(0.6)
+			}
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := reg.WriteProm(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	)
 	for _, r := range rep.Benchmarks {
 		fmt.Printf("   %-36s %12.1f ns/op %8d B/op %6d allocs/op\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
@@ -261,6 +338,9 @@ func main() {
 	}
 	rep.Derived["trace_disabled_allocs_per_op"] = float64(byName["trace/disabled_hot_path"].AllocsPerOp)
 	rep.Derived["trace_sampled_ns_per_request"] = byName["trace/sampled_span_tree"].NsPerOp
+	rep.Derived["telemetry_disabled_allocs_per_op"] = float64(byName["telemetry/disabled_hot_path"].AllocsPerOp)
+	rep.Derived["telemetry_counter_ns_per_inc"] = byName["telemetry/counter_inc"].NsPerOp
+	rep.Derived["telemetry_histogram_ns_per_observe"] = byName["telemetry/histogram_observe"].NsPerOp
 
 	fmt.Println("== experiment harness wall time (sequential vs parallel, byte-identity checked)")
 	rep.Harness = measureHarness(*short)
@@ -276,6 +356,13 @@ func main() {
 	fmt.Printf("   %s: off %.1fs, sampled %.1fs (+%.1f%%), full %.1fs (+%.1f%%), timeline identical=%v\n",
 		rep.Tracing.Experiment, rep.Tracing.OffSec, rep.Tracing.SampledSec, rep.Tracing.SampledPct,
 		rep.Tracing.FullSec, rep.Tracing.FullPct, rep.Tracing.TimelineIdentical)
+
+	fmt.Println("== telemetry overhead end to end (bare vs full layer armed)")
+	rep.Telemetry = measureTelemetry(*short)
+	rep.Derived["telemetry_overhead_pct"] = rep.Telemetry.OverheadPct
+	fmt.Printf("   %s: off %.1fs, on %.1fs (+%.1f%%, %d scrapes), timeline identical=%v\n",
+		rep.Telemetry.Experiment, rep.Telemetry.OffSec, rep.Telemetry.OnSec,
+		rep.Telemetry.OverheadPct, rep.Telemetry.Scrapes, rep.Telemetry.TimelineIdentical)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -303,6 +390,14 @@ func main() {
 	}
 	if rep.Derived["trace_disabled_allocs_per_op"] != 0 {
 		fmt.Fprintln(os.Stderr, "FAIL: disabled tracer hot path allocates")
+		os.Exit(1)
+	}
+	if !rep.Telemetry.TimelineIdentical {
+		fmt.Fprintln(os.Stderr, "FAIL: telemetry-armed run's timeline diverged from the bare run")
+		os.Exit(1)
+	}
+	if rep.Derived["telemetry_disabled_allocs_per_op"] != 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: disabled telemetry hot path allocates")
 		os.Exit(1)
 	}
 }
@@ -399,5 +494,53 @@ func measureTracing(short bool) Tracing {
 		SampledPct:        100 * (sampledSec - offSec) / offSec,
 		FullPct:           100 * (fullSec - offSec) / offSec,
 		TimelineIdentical: bytes.Equal(offCSV, sampledCSV) && bytes.Equal(offCSV, fullCSV),
+	}
+}
+
+// measureTelemetry runs the same ConScale Large Variations experiment bare
+// and with the full telemetry layer armed — registry, stack collectors,
+// the 5 s sim-time scraper, and the SLO burn-rate monitor — and verifies
+// observation never perturbs the client-observed timeline.
+func measureTelemetry(short bool) Telemetry {
+	duration := 720 * des.Second
+	users := 7500
+	label := "conscale large-variations (720s)"
+	if short {
+		duration = 120 * des.Second
+		users = 3000
+		label = "conscale large-variations (120s smoke)"
+	}
+	run := func(armed bool) (float64, []byte, int) {
+		cfg := experiment.DefaultRunConfig(scaling.ConScale, workload.LargeVariations)
+		cfg.Duration = duration
+		cfg.MaxUsers = users
+		if armed {
+			cfg.Telemetry = &experiment.TelemetryOptions{}
+		}
+		t0 := time.Now()
+		res := experiment.Run(cfg)
+		sec := time.Since(t0).Seconds()
+		var buf bytes.Buffer
+		if err := experiment.WriteTimelineCSV(&buf, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var scrapes int
+		if res.Scraper != nil {
+			scrapes = res.Scraper.Scrapes()
+		}
+		return sec, buf.Bytes(), scrapes
+	}
+
+	offSec, offCSV, _ := run(false)
+	onSec, onCSV, scrapes := run(true)
+
+	return Telemetry{
+		Experiment:        label,
+		OffSec:            offSec,
+		OnSec:             onSec,
+		OverheadPct:       100 * (onSec - offSec) / offSec,
+		Scrapes:           scrapes,
+		TimelineIdentical: bytes.Equal(offCSV, onCSV),
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"conscale/internal/experiment"
 	"conscale/internal/trace"
+	"conscale/internal/workload"
 )
 
 type runner struct {
@@ -47,6 +48,7 @@ var runners = []runner{
 	{"ablations", "A1 window size, A2 Qupper, A3 LB policy, A4 cooldown", runAblations},
 	{"chaos", "Controller robustness under injected cloud faults", runChaos},
 	{"blame", "Latency-blame attribution: traced EC2 vs DCM vs ConScale", runBlame},
+	{"slo", "SLO burn-rate detection lead time: EC2 vs DCM vs ConScale", runSLO},
 	{"report", "All-in-one reproduction report (Table I + Fig. 3 + Fig. 11)", runReport},
 }
 
@@ -406,6 +408,49 @@ func runBlame(seed uint64, outDir string) error {
 		}
 	}
 	fmt.Printf("\n%s\n", trace.WaterfallLegend)
+	return nil
+}
+
+func runSLO(seed uint64, outDir string) error {
+	runs := experiment.SLODetection(seed)
+	experiment.RenderSLO(os.Stdout, runs)
+
+	if err := writeCSV(outDir, "slo_leadtime.csv", func(f *os.File) error {
+		if _, err := fmt.Fprintln(f, "trace,controller,episodes,alerts,detected,true_positives,precision,recall,lead_count,mean_lead_s,min_lead_s,max_lead_s,slo_only"); err != nil {
+			return err
+		}
+		for _, r := range runs {
+			lead, lo, hi := "", "", ""
+			if r.Row.LeadCount > 0 {
+				lead = fmt.Sprintf("%.1f", r.Row.MeanLead)
+				lo = fmt.Sprintf("%.1f", r.Row.MinLead)
+				hi = fmt.Sprintf("%.1f", r.Row.MaxLead)
+			}
+			if _, err := fmt.Fprintf(f, "%s,%s,%d,%d,%d,%d,%.3f,%.3f,%d,%s,%s,%s,%d\n",
+				r.Trace, r.Mode, r.Row.Episodes, r.Row.Alerts, r.Row.Detected,
+				r.Row.TruePositives, r.Row.Precision, r.Row.Recall,
+				r.Row.LeadCount, lead, lo, hi, r.Row.SLOOnly); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Showcase scrape timelines for the headline trace — one OpenMetrics
+	// file per controller, replayable into any Prometheus-compatible tool.
+	for _, r := range runs {
+		if r.Trace != workload.LargeVariations || r.Res.Scraper == nil {
+			continue
+		}
+		file := "slo_scrape_" + sanitize(r.Mode.String()) + ".om"
+		if err := writeCSV(outDir, file, func(f *os.File) error {
+			return r.Res.Scraper.WriteOpenMetrics(f)
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -40,6 +40,7 @@ package conscale
 
 import (
 	"io"
+	"net/http"
 
 	"conscale/internal/chaos"
 	"conscale/internal/cluster"
@@ -52,6 +53,7 @@ import (
 	"conscale/internal/rubbos"
 	"conscale/internal/scaling"
 	"conscale/internal/sct"
+	"conscale/internal/telemetry"
 	"conscale/internal/trace"
 	"conscale/internal/workload"
 )
@@ -418,3 +420,68 @@ func WriteAuditCSV(w io.Writer, events []AuditEvent) error {
 func BlameRuns(seed uint64, duration Time, users int) []BlameResult {
 	return experiment.BlameRuns(seed, duration, users)
 }
+
+// Telemetry: continuous metrics, OpenMetrics exposition, and SLO
+// burn-rate monitoring.
+type (
+	// TelemetryRegistry holds counters, gauges, and histograms with a
+	// zero-allocation hot path (and a zero-cost disabled mode).
+	TelemetryRegistry = telemetry.Registry
+	// Counter is a monotone event count.
+	Counter = telemetry.Counter
+	// Gauge is an instantaneous level.
+	Gauge = telemetry.Gauge
+	// Histogram is a log-linear latency distribution with bounded
+	// relative error.
+	Histogram = telemetry.Histogram
+	// TelemetryScraper snapshots a registry on the simulation clock into
+	// an OpenMetrics timeline.
+	TelemetryScraper = telemetry.Scraper
+	// SLOConfig parameterizes the burn-rate monitor (target, objective,
+	// windows, burn threshold).
+	SLOConfig = telemetry.SLOConfig
+	// SLOMonitor raises and clears multi-window burn-rate alerts.
+	SLOMonitor = telemetry.SLOMonitor
+	// SLOAlert is one raised alert interval.
+	SLOAlert = telemetry.Alert
+	// PromFamily is one parsed exposition-format metric family.
+	PromFamily = telemetry.PromFamily
+	// PromSample is one parsed exposition-format sample line.
+	PromSample = telemetry.PromSample
+	// TelemetryOptions arms the telemetry layer on an experiment run.
+	TelemetryOptions = experiment.TelemetryOptions
+	// SLODetectionRun is one (trace, controller) cell of the detection
+	// lead-time comparison.
+	SLODetectionRun = experiment.SLORun
+	// SLODetectionRow scores one run's alerts against ground truth.
+	SLODetectionRow = experiment.SLORow
+)
+
+// NewTelemetryRegistry returns an enabled, empty registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewTelemetryScraper schedules sim-time scrapes of a registry.
+func NewTelemetryScraper(eng *Engine, reg *TelemetryRegistry, every Time) *TelemetryScraper {
+	return telemetry.NewScraper(eng, reg, every)
+}
+
+// TelemetryHandler serves a registry as Prometheus text at /metrics.
+func TelemetryHandler(reg *TelemetryRegistry) http.Handler { return telemetry.Handler(reg) }
+
+// DefaultSLOConfig returns the paper's web QoS target: p99 < 300 ms at a
+// 99% objective with 15 s / 60 s burn windows.
+func DefaultSLOConfig() SLOConfig { return telemetry.DefaultSLOConfig() }
+
+// NewSLOMonitor returns a burn-rate monitor (zero-value config fields
+// fall back to DefaultSLOConfig).
+func NewSLOMonitor(cfg SLOConfig) *SLOMonitor { return telemetry.NewSLOMonitor(cfg) }
+
+// ParseProm parses Prometheus/OpenMetrics text into metric families.
+func ParseProm(r io.Reader) ([]PromFamily, error) { return telemetry.ParseProm(r) }
+
+// SLODetection runs the detection lead-time comparison — EC2 vs DCM vs
+// ConScale across the six bursty traces — at the paper's evaluation size.
+func SLODetection(seed uint64) []SLODetectionRun { return experiment.SLODetection(seed) }
+
+// RenderSLODetection prints the detection comparison table.
+func RenderSLODetection(w io.Writer, runs []SLODetectionRun) { experiment.RenderSLO(w, runs) }

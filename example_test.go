@@ -2,6 +2,7 @@ package conscale_test
 
 import (
 	"fmt"
+	"os"
 
 	"conscale"
 )
@@ -91,4 +92,41 @@ func ExampleNewFramework() {
 	fw.Stop()
 	fmt.Println(len(fw.Events()) > 0, c.ReadyCount(conscale.TierApp) >= 2)
 	// Output: true true
+}
+
+// ExampleNewTelemetryRegistry registers instruments and renders a
+// Prometheus text snapshot.
+func ExampleNewTelemetryRegistry() {
+	reg := conscale.NewTelemetryRegistry()
+	reg.Counter("example_requests_total", "Requests served.", "server", "web1").Add(3)
+	reg.Gauge("example_queue_depth", "Requests waiting.", "server", "web1").Set(2)
+	reg.WriteProm(os.Stdout)
+	// Output:
+	// # HELP example_requests_total Requests served.
+	// # TYPE example_requests_total counter
+	// example_requests_total{server="web1"} 3
+	// # HELP example_queue_depth Requests waiting.
+	// # TYPE example_queue_depth gauge
+	// example_queue_depth{server="web1"} 2
+}
+
+// ExampleNewSLOMonitor streams response times through the burn-rate
+// monitor: a 60 s half-bad burst raises one alert that clears after the
+// stream recovers.
+func ExampleNewSLOMonitor() {
+	mon := conscale.NewSLOMonitor(conscale.DefaultSLOConfig())
+	for sec := 0; sec < 240; sec++ {
+		for i := 0; i < 20; i++ {
+			rt := 0.05
+			if sec >= 60 && sec < 120 && i < 10 {
+				rt = 0.8 // half the requests blow the 300 ms target
+			}
+			mon.Observe(conscale.Time(sec), rt, true)
+		}
+	}
+	alerts := mon.Alerts()
+	a := alerts[0]
+	fmt.Printf("alerts=%d raisedNearBurst=%v cleared=%v\n",
+		len(alerts), a.Start >= 60 && a.Start <= 75, !a.Active)
+	// Output: alerts=1 raisedNearBurst=true cleared=true
 }

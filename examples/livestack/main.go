@@ -5,21 +5,34 @@
 // estimator the simulator uses. Unlike the other examples this one runs
 // in real time (a few seconds).
 //
+// Both servers also publish their state on a telemetry registry served as
+// Prometheus text at /metrics — point a stock Prometheus at the printed
+// address (or curl it) while the load runs. Pass -hold to keep the stack
+// up after the sweep for interactive scraping.
+//
 // Run with:
 //
 //	go run ./examples/livestack
+//	go run ./examples/livestack -hold   # keep serving /metrics until ^C
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"time"
 
 	"conscale/internal/live"
 	"conscale/internal/sct"
+	"conscale/internal/telemetry"
 )
 
 func main() {
+	hold := flag.Bool("hold", false, "keep the stack and /metrics endpoint up until interrupted")
+	flag.Parse()
+
 	db, err := live.StartServer(live.ServerConfig{
 		Name:            "db",
 		DwellPerRequest: 2 * time.Millisecond,
@@ -45,7 +58,22 @@ func main() {
 	}
 	defer app.Close()
 
+	// One registry covers both tiers; the metric names match the
+	// simulator's, so the same dashboard reads either mode.
+	reg := telemetry.NewRegistry()
+	app.RegisterTelemetry(reg)
+	db.RegisterTelemetry(reg)
+	metricsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer metricsLn.Close()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(reg))
+	go http.Serve(metricsLn, mux) //nolint:errcheck // returns on Close
+
 	fmt.Printf("app tier at %s -> db tier at %s\n", app.URL(), db.URL())
+	fmt.Printf("metrics at http://%s/metrics\n", metricsLn.Addr())
 	fmt.Printf("%8s %12s %10s\n", "users", "throughput", "mean RT")
 	for _, users := range []int{1, 2, 4, 8, 16, 32} {
 		res := live.RunClosedLoop(app.URL(), users, 0, 400*time.Millisecond)
@@ -61,5 +89,10 @@ func main() {
 			e.Qlower, e.Qupper, e.PlateauTP, e.Optimal())
 	} else {
 		fmt.Println("SCT estimate: not enough concurrency diversity (try a longer run)")
+	}
+
+	if *hold {
+		fmt.Println("holding; scrape /metrics or ^C to exit")
+		select {}
 	}
 }

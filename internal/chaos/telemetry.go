@@ -1,0 +1,40 @@
+package chaos
+
+import "conscale/internal/telemetry"
+
+// ActiveFaults returns how many activated fault windows cover the current
+// simulated instant (crashes are instantaneous and never count as active).
+func (in *Injector) ActiveFaults() int {
+	now := in.c.Eng.Now()
+	n := 0
+	for _, w := range in.windows {
+		if w.Start <= now && now < w.End {
+			n++
+		}
+	}
+	return n
+}
+
+// RegisterTelemetry publishes the injector's disturbance state: the count
+// of currently active fault windows and the cumulative activations by fault
+// kind. Both are read at scrape time from state the injector already keeps.
+func (in *Injector) RegisterTelemetry(reg *telemetry.Registry) {
+	if in == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("conscale_chaos_active_faults",
+		"Fault windows covering the current instant.",
+		func() float64 { return float64(in.ActiveFaults()) })
+	reg.Collect("conscale_chaos_activations_total", "Fault activations by kind.",
+		telemetry.KindCounter, func(emit func(float64, ...string)) {
+			var byKind [4]int
+			for _, w := range in.windows {
+				if int(w.Fault.Kind) < len(byKind) {
+					byKind[w.Fault.Kind]++
+				}
+			}
+			for k, n := range byKind {
+				emit(float64(n), "kind", Kind(k).String())
+			}
+		})
+}

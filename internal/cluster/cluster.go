@@ -15,6 +15,7 @@ import (
 	"conscale/internal/rng"
 	"conscale/internal/rubbos"
 	"conscale/internal/server"
+	"conscale/internal/telemetry"
 	"conscale/internal/trace"
 )
 
@@ -171,6 +172,10 @@ type Cluster struct {
 	// tracer draws from its own stream, so arming it never changes the
 	// simulation's random sequence).
 	tracer *trace.Tracer
+
+	// telReg is the continuous-metrics registry (nil = telemetry off).
+	// VMs booted after SetTelemetry are armed as they come up.
+	telReg *telemetry.Registry
 }
 
 // New builds the initial topology on a fresh engine.
@@ -286,6 +291,9 @@ func (c *Cluster) newVM(t Tier) *vm {
 	srv := server.New(c.Eng, c.rnd.Split(), cfg)
 	if t == App {
 		srv.SetCallPool(server.NewConnPool(c.dbConns))
+	}
+	if c.telReg != nil {
+		c.armServer(t, srv)
 	}
 	v := &vm{srv: srv}
 	c.vms[t] = append(c.vms[t], v)

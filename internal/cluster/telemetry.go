@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"conscale/internal/server"
+	"conscale/internal/telemetry"
+)
+
+// SetTelemetry arms continuous metrics on the cluster (nil disarms future
+// VMs; already-armed instruments keep their registry). Occupancy signals —
+// queue depths, thread and connection pool state, utilization, balancer
+// in-flight, VM population — are registered as collectors that read the
+// cluster's existing accessors at scrape time, so the request path pays
+// nothing for them. Only the per-server response-time histograms and
+// reject/drop counters live on the hot path, and those are the registry's
+// allocation-free instruments.
+//
+// Like SetTracer, arming telemetry draws no randomness and mutates no
+// simulation state, so an instrumented run is byte-identical to a bare one.
+func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
+	c.telReg = reg
+	if reg == nil {
+		return
+	}
+	for _, t := range Tiers() {
+		for _, v := range c.vms[t] {
+			c.armServer(t, v.srv)
+		}
+	}
+
+	gaugeCollector := func(name, help string, per func(t Tier, s *server.Server) (float64, bool)) {
+		reg.Collect(name, help, telemetry.KindGauge, func(emit func(float64, ...string)) {
+			for _, t := range Tiers() {
+				tier := t.String()
+				for _, v := range c.vms[t] {
+					if val, ok := per(t, v.srv); ok {
+						emit(val, "tier", tier, "server", v.srv.Name())
+					}
+				}
+			}
+		})
+	}
+	gaugeCollector("conscale_accept_queue_depth", "Requests waiting in the server's accept queue.",
+		func(_ Tier, s *server.Server) (float64, bool) { return float64(s.QueueLen()), true })
+	gaugeCollector("conscale_threads_active", "Requests currently holding server threads.",
+		func(_ Tier, s *server.Server) (float64, bool) { return float64(s.Active()), true })
+	gaugeCollector("conscale_thread_limit", "Soft-resource thread pool size.",
+		func(_ Tier, s *server.Server) (float64, bool) { return float64(s.ThreadLimit()), true })
+	gaugeCollector("conscale_cpu_utilization", "1-second windowed CPU utilization (0..1).",
+		func(_ Tier, s *server.Server) (float64, bool) { return s.CPUUtilization(), true })
+	gaugeCollector("conscale_disk_utilization", "1-second windowed disk utilization (0..1).",
+		func(t Tier, s *server.Server) (float64, bool) { return s.DiskUtilization(), t == DB })
+	gaugeCollector("conscale_connpool_in_use", "Outbound DB connections held by the app server.",
+		func(_ Tier, s *server.Server) (float64, bool) {
+			p := s.CallPool()
+			if p == nil {
+				return 0, false
+			}
+			return float64(p.InUse()), true
+		})
+	gaugeCollector("conscale_connpool_waiting", "Requests waiting for an outbound DB connection.",
+		func(_ Tier, s *server.Server) (float64, bool) {
+			p := s.CallPool()
+			if p == nil {
+				return 0, false
+			}
+			return float64(p.Waiting()), true
+		})
+	gaugeCollector("conscale_connpool_limit", "Outbound DB connection pool size.",
+		func(_ Tier, s *server.Server) (float64, bool) {
+			p := s.CallPool()
+			if p == nil {
+				return 0, false
+			}
+			return float64(p.Limit()), true
+		})
+
+	reg.Collect("conscale_requests_completed_total", "Requests completed by the server since boot.",
+		telemetry.KindCounter, func(emit func(float64, ...string)) {
+			for _, t := range Tiers() {
+				tier := t.String()
+				for _, v := range c.vms[t] {
+					_, completed, _ := v.srv.Recorder().Totals()
+					emit(float64(completed), "tier", tier, "server", v.srv.Name())
+				}
+			}
+		})
+	reg.Collect("conscale_requests_errored_total", "Requests rejected or dropped by the server since boot.",
+		telemetry.KindCounter, func(emit func(float64, ...string)) {
+			for _, t := range Tiers() {
+				tier := t.String()
+				for _, v := range c.vms[t] {
+					_, _, errored := v.srv.Recorder().Totals()
+					emit(float64(errored), "tier", tier, "server", v.srv.Name())
+				}
+			}
+		})
+
+	reg.Collect("conscale_lb_in_flight", "Per-backend in-flight requests at the tier balancer.",
+		telemetry.KindGauge, func(emit func(float64, ...string)) {
+			for _, t := range Tiers() {
+				b := c.balancer(t)
+				for _, name := range b.Backends() {
+					emit(float64(b.InFlight(name)), "lb", b.Name(), "backend", name)
+				}
+			}
+		})
+	reg.Collect("conscale_lb_requests_total", "Requests dispatched through the tier balancer.",
+		telemetry.KindCounter, func(emit func(float64, ...string)) {
+			for _, t := range Tiers() {
+				b := c.balancer(t)
+				total, rejected := b.Stats()
+				emit(float64(total), "lb", b.Name(), "outcome", "dispatched")
+				emit(float64(rejected), "lb", b.Name(), "outcome", "rejected")
+			}
+		})
+
+	reg.Collect("conscale_tier_vms", "Non-draining VMs in the tier (booting VMs included).",
+		telemetry.KindGauge, func(emit func(float64, ...string)) {
+			for _, t := range Tiers() {
+				live := 0
+				for _, v := range c.vms[t] {
+					if !v.srv.Draining() {
+						live++
+					}
+				}
+				emit(float64(live+c.pendingBoots[t]), "tier", t.String())
+			}
+		})
+	reg.Collect("conscale_tier_pending_boots", "VMs still in their preparation period.",
+		telemetry.KindGauge, func(emit func(float64, ...string)) {
+			for _, t := range Tiers() {
+				emit(float64(c.pendingBoots[t]), "tier", t.String())
+			}
+		})
+	reg.Collect("conscale_tier_cpu", "Mean CPU utilization across the tier's ready VMs.",
+		telemetry.KindGauge, func(emit func(float64, ...string)) {
+			for _, t := range Tiers() {
+				if len(c.vms[t]) == 0 {
+					continue
+				}
+				emit(c.TierCPU(t), "tier", t.String())
+			}
+		})
+}
+
+// Telemetry returns the armed registry (nil when telemetry is off).
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.telReg }
+
+// armServer wires the hot-path instruments of one VM. Registration is
+// idempotent on (name, labels), so re-arming is harmless.
+func (c *Cluster) armServer(t Tier, s *server.Server) {
+	tier := t.String()
+	s.SetTelemetry(server.Telemetry{
+		RT: c.telReg.Histogram("conscale_server_rt_seconds",
+			"Per-server response time of successful requests.", "tier", tier, "server", s.Name()),
+		Rejects: c.telReg.Counter("conscale_server_rejects_total",
+			"Accept-queue overflows and draining/crashed rejections.", "tier", tier, "server", s.Name()),
+		Drops: c.telReg.Counter("conscale_server_drops_total",
+			"Requests failed after admission.", "tier", tier, "server", s.Name()),
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"conscale/internal/rubbos"
 	"conscale/internal/scaling"
 	"conscale/internal/sct"
+	"conscale/internal/telemetry"
 	"conscale/internal/trace"
 	"conscale/internal/workload"
 )
@@ -57,8 +58,24 @@ type RunConfig struct {
 	// untraced one.
 	Tracing *trace.Config
 
+	// Telemetry (if non-nil) arms the continuous-metrics registry across
+	// the whole stack, a sim-time scraper snapshotting it into an
+	// OpenMetrics timeline, and the SLO burn-rate monitor over the client
+	// request stream. Telemetry only reads simulation state, so an
+	// instrumented run's timeline is byte-identical to a bare one.
+	Telemetry *TelemetryOptions
+
 	// WarmupSkip excludes the initial span from tail-latency statistics.
 	WarmupSkip des.Time
+}
+
+// TelemetryOptions configures the run's continuous-telemetry layer.
+type TelemetryOptions struct {
+	// ScrapeInterval is the registry snapshot cadence (0 = 5 s).
+	ScrapeInterval des.Time
+	// SLO overrides the burn-rate monitor settings (nil = DefaultSLOConfig:
+	// p99 < 300 ms, 15 s / 60 s windows, burn 4).
+	SLO *telemetry.SLOConfig
 }
 
 // DefaultRunConfig returns the paper's evaluation parameters: 7500 users,
@@ -120,6 +137,17 @@ type RunResult struct {
 	Tracer *trace.Tracer
 	// Audit is the controller decision trail of the run (nil untraced).
 	Audit []trace.AuditEvent
+
+	// Registry / Scraper / SLO are the run's telemetry layer (nil when
+	// RunConfig.Telemetry was nil). Scraper holds the OpenMetrics timeline;
+	// SLO holds the burn-rate alert episodes.
+	Registry *telemetry.Registry
+	Scraper  *telemetry.Scraper
+	SLO      *telemetry.SLOMonitor
+	// Samples is the raw client sample stream, retained only on telemetry
+	// runs (the SLO lead-time evaluation needs ground-truth violation
+	// intervals).
+	Samples []workload.Sample
 }
 
 // Run executes one full scaling experiment.
@@ -153,6 +181,47 @@ func Run(cfg RunConfig) *RunResult {
 
 	f := scaling.New(c, fcfg)
 	f.SetAudit(tracer.Audit())
+
+	// Arm the telemetry layer before the control loops start so the first
+	// scrape already sees every family registered.
+	var (
+		reg *telemetry.Registry
+		scr *telemetry.Scraper
+		slo *telemetry.SLOMonitor
+	)
+	submit := c.Submit
+	if cfg.Telemetry != nil {
+		reg = telemetry.NewRegistry()
+		c.SetTelemetry(reg)
+		f.RegisterTelemetry(reg)
+		slocfg := telemetry.DefaultSLOConfig()
+		if cfg.Telemetry.SLO != nil {
+			slocfg = *cfg.Telemetry.SLO
+		}
+		slo = telemetry.NewSLOMonitor(slocfg)
+		slo.SetAudit(tracer.Audit())
+		slo.Register(reg)
+		clientRT := reg.Histogram("conscale_client_rt_seconds",
+			"Client-observed end-to-end response time of successful requests.")
+		// Wrap the submit path to observe every client outcome. The wrapper
+		// draws no randomness and schedules nothing, so the simulated
+		// trajectory is untouched.
+		submit = func(done func(ok bool)) {
+			start := c.Eng.Now()
+			c.Submit(func(ok bool) {
+				now := c.Eng.Now()
+				rt := float64(now - start)
+				if ok {
+					clientRT.Observe(rt)
+				}
+				slo.Observe(now, rt, ok)
+				done(ok)
+			})
+		}
+		scr = telemetry.NewScraper(c.Eng, reg, cfg.Telemetry.ScrapeInterval)
+		scr.Start()
+	}
+
 	f.Start()
 
 	think := cfg.ThinkTime
@@ -163,7 +232,7 @@ func Run(cfg RunConfig) *RunResult {
 	gen := workload.NewGenerator(c.Eng, rng.New(cfg.Seed^0x9e3779b9), workload.GeneratorConfig{
 		Trace:     tr,
 		ThinkTime: think,
-	}, c.Submit)
+	}, submit)
 
 	res := &RunResult{
 		Mode:    cfg.Mode,
@@ -188,12 +257,14 @@ func Run(cfg RunConfig) *RunResult {
 	if cfg.Chaos != nil {
 		inj = chaos.NewInjector(c, cfg.Chaos, cfg.Seed^0xc4a05)
 		inj.SetAudit(tracer.Audit())
+		inj.RegisterTelemetry(reg)
 		inj.Arm()
 	}
 
 	gen.Start()
 	c.Eng.RunUntil(cfg.Duration)
 	sampler.Stop()
+	scr.Stop()
 	f.Stop()
 	// Drain in-flight work briefly so final samples are complete.
 	c.Eng.RunUntil(cfg.Duration + 5*des.Second)
@@ -209,6 +280,12 @@ func Run(cfg RunConfig) *RunResult {
 	if tracer != nil {
 		res.Tracer = tracer
 		res.Audit = tracer.Audit().Events()
+	}
+	if reg != nil {
+		res.Registry = reg
+		res.Scraper = scr
+		res.SLO = slo
+		res.Samples = gen.Samples()
 	}
 
 	warm := cfg.WarmupSkip

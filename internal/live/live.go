@@ -22,6 +22,7 @@ import (
 
 	"conscale/internal/des"
 	"conscale/internal/metrics"
+	"conscale/internal/telemetry"
 )
 
 // ServerConfig describes one live tier server.
@@ -61,6 +62,11 @@ type Server struct {
 	recMu sync.Mutex
 	rec   *metrics.Recorder
 	start time.Time
+
+	// Telemetry instruments (nil until RegisterTelemetry; nil-safe no-ops).
+	telRT      *telemetry.Histogram
+	telRejects *telemetry.Counter
+	telDrops   *telemetry.Counter
 }
 
 // StartServer launches the server on an ephemeral localhost port.
@@ -184,6 +190,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		s.recMu.Lock()
 		s.rec.Reject(s.now())
 		s.recMu.Unlock()
+		s.telRejects.Inc()
 		http.Error(w, "queue full", http.StatusServiceUnavailable)
 		return
 	}
@@ -202,6 +209,11 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		s.rec.Drop(s.now())
 	}
 	s.recMu.Unlock()
+	if ok {
+		s.telRT.Observe(time.Since(arrival).Seconds())
+	} else {
+		s.telDrops.Inc()
+	}
 
 	if !ok {
 		http.Error(w, "downstream failure", http.StatusBadGateway)

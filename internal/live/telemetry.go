@@ -1,0 +1,46 @@
+package live
+
+import "conscale/internal/telemetry"
+
+// Totals returns the server's lifetime request counts (arrived, completed,
+// errored), safe from any goroutine.
+func (s *Server) Totals() (arrived, completed, errored int) {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.rec.Totals()
+}
+
+// Waiting returns the requests queued for a thread.
+func (s *Server) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiting
+}
+
+// RegisterTelemetry publishes the live server's state on a registry — the
+// same metric names the simulated cluster uses, so one Prometheus dashboard
+// reads both modes. Gauges go through the server's mutex-guarded accessors
+// at scrape time; only the response-time histogram and reject/drop counters
+// sit on the request path, and those are lock-free.
+func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	name := s.cfg.Name
+	reg.GaugeFunc("conscale_threads_active", "Requests currently holding server threads.",
+		func() float64 { return float64(s.Active()) }, "server", name)
+	reg.GaugeFunc("conscale_thread_limit", "Soft-resource thread pool size.",
+		func() float64 { return float64(s.ThreadLimit()) }, "server", name)
+	reg.GaugeFunc("conscale_accept_queue_depth", "Requests waiting for a thread.",
+		func() float64 { return float64(s.Waiting()) }, "server", name)
+	reg.CounterFunc("conscale_requests_completed_total", "Requests completed by the server.",
+		func() float64 { _, completed, _ := s.Totals(); return float64(completed) }, "server", name)
+	reg.CounterFunc("conscale_requests_errored_total", "Requests rejected or failed by the server.",
+		func() float64 { _, _, errored := s.Totals(); return float64(errored) }, "server", name)
+	s.telRT = reg.Histogram("conscale_server_rt_seconds",
+		"Per-server response time of successful requests.", "server", name)
+	s.telRejects = reg.Counter("conscale_server_rejects_total",
+		"Queue overflows and shutdown rejections.", "server", name)
+	s.telDrops = reg.Counter("conscale_server_drops_total",
+		"Requests failed by a downstream call.", "server", name)
+}

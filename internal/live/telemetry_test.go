@@ -1,0 +1,106 @@
+package live
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"conscale/internal/telemetry"
+)
+
+// TestMetricsEndpointRoundTrip is the livestack /metrics contract: a
+// two-tier live stack published on one registry, served over HTTP as
+// Prometheus text, must parse back into the expected families with values
+// that agree with the servers' own accounting.
+func TestMetricsEndpointRoundTrip(t *testing.T) {
+	db := startTest(t, ServerConfig{
+		Name: "db", DwellPerRequest: time.Millisecond,
+		ThreadLimit: 16, QueueLimit: 64,
+	})
+	app := startTest(t, ServerConfig{
+		Name: "app", CPUPerRequest: 100 * time.Microsecond,
+		Downstream: db.URL(), DownstreamCalls: 1,
+		ThreadLimit: 8, QueueLimit: 64,
+	})
+	reg := telemetry.NewRegistry()
+	app.RegisterTelemetry(reg)
+	db.RegisterTelemetry(reg)
+
+	ms := httptest.NewServer(telemetry.Handler(reg))
+	defer ms.Close()
+
+	res := RunClosedLoop(app.URL(), 4, 0, 200*time.Millisecond)
+	if res.Completed == 0 {
+		t.Fatal("load run completed nothing")
+	}
+
+	resp, err := http.Get(ms.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fams, err := telemetry.ParseProm(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("endpoint output failed to parse: %v\n%s", err, body)
+	}
+	byName := map[string]telemetry.PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for _, want := range []string{
+		"conscale_threads_active",
+		"conscale_thread_limit",
+		"conscale_accept_queue_depth",
+		"conscale_requests_completed_total",
+		"conscale_requests_errored_total",
+		"conscale_server_rt_seconds",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("endpoint missing family %s", want)
+		}
+	}
+
+	// Values round-trip: the scraped completion counters match the
+	// servers' own totals, per server label.
+	for _, s := range []*Server{app, db} {
+		_, completed, _ := s.Totals()
+		found := false
+		for _, smp := range byName["conscale_requests_completed_total"].Samples {
+			if strings.Contains(smp.Labels, `server="`+s.cfg.Name+`"`) {
+				found = true
+				if int(smp.Value) != completed {
+					t.Errorf("%s: scraped %v completed, server says %d", s.cfg.Name, smp.Value, completed)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no completed_total sample for %s", s.cfg.Name)
+		}
+	}
+
+	// The app RT histogram saw the successful requests: its +Inf count in
+	// the exposition equals the histogram count, which is > 0.
+	rt := byName["conscale_server_rt_seconds"]
+	var infCount float64
+	for _, smp := range rt.Samples {
+		if strings.HasSuffix(smp.Name, "_bucket") &&
+			strings.Contains(smp.Labels, `le="+Inf"`) &&
+			strings.Contains(smp.Labels, `server="app"`) {
+			infCount = smp.Value
+		}
+	}
+	if infCount == 0 {
+		t.Error("app RT histogram empty in exposition")
+	}
+}

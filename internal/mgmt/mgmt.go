@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Target is the configuration surface an Agent exposes.
@@ -110,24 +111,47 @@ func (s *Store) Keys() []string {
 	return append([]string(nil), s.frozen...)
 }
 
+// agentIdleTimeout is how long a connection may sit between requests
+// before the agent reaps it. Controllers poll on second-scale cadences;
+// anything silent this long is a leaked or wedged peer, and before this
+// cap existed every such peer pinned a serve goroutine forever (and made
+// Close hang waiting for it).
+const agentIdleTimeout = 30 * time.Second
+
+// agentMaxLine caps a request line. The protocol's longest legitimate
+// line is SET with a short key and value; a peer streaming an unbounded
+// line would otherwise grow the scanner buffer without limit.
+const agentMaxLine = 4096
+
 // Agent serves the management protocol on a listener.
 type Agent struct {
 	ln     net.Listener
 	target Target
 	wg     sync.WaitGroup
+	idle   time.Duration
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 }
 
 // NewAgent starts an agent listening on addr (use "127.0.0.1:0" for an
 // ephemeral port).
 func NewAgent(addr string, target Target) (*Agent, error) {
+	return newAgent(addr, target, agentIdleTimeout)
+}
+
+func newAgent(addr string, target Target, idle time.Duration) (*Agent, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	a := &Agent{ln: ln, target: target}
+	a := &Agent{
+		ln:     ln,
+		target: target,
+		idle:   idle,
+		conns:  make(map[net.Conn]struct{}),
+	}
 	a.wg.Add(1)
 	go a.acceptLoop()
 	return a, nil
@@ -136,14 +160,36 @@ func NewAgent(addr string, target Target) (*Agent, error) {
 // Addr returns the agent's listen address.
 func (a *Agent) Addr() string { return a.ln.Addr().String() }
 
-// Close stops the listener and waits for in-flight connections to finish.
+// Close stops the listener, closes every live connection, and waits for
+// the serve goroutines to finish.
 func (a *Agent) Close() error {
 	a.mu.Lock()
 	a.closed = true
+	for conn := range a.conns {
+		conn.Close()
+	}
 	a.mu.Unlock()
 	err := a.ln.Close()
 	a.wg.Wait()
 	return err
+}
+
+// track registers a live connection; false means the agent is already
+// closing and the connection must be dropped.
+func (a *Agent) track(conn net.Conn) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return false
+	}
+	a.conns[conn] = struct{}{}
+	return true
+}
+
+func (a *Agent) forget(conn net.Conn) {
+	a.mu.Lock()
+	delete(a.conns, conn)
+	a.mu.Unlock()
 }
 
 func (a *Agent) acceptLoop() {
@@ -152,6 +198,10 @@ func (a *Agent) acceptLoop() {
 		conn, err := a.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if !a.track(conn) {
+			conn.Close()
+			continue
 		}
 		a.wg.Add(1)
 		go func() {
@@ -162,10 +212,21 @@ func (a *Agent) acceptLoop() {
 }
 
 func (a *Agent) serve(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		a.forget(conn)
+		conn.Close()
+	}()
 	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 256), agentMaxLine)
 	w := bufio.NewWriter(conn)
-	for scanner.Scan() {
+	for {
+		// The deadline re-arms per request, so a chatty connection lives
+		// forever while a silent one is reaped after one idle interval.
+		conn.SetReadDeadline(time.Now().Add(a.idle)) //nolint:errcheck // TCP conns accept deadlines
+		if !scanner.Scan() {
+			// EOF, idle timeout, an over-long line, or Close.
+			return
+		}
 		line := strings.TrimSpace(scanner.Text())
 		if line == "" {
 			continue

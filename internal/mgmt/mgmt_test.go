@@ -1,11 +1,15 @@
 package mgmt
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"net"
+	"os"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 )
 
 // intStore registers a mutable integer under the given key.
@@ -216,4 +220,104 @@ func TestStoreNilGetterPanics(t *testing.T) {
 		}
 	}()
 	NewStore().Register("x", nil, nil)
+}
+
+// TestStalledConnectionReaped covers the goroutine-leak fix: a peer that
+// connects and then goes silent must be closed after the idle interval,
+// while the agent keeps serving healthy clients and Close stays prompt.
+func TestStalledConnectionReaped(t *testing.T) {
+	s, _, _ := intStore("k", 1)
+	a, err := newAgent("127.0.0.1:0", s, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	stalled, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+
+	// The agent must close the silent connection: a blocking read on our
+	// side returns EOF (or a reset) once the serve goroutine gives up.
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := stalled.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stalled connection still open after idle interval")
+	} else if errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatal("agent never reaped the stalled connection")
+	}
+
+	// A fresh client is unaffected.
+	c, err := Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got, err := c.Get("k"); err != nil || got != "1" {
+		t.Fatalf("Get after reap = %q, %v", got, err)
+	}
+}
+
+// TestCloseDropsStalledConnection: Close must not wait out the idle
+// interval — it force-closes live connections.
+func TestCloseDropsStalledConnection(t *testing.T) {
+	s := NewStore()
+	a, err := NewAgent("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	// Let the serve goroutine pick the connection up.
+	time.Sleep(20 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() { done <- a.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a stalled connection")
+	}
+}
+
+// TestOversizedLineClosesConnection: a request line beyond the cap tears
+// the connection down instead of growing the scan buffer without bound.
+func TestOversizedLineClosesConnection(t *testing.T) {
+	s, _, _ := intStore("k", 1)
+	a, err := NewAgent("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	conn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A single unterminated line twice the cap. The write may error midway
+	// if the agent closes early — both outcomes are fine.
+	conn.Write(bytes.Repeat([]byte{'x'}, 2*agentMaxLine)) //nolint:errcheck
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("oversized line did not close the connection: %v", err)
+	}
+
+	// The agent survives to serve a well-behaved client.
+	c, err := Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -206,6 +206,10 @@ type Framework struct {
 	slaFed   des.Time
 
 	events []Event
+	// triggers / cooldownSkips mirror the audit trail's trigger accounting
+	// for the telemetry registry (cheap ints, maintained unconditionally).
+	triggers      int
+	cooldownSkips int
 	// audit receives every decision with its cause annotation (nil = no
 	// audit trail; Record on nil is a no-op).
 	audit *trace.Audit
@@ -389,12 +393,14 @@ func (f *Framework) decideSLA() {
 	cause := fmt.Sprintf("sla trigger: p%.0f=%.0fms > %.0fms", f.cfg.SLAPercentile, tail*1000, f.cfg.SLATarget*1000)
 	if f.pendingScale[tier] || now-f.lastOut[tier] < f.cfg.OutCooldown {
 		if f.slaAbove == f.cfg.SustainOut {
+			f.cooldownSkips++
 			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditCooldownSkip, Tier: tier.String(),
 				Cause: cause, Detail: suppression(f.pendingScale[tier]), Value: tail})
 		}
 		return
 	}
 	f.slaAbove = 0
+	f.triggers++
 	f.log(Event{Time: now, Kind: ScaleOut, Tier: tier,
 		Detail: fmt.Sprintf("sla trigger: p%.0f=%.0fms > %.0fms", f.cfg.SLAPercentile, tail*1000, f.cfg.SLATarget*1000)})
 	f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditThresholdTrigger, Tier: tier.String(),
@@ -427,6 +433,7 @@ func (f *Framework) decideTier(tier cluster.Tier) {
 	if f.above[tier] >= f.cfg.SustainOut {
 		cause := fmt.Sprintf("cpu=%.2f > %.2f for %d checks", cpu, f.cfg.High, f.above[tier])
 		if !f.pendingScale[tier] && now-f.lastOut[tier] >= f.cfg.OutCooldown {
+			f.triggers++
 			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditThresholdTrigger, Tier: tier.String(),
 				Cause: cause, Value: cpu})
 			f.scaleOut(tier, cause)
@@ -435,6 +442,7 @@ func (f *Framework) decideTier(tier cluster.Tier) {
 		// Audit the suppressed trigger once per episode (the first check
 		// on which it would have fired).
 		if f.above[tier] == f.cfg.SustainOut {
+			f.cooldownSkips++
 			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditCooldownSkip, Tier: tier.String(),
 				Cause: cause, Detail: suppression(f.pendingScale[tier]), Value: cpu})
 		}

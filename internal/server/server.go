@@ -112,6 +112,7 @@ type Server struct {
 	cpuSlowdown float64
 
 	rec *metrics.Recorder
+	tel Telemetry
 
 	callPool *ConnPool // outbound pool for UseServerPool calls (may be nil)
 
@@ -248,6 +249,7 @@ func (s *Server) Kill() {
 	now := s.eng.Now()
 	for _, req := range queued {
 		s.rec.Reject(now)
+		s.tel.Rejects.Inc()
 		req.Span.Finish(now, trace.OutcomeFailed)
 		done := req.Done
 		req.Done = nil
@@ -264,6 +266,7 @@ func (s *Server) Submit(req *Request) {
 		// Reject before entering the request log's in-flight accounting;
 		// the error still counts in this window.
 		s.rec.Reject(s.eng.Now())
+		s.tel.Rejects.Inc()
 		req.Span.Finish(s.eng.Now(), trace.OutcomeRejected)
 		done := req.Done
 		req.Done = nil
@@ -391,9 +394,11 @@ func (s *Server) finish(req *Request) {
 	now := s.eng.Now()
 	if req.failed {
 		s.rec.Drop(now)
+		s.tel.Drops.Inc()
 		req.Span.Finish(now, trace.OutcomeFailed)
 	} else {
 		s.rec.Depart(now, float64(now-req.arrival))
+		s.tel.RT.Observe(float64(now - req.arrival))
 		req.Span.Finish(now, trace.OutcomeOK)
 	}
 	done := req.Done

@@ -1,0 +1,25 @@
+package server
+
+import "conscale/internal/telemetry"
+
+// Telemetry bundles the per-server hot-path instruments. Each field may be
+// nil (and all of them are until SetTelemetry is called): the instruments'
+// nil-receiver no-ops keep the uninstrumented request path allocation-free.
+// Occupancy-style signals (queue depth, active threads, utilization) are
+// deliberately not here — they are read at scrape time through collectors
+// over the server's existing accessors, costing the request path nothing.
+type Telemetry struct {
+	// RT observes the response time (seconds) of every successful request,
+	// measured from submission as the recorder does.
+	RT *telemetry.Histogram
+	// Rejects counts accept-queue overflows and submissions to a draining
+	// or crashed VM.
+	Rejects *telemetry.Counter
+	// Drops counts requests that failed after admission (crashes, failed
+	// downstream calls).
+	Drops *telemetry.Counter
+}
+
+// SetTelemetry installs the server's instruments (typically armed by the
+// cluster when the VM boots).
+func (s *Server) SetTelemetry(t Telemetry) { s.tel = t }

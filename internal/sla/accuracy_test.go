@@ -1,0 +1,66 @@
+package sla
+
+import (
+	"math"
+	"testing"
+
+	"conscale/internal/des"
+	"conscale/internal/rng"
+)
+
+// The accuracy contract documented on P2Quantile: on the latency-shaped
+// families below (lognormal body, Pareto tail) the streaming estimate
+// stays within 5% relative error of the exact quantile at p95 and p99
+// once a few tens of thousands of samples have arrived. The exact
+// reference is WindowTail with a window spanning the whole stream, which
+// doubles this as a cross-check between the two trackers.
+const p2RelErrBound = 0.05
+
+func p2AccuracyCase(t *testing.T, name string, gen func(*rng.Source) float64) {
+	t.Helper()
+	const n = 50000
+	for _, p := range []float64{0.95, 0.99} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			src := rng.New(seed)
+			q := NewP2(p)
+			// One sample per simulated millisecond; the window outlives
+			// the stream, so Percentile is the exact sorted quantile.
+			w := NewWindowTail(des.Time(2 * n))
+			var now des.Time
+			for i := 0; i < n; i++ {
+				v := gen(src)
+				q.Add(v)
+				now = des.Time(i) * 1e-3
+				w.Add(now, v)
+			}
+			exact := w.Percentile(now, p*100)
+			if math.IsNaN(exact) || exact <= 0 {
+				t.Fatalf("%s: degenerate exact p%.0f = %v", name, p*100, exact)
+			}
+			rel := math.Abs(q.Value()-exact) / exact
+			if rel > p2RelErrBound {
+				t.Errorf("%s seed %d: P2 p%.0f=%.4f exact=%.4f rel err %.3f > %.2f",
+					name, seed, p*100, q.Value(), exact, rel, p2RelErrBound)
+			}
+		}
+	}
+}
+
+// TestP2AccuracyLogNormal stresses the estimator on the distribution web
+// response times actually follow: a lognormal with a 100 ms-scale mean
+// and wide sigma.
+func TestP2AccuracyLogNormal(t *testing.T) {
+	p2AccuracyCase(t, "lognormal", func(r *rng.Source) float64 {
+		return r.LogNormal(0.1, 1.2)
+	})
+}
+
+// TestP2AccuracyPareto stresses the estimator on a power-law tail
+// (alpha 2.5, 50 ms scale) via inverse-transform sampling — the shape of
+// pathological tail-latency regimes.
+func TestP2AccuracyPareto(t *testing.T) {
+	p2AccuracyCase(t, "pareto", func(r *rng.Source) float64 {
+		u := r.Float64()
+		return 0.05 * math.Pow(1-u, -1/2.5)
+	})
+}

@@ -17,6 +17,13 @@ import (
 
 // P2Quantile estimates a single quantile of a stream in O(1) memory using
 // the P-squared algorithm. The zero value is not usable; call NewP2.
+//
+// Accuracy: P² carries no worst-case guarantee, but on latency-shaped
+// distributions the estimate tracks the exact quantile closely. The
+// accuracy tests pin the contract this package relies on: within 5%
+// relative error at p95 and p99 on lognormal and Pareto (alpha 2.5)
+// streams after ~50k observations (measured worst case ≈ 3.5%, Pareto
+// p99). For an exact answer over a bounded horizon, use WindowTail.
 type P2Quantile struct {
 	p       float64
 	count   int

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): one # HELP / # TYPE block per family followed by its
+// sample lines, histograms as cumulative le-buckets (non-empty buckets
+// only, +Inf always) plus _sum and _count. Output order is deterministic:
+// families in registration order, static series in registration order, then
+// collector emissions. A disabled registry renders nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return r.writeText(w, 0, false, true)
+}
+
+// writeText is the shared renderer. withTS appends the given millisecond
+// timestamp to every sample line (the scrape-timeline form); withMeta
+// controls the HELP/TYPE header lines.
+func (r *Registry) writeText(w io.Writer, tsMillis int64, withTS, withMeta bool) error {
+	if r == nil || !r.enabled.Load() {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, f := range r.fams {
+		if withMeta {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+			bw.WriteString("# TYPE ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.kind.String())
+			bw.WriteByte('\n')
+		}
+		for _, s := range f.series {
+			writeSeries(bw, f, s, tsMillis, withTS)
+		}
+		emit := func(value float64, labels ...string) {
+			writeSample(bw, f.name, labelKey(labels), value, tsMillis, withTS)
+		}
+		for _, coll := range f.collectors {
+			coll(emit)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, f *family, s *series, tsMillis int64, withTS bool) {
+	switch {
+	case s.fn != nil:
+		writeSample(bw, f.name, s.labels, s.fn(), tsMillis, withTS)
+	case s.ctr != nil:
+		writeSample(bw, f.name, s.labels, float64(s.ctr.Value()), tsMillis, withTS)
+	case s.gauge != nil:
+		writeSample(bw, f.name, s.labels, s.gauge.Value(), tsMillis, withTS)
+	case s.hist != nil:
+		writeHistogram(bw, f.name, s.labels, s.hist, tsMillis, withTS)
+	}
+}
+
+// writeHistogram renders the cumulative bucket form. Only non-empty buckets
+// get a line (the full 450-bucket layout would drown the exposition), plus
+// the mandatory +Inf bucket; cumulative counts keep the output a valid
+// Prometheus histogram regardless of which buckets are elided.
+func writeHistogram(bw *bufio.Writer, name, labels string, h *Histogram, tsMillis int64, withTS bool) {
+	buckets, count, sum := h.snapshot()
+	var cum uint64
+	for i, n := range buckets {
+		cum += n
+		if n == 0 || i == histBuckets-1 {
+			continue
+		}
+		writeSample(bw, name+"_bucket", mergeLabels(labels, "le", formatFloat(bucketUpper(i))), float64(cum), tsMillis, withTS)
+	}
+	writeSample(bw, name+"_bucket", mergeLabels(labels, "le", "+Inf"), float64(count), tsMillis, withTS)
+	writeSample(bw, name+"_sum", labels, sum, tsMillis, withTS)
+	writeSample(bw, name+"_count", labels, float64(count), tsMillis, withTS)
+}
+
+// mergeLabels appends one extra label pair to a pre-rendered label string.
+func mergeLabels(labels, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func writeSample(bw *bufio.Writer, name, labels string, value float64, tsMillis int64, withTS bool) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(value))
+	if withTS {
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(tsMillis, 10))
+	}
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value the way Prometheus expects (shortest
+// round-trippable representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"conscale/internal/rng"
+)
+
+// TestBucketBoundsPartition verifies the log-linear layout tiles the covered
+// range: consecutive buckets share a boundary and every value maps into the
+// bucket whose [lower, upper) range contains it.
+func TestBucketBoundsPartition(t *testing.T) {
+	for i := 1; i < histBuckets-1; i++ {
+		lo, hi := bucketLower(i), bucketUpper(i)
+		if !(lo < hi) {
+			t.Fatalf("bucket %d: lower %v >= upper %v", i, lo, hi)
+		}
+		if i > 1 && bucketUpper(i-1) != lo {
+			t.Fatalf("bucket %d: gap — upper(%d)=%v, lower(%d)=%v", i, i-1, bucketUpper(i-1), i, lo)
+		}
+		for _, v := range []float64{lo, (lo + hi) / 2, math.Nextafter(hi, 0)} {
+			if got := bucketIndex(v); got != i {
+				t.Fatalf("bucketIndex(%v) = %d, want %d [%v, %v)", v, got, i, lo, hi)
+			}
+		}
+	}
+	// Edge routing.
+	if bucketIndex(0) != 0 || bucketIndex(-1) != 0 || bucketIndex(math.NaN()) != 0 {
+		t.Fatal("non-positive / NaN values must land in the underflow bucket")
+	}
+	if bucketIndex(math.Ldexp(1, histMaxExp)) != histBuckets-1 {
+		t.Fatal("2^histMaxExp must land in the overflow bucket")
+	}
+	if bucketIndex(math.Ldexp(1, histMinExp)) != 1 {
+		t.Fatal("2^histMinExp must land in the first covered bucket")
+	}
+}
+
+// TestHistogramRelativeErrorBound drives lognormal response times through
+// the histogram and checks the documented bound: any in-range observation is
+// reconstructed (as its bucket midpoint) within 1/(2*histSub) = 3.125%
+// relative error.
+func TestHistogramRelativeErrorBound(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_rt", "h")
+	src := rng.New(42)
+	const bound = 1.0 / (2 * histSub)
+	for i := 0; i < 20000; i++ {
+		v := src.LogNormal(0.05, 1.2) // mean 50 ms, heavy spread
+		idx := bucketIndex(v)
+		if idx == 0 || idx == histBuckets-1 {
+			continue // outside the covered range: bound does not apply
+		}
+		mid := (bucketLower(idx) + bucketUpper(idx)) / 2
+		if relErr := math.Abs(mid-v) / v; relErr > bound {
+			t.Fatalf("value %v bucket %d midpoint %v: rel err %.4f > %.4f",
+				v, idx, mid, relErr, bound)
+		}
+		h.Observe(v)
+	}
+}
+
+// TestHistogramQuantileAccuracy compares histogram quantiles against the
+// exact order statistics of the same stream.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_rt", "h")
+	src := rng.New(7)
+	const n = 50000
+	exact := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := src.LogNormal(0.08, 0.8)
+		h.Observe(v)
+		exact = append(exact, v)
+	}
+	sort.Float64s(exact)
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		want := exact[int(math.Ceil(p*float64(n)))-1]
+		got := h.Quantile(p)
+		// Bucket midpoint resolution plus rank discretisation: allow 2x the
+		// per-value bound.
+		if relErr := math.Abs(got-want) / want; relErr > 2.0/(2*histSub) {
+			t.Errorf("p%v: histogram %v vs exact %v (rel err %.4f)", p*100, got, want, relErr)
+		}
+	}
+}
+
+func TestHistogramSumCountAndEmpty(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_rt", "h")
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	vals := []float64{0.001, 0.25, 0.25, 3.0}
+	var sum float64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
+	if math.Abs(h.Sum()-sum) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), sum)
+	}
+	var nilH *Histogram
+	if nilH.Count() != 0 || nilH.Sum() != 0 || !math.IsNaN(nilH.Quantile(0.9)) {
+		t.Fatal("nil histogram accessors not inert")
+	}
+}

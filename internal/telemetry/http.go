@@ -1,0 +1,14 @@
+package telemetry
+
+import "net/http"
+
+// Handler serves the registry in the Prometheus text exposition format —
+// the live-mode face of the same registry the sim-time scraper snapshots.
+// Mount it at /metrics and point a stock Prometheus scrape config at it
+// (see the README quickstart). A nil registry serves an empty exposition.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteProm(w) //nolint:errcheck // client disconnects are not actionable
+	})
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+
+	"conscale/internal/des"
+	"conscale/internal/mgmt"
+)
+
+// RegisterMgmt exposes the registry's master switch on a management store as
+// "telemetry.enabled" (GET/SET true|false), mirroring the runtime toggles
+// the trace subsystem exposes.
+func (r *Registry) RegisterMgmt(st *mgmt.Store) {
+	if r == nil || st == nil {
+		return
+	}
+	st.Register("telemetry.enabled",
+		func() string { return strconv.FormatBool(r.Enabled()) },
+		func(v string) error {
+			on, err := strconv.ParseBool(v)
+			if err != nil {
+				return fmt.Errorf("telemetry.enabled: %w", err)
+			}
+			r.SetEnabled(on)
+			return nil
+		})
+}
+
+// RegisterMgmt exposes the scrape cadence as "telemetry.scrape_interval"
+// (seconds, GET/SET); the running tick chain adopts a new value at its next
+// fire.
+func (s *Scraper) RegisterMgmt(st *mgmt.Store) {
+	if s == nil || st == nil {
+		return
+	}
+	st.Register("telemetry.scrape_interval",
+		func() string { return strconv.FormatFloat(float64(s.Interval()), 'g', -1, 64) },
+		func(v string) error {
+			d, err := strconv.ParseFloat(v, 64)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("telemetry.scrape_interval: want positive seconds, got %q", v)
+			}
+			s.SetInterval(des.Time(d))
+			return nil
+		})
+}

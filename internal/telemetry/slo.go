@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"conscale/internal/des"
+	"conscale/internal/trace"
+)
+
+// SLOConfig parameterises the multi-window burn-rate monitor. The paper's
+// quality target — p99 response time under 300 ms — becomes an error-budget
+// SLO: a request is "bad" when it errors or exceeds Target, the budget is
+// 1-Objective of all requests, and an alert raises when the budget is being
+// consumed Burn times faster than sustainable over both a fast window (for
+// reaction speed) and a slow window (to suppress blips). This is the
+// two-window form of Google-SRE burn-rate alerting, run on the simulated
+// clock so detection latencies are exactly reproducible.
+type SLOConfig struct {
+	// Target is the per-request response-time bound (seconds).
+	Target float64
+	// Objective is the fraction of requests that must meet Target
+	// (0.99 = "99% of requests under Target", i.e. p99 < Target).
+	Objective float64
+	// FastWindow / SlowWindow are the two rolling windows (seconds of
+	// simulated time) whose burn rates must BOTH exceed Burn to raise.
+	FastWindow des.Time
+	SlowWindow des.Time
+	// Burn is the alerting burn-rate threshold. The alert clears when the
+	// fast-window burn drops back under it.
+	Burn float64
+}
+
+// DefaultSLOConfig returns the monitor used throughout the experiments:
+// p99 < 300 ms, 15 s fast / 60 s slow windows, burn threshold 4.
+func DefaultSLOConfig() SLOConfig {
+	return SLOConfig{
+		Target:     0.3,
+		Objective:  0.99,
+		FastWindow: 15 * des.Second,
+		SlowWindow: 60 * des.Second,
+		Burn:       4,
+	}
+}
+
+// Alert is one raised burn-rate episode.
+type Alert struct {
+	Start des.Time
+	// End is the clear time; for an alert still active when the run ended
+	// it holds the last observation time and Active stays true.
+	End    des.Time
+	Active bool
+	// PeakBurn is the highest fast-window burn seen while raised.
+	PeakBurn float64
+}
+
+// SLOMonitor ingests per-request outcomes on the simulation goroutine and
+// maintains rolling good/bad counts in per-second buckets. It is a pure
+// observer: it draws no randomness and schedules nothing, so arming it
+// cannot perturb a run. All methods are nil-safe.
+type SLOMonitor struct {
+	cfg   SLOConfig
+	audit *trace.Audit
+
+	// Per-second ring buffers, indexed by absolute second. base is the
+	// second good[0]/bad[0] describe; cur is the latest observed second.
+	good, bad []uint64
+	base, cur int
+
+	// Rolling sums over the two windows (in whole seconds).
+	fastW, slowW                       int
+	fastGood, fastBad, slowGood, slowBad uint64
+
+	alerts []Alert
+
+	// Optional registry instruments (nil until Register).
+	goodC, badC, alertsC *Counter
+	fastG, slowG, activeG *Gauge
+}
+
+// NewSLOMonitor builds a monitor; zero fields fall back to DefaultSLOConfig.
+func NewSLOMonitor(cfg SLOConfig) *SLOMonitor {
+	def := DefaultSLOConfig()
+	if cfg.Target <= 0 {
+		cfg.Target = def.Target
+	}
+	if cfg.Objective <= 0 || cfg.Objective >= 1 {
+		cfg.Objective = def.Objective
+	}
+	if cfg.FastWindow <= 0 {
+		cfg.FastWindow = def.FastWindow
+	}
+	if cfg.SlowWindow < cfg.FastWindow {
+		cfg.SlowWindow = def.SlowWindow
+	}
+	if cfg.SlowWindow < cfg.FastWindow {
+		cfg.SlowWindow = cfg.FastWindow
+	}
+	if cfg.Burn <= 0 {
+		cfg.Burn = def.Burn
+	}
+	m := &SLOMonitor{
+		cfg:   cfg,
+		fastW: int(cfg.FastWindow),
+		slowW: int(cfg.SlowWindow),
+		base:  -1,
+		cur:   -1,
+	}
+	if m.fastW < 1 {
+		m.fastW = 1
+	}
+	if m.slowW < m.fastW {
+		m.slowW = m.fastW
+	}
+	return m
+}
+
+// Config returns the effective (default-filled) configuration.
+func (m *SLOMonitor) Config() SLOConfig { return m.cfg }
+
+// SetAudit routes alert transitions into the controller audit trail, so SLO
+// alerts line up on the same clock as the scaling decisions they precede.
+func (m *SLOMonitor) SetAudit(a *trace.Audit) {
+	if m != nil {
+		m.audit = a
+	}
+}
+
+// Register publishes the monitor's state as registry metrics.
+func (m *SLOMonitor) Register(reg *Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	m.goodC = reg.Counter("conscale_slo_good_total", "Requests meeting the SLO target.")
+	m.badC = reg.Counter("conscale_slo_bad_total", "Requests missing the SLO target (slow or errored).")
+	m.alertsC = reg.Counter("conscale_slo_alerts_total", "Burn-rate alert raise transitions.")
+	m.fastG = reg.Gauge("conscale_slo_burn_fast", "Fast-window error-budget burn rate.")
+	m.slowG = reg.Gauge("conscale_slo_burn_slow", "Slow-window error-budget burn rate.")
+	m.activeG = reg.Gauge("conscale_slo_alert_active", "1 while a burn-rate alert is raised.")
+}
+
+// Observe ingests one completed request: its finish time, response time in
+// seconds, and whether it succeeded. Calls must have non-decreasing now
+// (simulation order).
+func (m *SLOMonitor) Observe(now des.Time, rt float64, ok bool) {
+	if m == nil {
+		return
+	}
+	bad := !ok || rt > m.cfg.Target
+	m.advance(int(now))
+	i := m.cur - m.base
+	if bad {
+		m.bad[i]++
+		m.fastBad++
+		m.slowBad++
+		m.badC.Inc()
+	} else {
+		m.good[i]++
+		m.fastGood++
+		m.slowGood++
+		m.goodC.Inc()
+	}
+
+	budget := 1 - m.cfg.Objective
+	fastBurn := burnRate(m.fastGood, m.fastBad, budget)
+	slowBurn := burnRate(m.slowGood, m.slowBad, budget)
+	m.fastG.Set(fastBurn)
+	m.slowG.Set(slowBurn)
+
+	active := len(m.alerts) > 0 && m.alerts[len(m.alerts)-1].Active
+	switch {
+	case !active && fastBurn >= m.cfg.Burn && slowBurn >= m.cfg.Burn:
+		m.alerts = append(m.alerts, Alert{Start: now, End: now, Active: true, PeakBurn: fastBurn})
+		m.alertsC.Inc()
+		m.activeG.Set(1)
+		m.audit.Record(trace.AuditEvent{
+			Time: now, Kind: trace.AuditSLOAlert, Tier: "client",
+			Cause: fmt.Sprintf("burn fast=%.1f slow=%.1f >= %.1f (budget %.2g)",
+				fastBurn, slowBurn, m.cfg.Burn, budget),
+			Value: fastBurn,
+		})
+	case active && fastBurn < m.cfg.Burn:
+		al := &m.alerts[len(m.alerts)-1]
+		al.End = now
+		al.Active = false
+		m.activeG.Set(0)
+		m.audit.Record(trace.AuditEvent{
+			Time: now, Kind: trace.AuditSLOClear, Tier: "client",
+			Cause: fmt.Sprintf("burn fast=%.1f < %.1f", fastBurn, m.cfg.Burn),
+			Value: fastBurn,
+		})
+	case active:
+		al := &m.alerts[len(m.alerts)-1]
+		al.End = now
+		if fastBurn > al.PeakBurn {
+			al.PeakBurn = fastBurn
+		}
+	}
+}
+
+// advance rolls the per-second buckets forward to cover second sec,
+// retiring buckets that fall out of each window's horizon.
+func (m *SLOMonitor) advance(sec int) {
+	if m.base < 0 {
+		m.base, m.cur = sec, sec
+		m.good = append(m.good, 0)
+		m.bad = append(m.bad, 0)
+		return
+	}
+	if sec < m.cur {
+		sec = m.cur // defensive: the DES clock never goes backwards
+	}
+	for s := m.cur + 1; s <= sec; s++ {
+		m.good = append(m.good, 0)
+		m.bad = append(m.bad, 0)
+		m.cur = s
+		if i := s - m.fastW - m.base; i >= 0 {
+			m.fastGood -= m.good[i]
+			m.fastBad -= m.bad[i]
+		}
+		if i := s - m.slowW - m.base; i >= 0 {
+			m.slowGood -= m.good[i]
+			m.slowBad -= m.bad[i]
+		}
+	}
+	// Trim buckets older than the slow window so long runs stay O(window).
+	if drop := m.cur - m.slowW - m.base; drop > 4096 {
+		m.good = append(m.good[:0:0], m.good[drop:]...)
+		m.bad = append(m.bad[:0:0], m.bad[drop:]...)
+		m.base += drop
+	}
+}
+
+// burnRate maps a window's bad fraction onto budget multiples; an empty
+// window burns nothing.
+func burnRate(good, bad uint64, budget float64) float64 {
+	total := good + bad
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// Alerts returns a copy of the alert episodes (simulation goroutine only).
+func (m *SLOMonitor) Alerts() []Alert {
+	if m == nil {
+		return nil
+	}
+	out := make([]Alert, len(m.alerts))
+	copy(out, m.alerts)
+	return out
+}
+
+// ActiveAlert reports whether an alert is currently raised.
+func (m *SLOMonitor) ActiveAlert() bool {
+	return m != nil && len(m.alerts) > 0 && m.alerts[len(m.alerts)-1].Active
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"testing"
+
+	"conscale/internal/des"
+	"conscale/internal/trace"
+)
+
+// feed pushes rps requests per second with the given bad fraction over
+// [from, to) seconds of simulated time.
+func feed(m *SLOMonitor, from, to des.Time, rps int, badFrac float64) {
+	for sec := from; sec < to; sec += des.Second {
+		bad := int(badFrac * float64(rps))
+		for i := 0; i < rps; i++ {
+			rt := 0.05
+			if i < bad {
+				rt = 0.8 // over the 300 ms target
+			}
+			m.Observe(sec, rt, true)
+		}
+	}
+}
+
+// TestSLOAlertRaisesOnBurst checks the two-window mechanics: a healthy
+// baseline raises nothing, a hard latency burst raises once both windows
+// burn, and recovery clears the alert once the fast window drains.
+func TestSLOAlertRaisesOnBurst(t *testing.T) {
+	m := NewSLOMonitor(SLOConfig{})
+	audit := trace.NewAudit()
+	m.SetAudit(audit)
+	cfg := m.Config()
+	if cfg.Target != 0.3 || cfg.Objective != 0.99 || cfg.Burn != 4 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+
+	// 120 s healthy: bad fraction 0 — no alert possible.
+	feed(m, 0, 120*des.Second, 50, 0)
+	if len(m.Alerts()) != 0 {
+		t.Fatalf("healthy traffic raised %d alerts", len(m.Alerts()))
+	}
+
+	// Burst: 50% of requests breach the target. Burn = 0.5/0.01 = 50 >> 4.
+	// The slow (60 s) window is the laggard: it needs enough bad seconds for
+	// its average to cross 4 * 0.01 = 4% bad.
+	feed(m, 120*des.Second, 150*des.Second, 50, 0.5)
+	alerts := m.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("burst raised %d alerts, want 1", len(alerts))
+	}
+	if !alerts[0].Active {
+		t.Fatal("alert should still be active mid-burst")
+	}
+	// The slow window needs ~5 bad seconds (60 * 4% / 50%) to cross; the
+	// alert must raise within the first 10 s of the burst.
+	if alerts[0].Start < 120*des.Second || alerts[0].Start > 130*des.Second {
+		t.Fatalf("alert start = %v, want within [120, 130] s", alerts[0].Start)
+	}
+	if alerts[0].PeakBurn < 4 {
+		t.Fatalf("peak burn = %v, want >= 4", alerts[0].PeakBurn)
+	}
+
+	// Recovery: healthy traffic drains the 15 s fast window and clears.
+	feed(m, 150*des.Second, 200*des.Second, 50, 0)
+	alerts = m.Alerts()
+	if len(alerts) != 1 || alerts[0].Active {
+		t.Fatalf("alert did not clear: %+v", alerts)
+	}
+	if alerts[0].End < 150*des.Second || alerts[0].End > 170*des.Second {
+		t.Fatalf("alert end = %v, want within [150, 170] s", alerts[0].End)
+	}
+	if m.ActiveAlert() {
+		t.Fatal("ActiveAlert after clear")
+	}
+
+	// Both transitions audited with the new kinds.
+	var raised, cleared int
+	for _, e := range audit.Events() {
+		switch e.Kind {
+		case trace.AuditSLOAlert:
+			raised++
+			if e.Tier != "client" || e.Value < 4 {
+				t.Fatalf("bad alert audit event: %+v", e)
+			}
+		case trace.AuditSLOClear:
+			cleared++
+		}
+	}
+	if raised != 1 || cleared != 1 {
+		t.Fatalf("audit transitions raised=%d cleared=%d, want 1/1", raised, cleared)
+	}
+}
+
+// TestSLOShortBlipSuppressed checks the reason for the slow window: a blip
+// shorter than the slow window's crossing point must not page.
+func TestSLOShortBlipSuppressed(t *testing.T) {
+	m := NewSLOMonitor(SLOConfig{})
+	feed(m, 0, 120*des.Second, 50, 0)
+	// 2 s at 50% bad: fast window burns hot, but the slow window average is
+	// 2*0.5/60 = 1.7% bad → burn 1.7 < 4.
+	feed(m, 120*des.Second, 122*des.Second, 50, 0.5)
+	feed(m, 122*des.Second, 180*des.Second, 50, 0)
+	if n := len(m.Alerts()); n != 0 {
+		t.Fatalf("short blip raised %d alerts, want 0", n)
+	}
+}
+
+// TestSLOErrorsCountAsBad checks the error path: failures burn budget even
+// when fast.
+func TestSLOErrorsCountAsBad(t *testing.T) {
+	m := NewSLOMonitor(SLOConfig{})
+	for sec := des.Time(0); sec < 120*des.Second; sec += des.Second {
+		for i := 0; i < 50; i++ {
+			m.Observe(sec, 0.01, i >= 25) // half the requests error
+		}
+	}
+	if len(m.Alerts()) != 1 {
+		t.Fatalf("error storm raised %d alerts, want 1", len(m.Alerts()))
+	}
+}
+
+// TestSLORegistryMetrics checks the registered instruments track the
+// monitor.
+func TestSLORegistryMetrics(t *testing.T) {
+	reg := NewRegistry()
+	m := NewSLOMonitor(SLOConfig{})
+	m.Register(reg)
+	feed(m, 0, 100*des.Second, 10, 0.5)
+	good := reg.Counter("conscale_slo_good_total", "")
+	bad := reg.Counter("conscale_slo_bad_total", "")
+	if good.Value() != 500 || bad.Value() != 500 {
+		t.Fatalf("good/bad = %d/%d, want 500/500", good.Value(), bad.Value())
+	}
+	if reg.Gauge("conscale_slo_alert_active", "").Value() != 1 {
+		t.Fatal("alert_active gauge not set during alert")
+	}
+	if reg.Counter("conscale_slo_alerts_total", "").Value() != 1 {
+		t.Fatal("alerts_total counter not incremented")
+	}
+	if reg.Gauge("conscale_slo_burn_fast", "").Value() < 4 {
+		t.Fatal("burn_fast gauge not tracking")
+	}
+}
+
+// TestSLONilSafety: a nil monitor ignores everything.
+func TestSLONilSafety(t *testing.T) {
+	var m *SLOMonitor
+	m.Observe(0, 1, true)
+	m.SetAudit(nil)
+	m.Register(nil)
+	if m.Alerts() != nil || m.ActiveAlert() {
+		t.Fatal("nil monitor not inert")
+	}
+}

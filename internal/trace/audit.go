@@ -43,6 +43,12 @@ const (
 	// AuditFault records a chaos fault activation (the disturbance the
 	// controller is reacting to).
 	AuditFault
+	// AuditSLOAlert marks an SLO burn-rate alert raising: both burn
+	// windows crossed the threshold (Value carries the fast-window burn).
+	AuditSLOAlert
+	// AuditSLOClear marks the alert clearing (fast-window burn back under
+	// the threshold).
+	AuditSLOClear
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +76,10 @@ func (k AuditKind) String() string {
 		return "repair"
 	case AuditFault:
 		return "fault"
+	case AuditSLOAlert:
+		return "slo-alert"
+	case AuditSLOClear:
+		return "slo-clear"
 	default:
 		return "audit?"
 	}
