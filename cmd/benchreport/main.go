@@ -1,5 +1,5 @@
 // Command benchreport measures the repo's performance-critical paths and
-// writes the results as a machine-readable JSON file (BENCH_4.json), so
+// writes the results as a machine-readable JSON file (BENCH_5.json), so
 // every future change has a perf trajectory to compare against:
 //
 //   - DES engine microbenchmarks (inline 4-ary heap) against the frozen
@@ -19,12 +19,17 @@
 //     allocations) plus a full scrape snapshot of a populated registry;
 //   - telemetry overhead end to end: the same run bare and with the whole
 //     layer armed (registry, collectors, 5 s scraper, SLO monitor), with a
-//     timeline byte-identity check.
+//     timeline byte-identity check;
+//   - scale-mode microbenchmarks (striper window barrier, streaming
+//     arrival hot path) and the client-count sweep — {10k, 100k, 1M}
+//     clients × {EC2, DCM, ConScale} (the 10k tier only under -short) —
+//     reporting wall time, events/sec, peak heap, and controller tails,
+//     plus a striped-vs-sequential byte-identity check.
 //
 // Usage:
 //
-//	benchreport -out BENCH_4.json          # full measurement
-//	benchreport -short -out BENCH_4.json   # CI smoke (seconds, not minutes)
+//	benchreport -out BENCH_5.json          # full measurement
+//	benchreport -short -out BENCH_5.json   # CI smoke (seconds, not minutes)
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"conscale/internal/des/baseline"
 	"conscale/internal/experiment"
 	"conscale/internal/metrics"
+	"conscale/internal/rng"
 	"conscale/internal/scaling"
 	"conscale/internal/telemetry"
 	"conscale/internal/trace"
@@ -89,7 +95,16 @@ type Telemetry struct {
 	TimelineIdentical bool    `json:"timeline_byte_identical"`
 }
 
-// Report is the BENCH_4.json document.
+// Scale records the scale-mode sweep: one row per (mode, clients) point
+// plus the striped-vs-sequential identity verdict.
+type Scale struct {
+	Sweep                    string                `json:"sweep"`
+	Rows                     []experiment.ScaleRow `json:"rows"`
+	StripedMatchesSequential bool                  `json:"striped_byte_identical"`
+	ProcessPeakRSSMB         float64               `json:"process_peak_rss_mb"`
+}
+
+// Report is the BENCH_5.json document.
 type Report struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -99,6 +114,7 @@ type Report struct {
 	Harness    Harness            `json:"harness"`
 	Tracing    Tracing            `json:"tracing"`
 	Telemetry  Telemetry          `json:"telemetry"`
+	Scale      Scale              `json:"scale"`
 	Derived    map[string]float64 `json:"derived"`
 }
 
@@ -115,13 +131,13 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_4.json", "output path for the JSON report")
+		out   = flag.String("out", "BENCH_5.json", "output path for the JSON report")
 		short = flag.Bool("short", false, "shrink the harness measurement for CI smoke runs")
 	)
 	flag.Parse()
 
 	rep := Report{
-		Schema:     "conscale-bench/4",
+		Schema:     "conscale-bench/5",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Short:      *short,
@@ -322,6 +338,44 @@ func main() {
 			}
 		}),
 	)
+	fmt.Println("== scale-mode microbenchmarks (striper barrier, streaming arrival)")
+	rep.Benchmarks = append(rep.Benchmarks,
+		measure("des/striper_window_barrier", func(b *testing.B) {
+			// Pure synchronization cost: 8 empty shards crossing one
+			// lookahead window per op.
+			b.ReportAllocs()
+			s := des.NewStriper(8, des.Millisecond)
+			for i := 0; i < b.N; i++ {
+				s.RunUntil(s.Now() + des.Millisecond)
+			}
+		}),
+		measure("des/striper_cross_send", func(b *testing.B) {
+			b.ReportAllocs()
+			s := des.NewStriper(2, des.Millisecond)
+			fn := func() {}
+			for i := 0; i < b.N; i++ {
+				s.Shard(0).Send(1, des.Millisecond, fn)
+				s.RunUntil(s.Now() + 2*des.Millisecond)
+			}
+		}),
+		measure("workload/streaming_arrival", func(b *testing.B) {
+			// Per-request cost of the streaming population with an
+			// immediately-completing system: arrival draw + class pick +
+			// submit + stream-stats fold.
+			b.ReportAllocs()
+			eng := des.New()
+			gen := workload.NewGenerator(eng, rng.New(1), workload.GeneratorConfig{
+				Trace:     workload.NewConstantTrace(1_000_000, des.Time(1e9)),
+				ThinkTime: 1,
+				Streaming: true,
+			}, func(done func(ok bool)) { done(true) })
+			gen.Start()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		}),
+	)
 	for _, r := range rep.Benchmarks {
 		fmt.Printf("   %-36s %12.1f ns/op %8d B/op %6d allocs/op\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
@@ -364,6 +418,19 @@ func main() {
 		rep.Telemetry.Experiment, rep.Telemetry.OffSec, rep.Telemetry.OnSec,
 		rep.Telemetry.OverheadPct, rep.Telemetry.Scrapes, rep.Telemetry.TimelineIdentical)
 
+	fmt.Println("== scale mode: client-count sweep (striped byte-identity checked)")
+	rep.Scale = measureScale(*short)
+	experiment.RenderScale(os.Stdout, rep.Scale.Rows)
+	fmt.Printf("   striped byte-identical=%v, process peak RSS %.0f MB\n",
+		rep.Scale.StripedMatchesSequential, rep.Scale.ProcessPeakRSSMB)
+	if n := len(rep.Scale.Rows); n > 0 {
+		top := rep.Scale.Rows[n-1]
+		rep.Derived["scale_top_clients"] = float64(top.Clients)
+		rep.Derived["scale_top_events_per_sec"] = top.EventsPerSec
+		rep.Derived["scale_top_peak_heap_mb"] = top.PeakHeapMB
+		rep.Derived["scale_heap_growth_ratio"] = top.PeakHeapMB / rep.Scale.Rows[0].PeakHeapMB
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -398,6 +465,10 @@ func main() {
 	}
 	if rep.Derived["telemetry_disabled_allocs_per_op"] != 0 {
 		fmt.Fprintln(os.Stderr, "FAIL: disabled telemetry hot path allocates")
+		os.Exit(1)
+	}
+	if !rep.Scale.StripedMatchesSequential {
+		fmt.Fprintln(os.Stderr, "FAIL: striped scale run diverged from the sequential fallback")
 		os.Exit(1)
 	}
 }
@@ -542,5 +613,52 @@ func measureTelemetry(short bool) Telemetry {
 		OverheadPct:       100 * (onSec - offSec) / offSec,
 		Scrapes:           scrapes,
 		TimelineIdentical: bytes.Equal(offCSV, onCSV),
+	}
+}
+
+// measureScale runs the scale-mode client-count sweep — {10k, 100k, 1M}
+// × {EC2, DCM, ConScale}, or the 10k tier only under -short — and
+// verifies the striped-parallel execution is byte-identical to the
+// sequential fallback on a reduced configuration.
+func measureScale(short bool) Scale {
+	tiers := []int{10_000, 100_000, 1_000_000}
+	label := "{10k,100k,1M} clients x {ec2,dcm,conscale}, 16 cells, 120s"
+	if short {
+		tiers = []int{10_000}
+		label = "10k clients x {ec2,dcm,conscale}, 16 cells, 120s smoke"
+	}
+	var rows []experiment.ScaleRow
+	for _, clients := range tiers {
+		for _, mode := range []scaling.Mode{scaling.EC2, scaling.DCM, scaling.ConScale} {
+			cfg := experiment.DefaultScaleConfig(mode, clients)
+			res := experiment.RunScale(cfg)
+			fmt.Printf("   %s x %d: wall=%.1fs events=%d heap=%.1fMB p99=%.0fms\n",
+				mode, clients, res.WallSec, res.Events,
+				float64(res.PeakHeapBytes)/(1<<20), res.P99*1000)
+			rows = append(rows, res.Row())
+		}
+	}
+
+	// Identity check on a reduced configuration with the worker pool
+	// forced wide, so the parallel path fans out even on 1-CPU runners.
+	identity := func(parallel bool) []byte {
+		cfg := experiment.DefaultScaleConfig(scaling.ConScale, 3000)
+		cfg.Cells = 4
+		cfg.Duration = 30 * des.Second
+		cfg.Parallel = parallel
+		var buf bytes.Buffer
+		experiment.WriteScaleTimelineCSV(&buf, experiment.RunScale(cfg))
+		return buf.Bytes()
+	}
+	prev := experiment.SetMaxWorkers(4)
+	seq := identity(false)
+	par := identity(true)
+	experiment.SetMaxWorkers(prev)
+
+	return Scale{
+		Sweep:                    label,
+		Rows:                     rows,
+		StripedMatchesSequential: bytes.Equal(seq, par),
+		ProcessPeakRSSMB:         float64(experiment.ProcessPeakRSS()) / (1 << 20),
 	}
 }

@@ -1,0 +1,307 @@
+// Command doccheck is the doc-drift guard: it extracts every command
+// invocation and code identifier the prose documentation references and
+// verifies each one still works against the current tree. Documentation
+// that names a deleted experiment id, a renamed flag, or a removed
+// benchmark fails CI instead of quietly rotting.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck [-root DIR] [-exec-examples quickstart,...]
+//
+// Checks, in order:
+//
+//  1. Every `go run ./cmd/experiments ...` invocation found in the docs
+//     (fenced sh blocks and inline code spans) is replayed with the
+//     -check flag appended, which validates the -run ids and the scale
+//     sweep flags without executing anything.
+//  2. Every other `go run ./cmd/<tool> -flag ...` invocation is checked
+//     against the tool's own -h usage text: a documented flag the tool
+//     no longer defines is an error.
+//  3. Every `go run ./examples/<name>` reference must point at an
+//     existing directory, and `go build ./...` must succeed (so every
+//     example compiles). Examples named in -exec-examples are also run
+//     and must exit 0.
+//  4. Every `BenchmarkXxx` / `TestXxx` identifier quoted in the docs
+//     must exist in some _test.go file.
+//
+// Exit status is 0 when everything holds, 1 with one line per failure
+// otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// defaultDocs is the audited document set.
+var defaultDocs = []string{"README.md", "EXPERIMENTS.md", "ARCHITECTURE.md", "DESIGN.md"}
+
+// invocation is one command line extracted from a document.
+type invocation struct {
+	doc  string // document it came from
+	line int    // 1-based line number
+	cmd  string // the command text
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	execExamples := flag.String("exec-examples", "", "comma-separated example names to actually run")
+	flag.Parse()
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	invocations, idents := scanDocs(*root, fail)
+
+	checkExperiments(*root, invocations, fail)
+	checkToolFlags(*root, invocations, fail)
+	checkExamples(*root, invocations, strings.Split(*execExamples, ","), fail)
+	checkIdentifiers(*root, idents, fail)
+
+	for _, f := range failures {
+		fmt.Println(f)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d failure(s)\n", len(failures))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d invocation(s) and %d identifier(s) verified across %d doc(s)\n",
+		len(invocations), len(idents), len(defaultDocs))
+}
+
+var (
+	fenceRe  = regexp.MustCompile("^```")
+	inlineRe = regexp.MustCompile("`([^`]+)`")
+	identRe  = regexp.MustCompile(`^(Benchmark|Test)[A-Za-z0-9_]+$`)
+)
+
+// scanDocs walks the audited documents collecting command invocations
+// (from sh fences and inline code spans) and quoted test identifiers.
+func scanDocs(root string, fail func(string, ...any)) ([]invocation, map[string][]invocation) {
+	var invs []invocation
+	idents := map[string][]invocation{}
+	for _, doc := range defaultDocs {
+		data, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			fail("%s: unreadable: %v", doc, err)
+			continue
+		}
+		inFence, fenceIsSh := false, false
+		for i, line := range strings.Split(string(data), "\n") {
+			n := i + 1
+			if fenceRe.MatchString(strings.TrimSpace(line)) {
+				if !inFence {
+					inFence = true
+					fenceIsSh = strings.Contains(line, "sh") || strings.Contains(line, "bash")
+				} else {
+					inFence, fenceIsSh = false, false
+				}
+				continue
+			}
+			if inFence && fenceIsSh {
+				if cmd := stripShellLine(line); strings.HasPrefix(cmd, "go run ") {
+					invs = append(invs, invocation{doc, n, cmd})
+				}
+				continue
+			}
+			if inFence {
+				continue // non-sh fence (go code etc.)
+			}
+			for _, m := range inlineRe.FindAllStringSubmatch(line, -1) {
+				span := strings.TrimSpace(m[1])
+				switch {
+				case strings.HasPrefix(span, "go run ./cmd/"), strings.HasPrefix(span, "go run ./examples/"):
+					invs = append(invs, invocation{doc, n, span})
+				case strings.HasPrefix(span, "cmd/experiments -run "):
+					invs = append(invs, invocation{doc, n, "go run ./" + span})
+				case identRe.MatchString(span):
+					idents[span] = append(idents[span], invocation{doc, n, span})
+				default:
+					// Wildcard references like BenchmarkChaos_* expand to a
+					// prefix-existence check.
+					if strings.HasSuffix(span, "_*") && identRe.MatchString(strings.TrimSuffix(span, "_*")+"X") {
+						idents[span] = append(idents[span], invocation{doc, n, span})
+					}
+				}
+			}
+		}
+		if inFence {
+			fail("%s: unterminated code fence", doc)
+		}
+	}
+	return invs, idents
+}
+
+// stripShellLine removes trailing comments, redirections, and pipes so
+// only the command and its flags remain.
+func stripShellLine(line string) string {
+	for _, sep := range []string{"#", ">", "|"} {
+		if i := strings.Index(line, sep); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+// checkExperiments replays every cmd/experiments invocation with -check
+// appended: ids are resolved and flags parsed, nothing is executed.
+func checkExperiments(root string, invs []invocation, fail func(string, ...any)) {
+	for _, inv := range invs {
+		if !strings.Contains(inv.cmd, "./cmd/experiments") {
+			continue
+		}
+		args := strings.Fields(inv.cmd)[2:] // drop "go run"
+		args = append(args, "-check")
+		out, err := runGo(root, append([]string{"run"}, args...))
+		if err != nil {
+			fail("%s:%d: `%s` fails validation: %s", inv.doc, inv.line, inv.cmd, firstLine(out))
+		}
+	}
+}
+
+// checkToolFlags verifies that the flags a documented invocation passes
+// to a non-experiments tool are all still defined, using the tool's -h
+// usage text as ground truth.
+func checkToolFlags(root string, invs []invocation, fail func(string, ...any)) {
+	usage := map[string]string{} // package path -> usage text
+	for _, inv := range invs {
+		fields := strings.Fields(inv.cmd)
+		if len(fields) < 3 || !strings.HasPrefix(fields[2], "./cmd/") || fields[2] == "./cmd/experiments" {
+			continue
+		}
+		pkg := fields[2]
+		text, ok := usage[pkg]
+		if !ok {
+			out, _ := runGo(root, []string{"run", pkg, "-h"})
+			text = out
+			usage[pkg] = text
+			if !strings.Contains(text, "Usage") && !strings.Contains(text, "-") {
+				fail("%s:%d: `%s`: %s prints no usage text (does the tool build?)", inv.doc, inv.line, inv.cmd, pkg)
+				continue
+			}
+		}
+		for _, f := range fields[3:] {
+			if !strings.HasPrefix(f, "-") {
+				continue
+			}
+			name := strings.TrimLeft(strings.SplitN(f, "=", 2)[0], "-")
+			if name == "" || name == "h" {
+				continue
+			}
+			if !strings.Contains(text, "-"+name+" ") && !strings.Contains(text, "-"+name+"\n") &&
+				!strings.Contains(text, "-"+name+"\t") {
+				fail("%s:%d: `%s` uses flag -%s which %s does not define", inv.doc, inv.line, inv.cmd, name, pkg)
+			}
+		}
+	}
+}
+
+// checkExamples verifies referenced example directories exist, that the
+// whole tree (examples included) builds, and runs the allowlisted ones.
+func checkExamples(root string, invs []invocation, execList []string, fail func(string, ...any)) {
+	if out, err := runGo(root, []string{"build", "./..."}); err != nil {
+		fail("go build ./... fails: %s", firstLine(out))
+	}
+	shouldRun := map[string]bool{}
+	for _, name := range execList {
+		if name = strings.TrimSpace(name); name != "" {
+			shouldRun[name] = true
+		}
+	}
+	ran := map[string]bool{}
+	for _, inv := range invs {
+		fields := strings.Fields(inv.cmd)
+		if len(fields) < 3 || !strings.HasPrefix(fields[2], "./examples/") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[2], "./examples/")
+		dir := filepath.Join(root, "examples", name)
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			fail("%s:%d: `%s` references missing example %s", inv.doc, inv.line, inv.cmd, name)
+			continue
+		}
+		if shouldRun[name] && !ran[name] {
+			ran[name] = true
+			if out, err := runGo(root, []string{"run", "./examples/" + name}); err != nil {
+				fail("%s:%d: example %s fails to run: %s", inv.doc, inv.line, name, firstLine(out))
+			}
+		}
+	}
+}
+
+// checkIdentifiers greps the repo's _test.go files for every quoted
+// Test/Benchmark name (wildcards check as prefixes).
+func checkIdentifiers(root string, idents map[string][]invocation, fail func(string, ...any)) {
+	if len(idents) == 0 {
+		return
+	}
+	var corpus strings.Builder
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if name := info.Name(); name == ".git" || name == "results" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			corpus.Write(data)
+			corpus.WriteByte('\n')
+		}
+		return nil
+	})
+	if err != nil {
+		fail("scanning _test.go files: %v", err)
+		return
+	}
+	text := corpus.String()
+	names := make([]string, 0, len(idents))
+	for name := range idents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		needle := "func " + name
+		if strings.HasSuffix(name, "_*") {
+			needle = "func " + strings.TrimSuffix(name, "*")
+		}
+		if !strings.Contains(text, needle) {
+			for _, inv := range idents[name] {
+				fail("%s:%d: documented identifier %s not found in any _test.go file", inv.doc, inv.line, name)
+			}
+		}
+	}
+}
+
+// runGo executes the go tool with the given args from root and returns
+// combined output.
+func runGo(root string, args []string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// firstLine trims output to its first non-empty line for error reports.
+func firstLine(s string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			return line
+		}
+	}
+	return "(no output)"
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeDocs materializes the audited document set in a temp root so the
+// scanner has all four files.
+func writeDocs(t *testing.T, readme string) string {
+	t.Helper()
+	root := t.TempDir()
+	for _, doc := range defaultDocs {
+		body := "# stub\n"
+		if doc == "README.md" {
+			body = readme
+		}
+		if err := os.WriteFile(filepath.Join(root, doc), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func scan(t *testing.T, readme string) ([]invocation, map[string][]invocation, []string) {
+	t.Helper()
+	var failures []string
+	invs, idents := scanDocs(writeDocs(t, readme), func(f string, args ...any) {
+		failures = append(failures, f)
+	})
+	return invs, idents, failures
+}
+
+func TestScanExtractsFencedCommands(t *testing.T) {
+	invs, _, failures := scan(t, "```sh\ngo run ./cmd/experiments -run fig1   # comment\nls\n```\n")
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(invs) != 1 || invs[0].cmd != "go run ./cmd/experiments -run fig1" {
+		t.Fatalf("got %+v, want one stripped experiments invocation", invs)
+	}
+	if invs[0].line != 2 {
+		t.Fatalf("line = %d, want 2", invs[0].line)
+	}
+}
+
+func TestScanExtractsInlineSpans(t *testing.T) {
+	invs, idents, _ := scan(t,
+		"Regenerate: `cmd/experiments -run table1`, bench `BenchmarkTable1_TailLatency`,\n"+
+			"wildcard `BenchmarkChaos_*`, tool `go run ./cmd/tracegen -plot`.\n")
+	if len(invs) != 2 {
+		t.Fatalf("got %d invocations, want 2: %+v", len(invs), invs)
+	}
+	if invs[0].cmd != "go run ./cmd/experiments -run table1" {
+		t.Fatalf("inline experiments span not normalised: %q", invs[0].cmd)
+	}
+	for _, want := range []string{"BenchmarkTable1_TailLatency", "BenchmarkChaos_*"} {
+		if len(idents[want]) != 1 {
+			t.Errorf("identifier %q not collected: %v", want, idents)
+		}
+	}
+}
+
+func TestScanIgnoresGoFences(t *testing.T) {
+	invs, _, _ := scan(t, "```go\n// go run ./cmd/experiments -run fake\n```\n")
+	if len(invs) != 0 {
+		t.Fatalf("go fence leaked invocations: %+v", invs)
+	}
+}
+
+func TestScanFlagsUnterminatedFence(t *testing.T) {
+	_, _, failures := scan(t, "```sh\ngo run ./cmd/tracegen\n")
+	if len(failures) == 0 {
+		t.Fatal("unterminated fence not reported")
+	}
+}
+
+func TestStripShellLine(t *testing.T) {
+	for in, want := range map[string]string{
+		"go run ./cmd/tracegen > traces.csv": "go run ./cmd/tracegen",
+		"go run ./x | head   # note":         "go run ./x",
+		"  go run ./y  ":                     "go run ./y",
+	} {
+		if got := stripShellLine(in); got != want {
+			t.Errorf("stripShellLine(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckIdentifiersFindsMissing(t *testing.T) {
+	root := t.TempDir()
+	src := "package x\n\nimport \"testing\"\n\nfunc TestReal(t *testing.T) {}\nfunc BenchmarkReal_Case(b *testing.B) {}\n"
+	if err := os.WriteFile(filepath.Join(root, "x_test.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var failures []string
+	checkIdentifiers(root, map[string][]invocation{
+		"TestReal":        {{doc: "d", line: 1}},
+		"BenchmarkReal_*": {{doc: "d", line: 2}},
+		"TestGone":        {{doc: "d", line: 3}},
+	}, func(f string, args ...any) {
+		failures = append(failures, strings.Join(strings.Fields(f), " "))
+	})
+	if len(failures) != 1 {
+		t.Fatalf("got failures %v, want exactly the missing TestGone", failures)
+	}
+}
+
+// TestRepoDocsScanClean is the live gate: the real documents must scan
+// without structural failures and must reference the experiments CLI —
+// if the docs ever stop naming the regenerate commands, the drift guard
+// has nothing to guard and this fails loudly.
+func TestRepoDocsScanClean(t *testing.T) {
+	var failures []string
+	invs, idents := scanDocs("../..", func(f string, args ...any) {
+		failures = append(failures, f)
+	})
+	if len(failures) != 0 {
+		t.Fatalf("doc scan failures: %v", failures)
+	}
+	if len(invs) < 10 || len(idents) < 10 {
+		t.Fatalf("suspiciously few references: %d invocations, %d identifiers", len(invs), len(idents))
+	}
+	// Full command validation (which shells out to `go run`) is the
+	// doccheck CI job's business; here we at least pin that every
+	// documented experiments id is a -run invocation doccheck can check.
+	seen := false
+	for _, inv := range invs {
+		if strings.Contains(inv.cmd, "./cmd/experiments") && strings.Contains(inv.cmd, "-run ") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("no cmd/experiments -run invocations found in the docs")
+	}
+}

@@ -21,10 +21,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"conscale/internal/des"
 	"conscale/internal/experiment"
+	"conscale/internal/scaling"
 	"conscale/internal/trace"
 	"conscale/internal/workload"
 )
@@ -50,14 +53,27 @@ var runners = []runner{
 	{"blame", "Latency-blame attribution: traced EC2 vs DCM vs ConScale", runBlame},
 	{"slo", "SLO burn-rate detection lead time: EC2 vs DCM vs ConScale", runSLO},
 	{"report", "All-in-one reproduction report (Table I + Fig. 3 + Fig. 11)", runReport},
+	{"scale", "Million-client scale mode: streaming population over striped cells", runScale},
 }
+
+// heavyRunners are excluded from `-run all` and must be requested by id:
+// the scale sweep's 1M-client tier multiplies the whole-suite wall time.
+var heavyRunners = map[string]bool{"scale": true}
 
 // selectRunners resolves a -run spec ("all" or a comma-separated id list)
 // against the runner table, preserving table order and deduplicating.
-// Unknown ids are an error that names every available id.
+// Unknown ids are an error that names every available id. "all" selects
+// every runner except the heavy ones (currently `scale`), which must be
+// requested explicitly.
 func selectRunners(spec string) ([]runner, error) {
 	if strings.TrimSpace(strings.ToLower(spec)) == "all" {
-		return runners, nil
+		var picked []runner
+		for _, r := range runners {
+			if !heavyRunners[r.name] {
+				picked = append(picked, r)
+			}
+		}
+		return picked, nil
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(spec, ",") {
@@ -97,6 +113,16 @@ func availableIDs() string {
 	return strings.Join(ids, ", ")
 }
 
+// Scale-mode sweep flags (the `-run scale` experiment). Declared at
+// package level so the runner function can read them after flag.Parse.
+var (
+	scaleClients  = flag.String("scale-clients", "10000,100000,1000000", "scale sweep: comma-separated peak client counts")
+	scaleModes    = flag.String("scale-modes", "ec2,dcm,conscale", "scale sweep: comma-separated frameworks")
+	scaleCells    = flag.Int("scale-cells", 16, "scale sweep: independent n-tier cells per run")
+	scaleDuration = flag.Float64("scale-duration", 120, "scale sweep: simulated seconds per run")
+	scaleSeq      = flag.Bool("scale-seq", false, "scale sweep: force the sequential striper fallback")
+)
+
 func main() {
 	var (
 		run        = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
@@ -106,8 +132,22 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker fan-out for independent runs (1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		check      = flag.Bool("check", false, "validate flags and -run ids, then exit without running (doc-drift guard)")
 	)
 	flag.Parse()
+
+	if *check {
+		if _, err := selectRunners(*run); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := parseScaleSweep(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println("ok")
+		return
+	}
 
 	if *list {
 		for _, r := range runners {
@@ -458,5 +498,127 @@ func runReport(seed uint64, outDir string) error {
 	rep := experiment.BuildReport(seed)
 	return writeCSV(outDir, "REPORT.md", func(f *os.File) error {
 		return rep.WriteMarkdown(f)
+	})
+}
+
+// parseScaleMode resolves a -scale-modes token.
+func parseScaleMode(name string) (scaling.Mode, error) {
+	switch strings.TrimSpace(strings.ToLower(name)) {
+	case "ec2", "ec2-autoscaling":
+		return scaling.EC2, nil
+	case "dcm":
+		return scaling.DCM, nil
+	case "conscale":
+		return scaling.ConScale, nil
+	}
+	return 0, fmt.Errorf("unknown scale mode %q; available: ec2, dcm, conscale", name)
+}
+
+// parseScaleSweep expands the scale flags into the run configurations of
+// the sweep, clients ascending × modes in flag order.
+func parseScaleSweep(seed uint64) ([]experiment.ScaleConfig, error) {
+	var clients []int
+	for _, tok := range strings.Split(*scaleClients, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -scale-clients entry %q", tok)
+		}
+		clients = append(clients, n)
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("-scale-clients is empty")
+	}
+	sort.Ints(clients)
+	var modes []scaling.Mode
+	for _, tok := range strings.Split(*scaleModes, ",") {
+		if strings.TrimSpace(tok) == "" {
+			continue
+		}
+		m, err := parseScaleMode(tok)
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, m)
+	}
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("-scale-modes is empty")
+	}
+	if *scaleCells <= 0 {
+		return nil, fmt.Errorf("-scale-cells must be positive")
+	}
+	if *scaleDuration <= 0 {
+		return nil, fmt.Errorf("-scale-duration must be positive")
+	}
+	var cfgs []experiment.ScaleConfig
+	for _, n := range clients {
+		for _, m := range modes {
+			cfg := experiment.DefaultScaleConfig(m, n)
+			cfg.Seed = seed
+			cfg.Cells = *scaleCells
+			cfg.Duration = des.Time(*scaleDuration) * des.Second
+			cfg.Parallel = !*scaleSeq
+			cfg.Telemetry = true
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs, nil
+}
+
+// runScale executes the {clients} × {modes} sweep, prints the summary
+// table, and writes scale_summary.csv, BENCH_5.json (schema
+// conscale-bench/5, scale section), and the largest ConScale run's
+// client timeline.
+func runScale(seed uint64, outDir string) error {
+	cfgs, err := parseScaleSweep(seed)
+	if err != nil {
+		return err
+	}
+	rows := make([]experiment.ScaleRow, 0, len(cfgs))
+	var biggest *experiment.ScaleResult
+	for _, cfg := range cfgs {
+		fmt.Printf("   %s × %d clients (%d cells, %.0fs)...\n",
+			cfg.Mode, cfg.Clients, cfg.Cells, float64(cfg.Duration))
+		res := experiment.RunScale(cfg)
+		fmt.Printf("     wall=%.1fs events=%d (%.2fM ev/s) heap=%.1fMB p99=%.0fms err=%.4f\n",
+			res.WallSec, res.Events, res.EventsPerSec/1e6,
+			float64(res.PeakHeapBytes)/(1<<20), res.P99*1000, res.ErrorRate)
+		rows = append(rows, res.Row())
+		if cfg.Mode == scaling.ConScale && (biggest == nil || res.Clients > biggest.Clients) {
+			biggest = res
+		}
+	}
+	fmt.Println()
+	experiment.RenderScale(os.Stdout, rows)
+
+	if err := writeCSV(outDir, "scale_summary.csv", func(f *os.File) error {
+		if _, err := fmt.Fprintln(f, "mode,clients,cells,duration_s,wall_s,events,events_per_s,peak_heap_mb,requests,goodput,error_rate,p50_ms,p95_ms,p99_ms,vms,scale_actions"); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(f, "%s,%d,%d,%.0f,%.2f,%d,%.0f,%.1f,%d,%d,%.4f,%.1f,%.1f,%.1f,%d,%d\n",
+				r.Mode, r.Clients, r.Cells, r.DurationSec, r.WallSec, r.Events,
+				r.EventsPerSec, r.PeakHeapMB, r.Requests, r.Goodput, r.ErrorRate,
+				r.P50Ms, r.P95Ms, r.P99Ms, r.VMs, r.ScaleActions); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if biggest != nil {
+		if err := writeCSV(outDir, fmt.Sprintf("scale_timeline_conscale_%d.csv", biggest.Clients), func(f *os.File) error {
+			experiment.WriteScaleTimelineCSV(f, biggest)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return writeCSV(outDir, "BENCH_5.json", func(f *os.File) error {
+		return experiment.WriteScaleReport(f, rows)
 	})
 }

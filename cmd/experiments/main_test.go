@@ -19,8 +19,67 @@ func TestSelectRunnersAll(t *testing.T) {
 		if err != nil {
 			t.Fatalf("selectRunners(%q): %v", spec, err)
 		}
-		if len(rs) != len(runners) {
-			t.Fatalf("selectRunners(%q) picked %d of %d runners", spec, len(rs), len(runners))
+		// "all" selects every runner except the heavy ones, which must be
+		// requested by id.
+		if len(rs) != len(runners)-len(heavyRunners) {
+			t.Fatalf("selectRunners(%q) picked %d runners, want %d", spec, len(rs), len(runners)-len(heavyRunners))
+		}
+		for _, r := range rs {
+			if heavyRunners[r.name] {
+				t.Fatalf("selectRunners(%q) included heavy runner %q", spec, r.name)
+			}
+		}
+	}
+}
+
+// TestSelectRunnersHeavyExplicit: heavy runners stay reachable by id.
+func TestSelectRunnersHeavyExplicit(t *testing.T) {
+	rs, err := selectRunners("scale")
+	if err != nil {
+		t.Fatalf("selectRunners(scale): %v", err)
+	}
+	if got := names(rs); len(got) != 1 || got[0] != "scale" {
+		t.Fatalf("picked %v, want [scale]", got)
+	}
+	for name := range heavyRunners {
+		found := false
+		for _, r := range runners {
+			if r.name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("heavyRunners names %q, which is not in the runner table", name)
+		}
+	}
+}
+
+func TestParseScaleSweep(t *testing.T) {
+	cfgs, err := parseScaleSweep(7)
+	if err != nil {
+		t.Fatalf("parseScaleSweep: %v", err)
+	}
+	// Defaults: 3 client tiers × 3 modes, ascending client order.
+	if len(cfgs) != 9 {
+		t.Fatalf("got %d sweep points, want 9", len(cfgs))
+	}
+	if cfgs[0].Clients != 10000 || cfgs[len(cfgs)-1].Clients != 1000000 {
+		t.Fatalf("sweep not ascending: first=%d last=%d", cfgs[0].Clients, cfgs[len(cfgs)-1].Clients)
+	}
+	for _, cfg := range cfgs {
+		if cfg.Seed != 7 || cfg.Cells <= 0 || cfg.Duration <= 0 {
+			t.Fatalf("bad sweep point: %+v", cfg)
+		}
+	}
+}
+
+func TestParseScaleModeRejectsUnknown(t *testing.T) {
+	if _, err := parseScaleMode("turbo"); err == nil {
+		t.Fatal("unknown mode must be rejected")
+	}
+	for _, ok := range []string{"ec2", "EC2-AutoScaling", "dcm", " conscale "} {
+		if _, err := parseScaleMode(ok); err != nil {
+			t.Errorf("parseScaleMode(%q): %v", ok, err)
 		}
 	}
 }

@@ -485,3 +485,48 @@ func SLODetection(seed uint64) []SLODetectionRun { return experiment.SLODetectio
 
 // RenderSLODetection prints the detection comparison table.
 func RenderSLODetection(w io.Writer, runs []SLODetectionRun) { experiment.RenderSLO(w, runs) }
+
+// Scale mode: million-client populations over striped event execution.
+type (
+	// Striper runs many engines as shards synchronized at a conservative
+	// lookahead horizon, with deterministic cross-shard messaging.
+	Striper = des.Striper
+	// Shard is one engine plus its cross-shard outbox inside a Striper.
+	Shard = des.Shard
+	// WorkloadClass is one request class of a streaming population
+	// (name, arrival weight, mean think time).
+	WorkloadClass = workload.Class
+	// StreamStats are the O(1)-memory client statistics a streaming
+	// generator maintains instead of per-request samples.
+	StreamStats = workload.StreamStats
+	// ScaleConfig describes one scale-mode run (mode, client count,
+	// cells, trace, edge delay).
+	ScaleConfig = experiment.ScaleConfig
+	// ScaleResult captures a scale run's metrics: tails, goodput,
+	// events/sec, peak heap.
+	ScaleResult = experiment.ScaleResult
+	// ScaleRow is the JSON row of a scale sweep report (BENCH_5 schema).
+	ScaleRow = experiment.ScaleRow
+)
+
+// NewStriper returns a striped executor with n shards and the given
+// conservative lookahead (minimum cross-shard delay).
+func NewStriper(n int, lookahead Time) *Striper { return des.NewStriper(n, lookahead) }
+
+// RunScale executes one scale-mode run: a streaming open-loop client
+// population driving a fleet of cluster cells, one per stripe shard.
+func RunScale(cfg ScaleConfig) *ScaleResult { return experiment.RunScale(cfg) }
+
+// DefaultScaleConfig returns the standard scale-mode setup for a
+// framework mode and client count (16 cells, 120 s, Large Variations).
+func DefaultScaleConfig(mode Mode, clients int) ScaleConfig {
+	return experiment.DefaultScaleConfig(mode, clients)
+}
+
+// WriteScaleReport writes a scale sweep as the BENCH_5 JSON schema.
+func WriteScaleReport(w io.Writer, rows []ScaleRow) error {
+	return experiment.WriteScaleReport(w, rows)
+}
+
+// RenderScale prints a scale sweep as an ASCII table.
+func RenderScale(w io.Writer, rows []ScaleRow) { experiment.RenderScale(w, rows) }

@@ -1,6 +1,7 @@
 package conscale_test
 
 import (
+	"bytes"
 	"strconv"
 	"testing"
 
@@ -160,5 +161,35 @@ func TestPublicTrainDCM(t *testing.T) {
 	p := conscale.TrainDCM(1, conscale.DefaultClusterConfig())
 	if p.AppThreads <= 0 || p.DBTotal <= 0 {
 		t.Fatalf("profile %+v", p)
+	}
+}
+
+func TestPublicScaleMode(t *testing.T) {
+	cfg := conscale.DefaultScaleConfig(conscale.ModeConScale, 2000)
+	cfg.Cells = 2
+	cfg.Duration = 30 * conscale.Second
+	cfg.WarmupSkip = 8 * conscale.Second
+	res := conscale.RunScale(cfg)
+	if res.Goodput == 0 || res.Events == 0 {
+		t.Fatalf("scale run produced nothing: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := conscale.WriteScaleReport(&buf, []conscale.ScaleRow{res.Row()}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("conscale-bench/5")) {
+		t.Fatalf("report lacks schema: %s", buf.String())
+	}
+}
+
+func TestPublicStriper(t *testing.T) {
+	str := conscale.NewStriper(2, 5*conscale.Millisecond)
+	var got []conscale.Time
+	str.Shard(0).Send(1, 5*conscale.Millisecond, func() {
+		got = append(got, str.Shard(1).Eng.Now())
+	})
+	str.RunUntil(20 * conscale.Millisecond)
+	if len(got) != 1 || got[0] != 5*conscale.Millisecond {
+		t.Fatalf("cross-shard delivery: %v", got)
 	}
 }

@@ -55,8 +55,11 @@ func Tiers() []Tier { return []Tier{Web, App, Cache, DB} }
 // Config describes the initial deployment. The zero value is not valid;
 // use DefaultConfig and override.
 type Config struct {
-	Seed         uint64
-	Mix          rubbos.Mix
+	// Seed drives every stochastic choice the cluster makes.
+	Seed uint64
+	// Mix selects the RUBBoS interaction mix (browse-only or read/write).
+	Mix rubbos.Mix
+	// DatasetScale scales per-interaction service demands (1.0 = paper).
 	DatasetScale float64
 
 	// Initial topology #Web/#App/#DB (paper notation).
@@ -86,6 +89,7 @@ type Config struct {
 	// MaxVMsPerTier bounds scale-out (the private cloud's capacity).
 	MaxVMsPerTier int
 
+	// LBPolicy picks which server in a tier receives each request.
 	LBPolicy lb.Policy
 
 	// PrepDelay is the VM preparation period before a new instance can
@@ -105,6 +109,12 @@ type Config struct {
 
 	// Window is the fine-grained measurement interval (50 ms default).
 	Window des.Time
+
+	// Engine, when non-nil, hosts the cluster on an existing event engine
+	// instead of a fresh one. The scale mode uses it to place each cell
+	// on its own stripe shard (des.Striper); single-cluster runs leave it
+	// nil and use Cluster.Eng as before.
+	Engine *des.Engine
 }
 
 // DefaultConfig returns the paper's evaluation setup: 1/1/1 topology,
@@ -144,6 +154,7 @@ type vm struct {
 
 // Cluster is the system under test.
 type Cluster struct {
+	// Eng is the discrete-event engine the cluster schedules on.
 	Eng *des.Engine
 
 	cfg Config
@@ -178,7 +189,8 @@ type Cluster struct {
 	telReg *telemetry.Registry
 }
 
-// New builds the initial topology on a fresh engine.
+// New builds the initial topology on a fresh engine (or on cfg.Engine
+// when set).
 func New(cfg Config) *Cluster {
 	if cfg.Web <= 0 || cfg.App <= 0 || cfg.DB <= 0 {
 		panic("cluster: every tier needs at least one VM")
@@ -186,8 +198,12 @@ func New(cfg Config) *Cluster {
 	if cfg.DatasetScale <= 0 {
 		cfg.DatasetScale = 1
 	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = des.New()
+	}
 	c := &Cluster{
-		Eng:          des.New(),
+		Eng:          eng,
 		cfg:          cfg,
 		rnd:          rng.New(cfg.Seed),
 		wl:           rubbos.NewWorkload(cfg.Mix, cfg.DatasetScale),

@@ -1,0 +1,222 @@
+package des
+
+import "fmt"
+
+// Striper executes a partitioned simulation: each shard owns an
+// independent Engine, and shards only interact through cross-shard events
+// carrying at least a fixed minimum delay (the lookahead horizon). That
+// restriction is what makes parallel execution safe — it is the classic
+// conservative synchronization of parallel discrete-event simulation
+// (Chandy/Misra/Bryant), specialised to a star/partition topology where
+// the minimum inter-shard delay is known up front (here: the network edge
+// between the client frontdoor and the server cells).
+//
+// Execution proceeds in windows of one lookahead each: every shard drains
+// its own heap up to the window end (optionally in parallel — see
+// SetParallel), then the cross-shard events generated during the window
+// are merged into their destination heaps in a deterministic order
+// (timestamp, then source shard, then send order). Because shard heaps
+// are disjoint and the merge order is fixed, the simulated trajectory is
+// byte-identical whether the window bodies run sequentially or on a
+// worker pool — the property the scale-mode regression tests pin.
+//
+// The zero value is not usable; call NewStriper.
+type Striper struct {
+	lookahead Time
+	now       Time
+	shards    []*Shard
+	par       func(n int, fn func(i int))
+}
+
+// Shard couples one partition's Engine with its cross-shard outbox. All
+// simulation state owned by a shard must only be touched by events running
+// on its Engine; the only legal cross-partition interaction is Send.
+type Shard struct {
+	// Eng is the shard's private event engine. Components living on this
+	// shard schedule on it exactly as in a single-engine simulation.
+	Eng *Engine
+
+	idx    int
+	str    *Striper
+	outbox []crossEvent
+	fns    []func() // closures parallel to outbox, split to keep sort keys compact
+}
+
+// crossEvent is one scheduled cross-shard delivery, buffered in the
+// sender's outbox until the next window barrier.
+type crossEvent struct {
+	to  int
+	at  Time
+	seq int // send order within the source shard's window
+}
+
+// crossFn pairs a crossEvent with its closure; stored separately so the
+// sortable part stays small.
+type crossFn struct {
+	crossEvent
+	src int
+	fn  func()
+}
+
+// NewStriper returns a striper with n independent shards and the given
+// lookahead horizon. The lookahead must equal (or lower-bound) the minimum
+// delay of every cross-shard interaction; Send enforces it per event.
+func NewStriper(n int, lookahead Time) *Striper {
+	if n <= 0 {
+		panic("des: striper needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("des: non-positive lookahead horizon")
+	}
+	s := &Striper{lookahead: lookahead}
+	s.shards = make([]*Shard, n)
+	for i := range s.shards {
+		s.shards[i] = &Shard{Eng: New(), idx: i, str: s}
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Striper) Shards() int { return len(s.shards) }
+
+// Shard returns the i-th shard.
+func (s *Striper) Shard(i int) *Shard { return s.shards[i] }
+
+// Lookahead returns the synchronization horizon.
+func (s *Striper) Lookahead() Time { return s.lookahead }
+
+// Now returns the striper's clock: the end of the last completed window.
+// Individual shard engines never run ahead of it by more than one window.
+func (s *Striper) Now() Time { return s.now }
+
+// Fired returns the total number of events executed across all shards.
+func (s *Striper) Fired() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.Eng.Fired()
+	}
+	return n
+}
+
+// SetParallel installs the worker-pool driver used to execute the shard
+// window bodies concurrently (for example internal/experiment.ParallelFor,
+// the harness machinery behind RunMany). A nil driver — the default —
+// runs shards sequentially in index order. Both produce byte-identical
+// trajectories; the driver only changes wall-clock time.
+func (s *Striper) SetParallel(par func(n int, fn func(i int))) { s.par = par }
+
+// Index returns the shard's position in the striper.
+func (sh *Shard) Index() int { return sh.idx }
+
+// Send schedules fn on shard `to` at the sender's current time plus delay.
+// The delay must be at least the striper's lookahead horizon — that is the
+// conservative-synchronization contract; a shorter delay panics, because
+// the destination shard may already have simulated past the delivery time.
+// Deliveries are applied at the next window barrier in a deterministic
+// order, so the trajectory does not depend on how shard windows were
+// scheduled onto workers. Events local to the shard should use Eng
+// directly (no horizon constraint applies within a shard).
+func (sh *Shard) Send(to int, delay Time, fn func()) {
+	if to < 0 || to >= len(sh.str.shards) {
+		panic(fmt.Sprintf("des: Send to shard %d of %d", to, len(sh.str.shards)))
+	}
+	if delay < sh.str.lookahead {
+		panic(fmt.Sprintf("des: cross-shard delay %v below lookahead horizon %v", delay, sh.str.lookahead))
+	}
+	if fn == nil {
+		panic("des: nil cross-shard event")
+	}
+	sh.outbox = append(sh.outbox, crossEvent{to: to, at: sh.Eng.Now() + delay, seq: len(sh.outbox)})
+	sh.fns = append(sh.fns, fn)
+}
+
+// RunUntil advances the striped simulation to the deadline, one lookahead
+// window at a time: run every shard to the window end, barrier, merge
+// cross-shard deliveries, repeat. Every shard's clock ends at the
+// deadline even if its heap drains early. It returns the final clock.
+func (s *Striper) RunUntil(deadline Time) Time {
+	for s.now < deadline {
+		end := s.now + s.lookahead
+		if end > deadline {
+			end = deadline
+		}
+		run := func(i int) { s.shards[i].Eng.RunUntil(end) }
+		if s.par != nil {
+			s.par(len(s.shards), run)
+		} else {
+			for i := range s.shards {
+				run(i)
+			}
+		}
+		s.now = end
+		s.deliver()
+	}
+	return s.now
+}
+
+// deliver merges every shard's outbox into the destination engines in a
+// deterministic order: by timestamp, then source shard, then send order.
+// The destination engine breaks remaining ties by insertion order, so the
+// merged schedule is identical on every run and at any worker count.
+func (s *Striper) deliver() {
+	merged := s.mergedOutboxes()
+	if len(merged) == 0 {
+		return
+	}
+	for _, ev := range merged {
+		s.shards[ev.to].Eng.At(ev.at, ev.fn)
+	}
+}
+
+// mergedOutboxes drains all outboxes into one deterministically ordered
+// slice (insertion sort into the reusable scratch buffer would be
+// overkill; a stable comparison sort keeps it simple and allocation-light).
+func (s *Striper) mergedOutboxes() []crossFn {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.outbox)
+	}
+	if n == 0 {
+		return nil
+	}
+	merged := make([]crossFn, 0, n)
+	for src, sh := range s.shards {
+		for i, ev := range sh.outbox {
+			merged = append(merged, crossFn{crossEvent: ev, src: src, fn: sh.fns[i]})
+		}
+		sh.outbox = sh.outbox[:0]
+		for i := range sh.fns {
+			sh.fns[i] = nil // release closures promptly
+		}
+		sh.fns = sh.fns[:0]
+	}
+	sortCrossFns(merged)
+	return merged
+}
+
+// sortCrossFns orders deliveries by (at, src, seq) — a total, run-stable
+// order. Insertion sort: outboxes are near-sorted by construction (each
+// shard appends in nondecreasing send time) and barrier batches are small.
+func sortCrossFns(evs []crossFn) {
+	for i := 1; i < len(evs); i++ {
+		e := evs[i]
+		j := i - 1
+		for j >= 0 && crossLess(e, evs[j]) {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = e
+	}
+}
+
+// crossLess is the delivery order: timestamp, then source shard, then
+// per-source send order.
+func crossLess(a, b crossFn) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}

@@ -1,0 +1,160 @@
+package des
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// goroutinePar is a stand-in for the experiment harness's worker pool:
+// it runs every index on its own goroutine and waits for all of them, the
+// most adversarial scheduling the striper has to stay deterministic under.
+func goroutinePar(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// stripeScenario wires a ring of chattering shards and returns the
+// per-shard execution log. Each shard ticks locally every 3 ms and, on
+// each tick, sends a message one step around the ring with a delay that
+// varies deterministically with the tick; receivers log (now, from, k).
+func stripeScenario(par func(int, func(int))) []string {
+	const shards = 5
+	const horizon = 10 * Millisecond
+	s := NewStriper(shards, horizon)
+	s.SetParallel(par)
+
+	logs := make([][]string, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		sh := s.Shard(i)
+		tick := 0
+		sh.Eng.Every(3*Millisecond, func() {
+			tick++
+			k := tick
+			to := (i + 1) % shards
+			delay := horizon + Time(k%7)*Millisecond
+			sh.Send(to, delay, func() {
+				logs[to] = append(logs[to], fmt.Sprintf("t=%.6f from=%d k=%d", float64(s.Shard(to).Eng.Now()), i, k))
+			})
+			// A same-timestamp second message exercises the (src, seq)
+			// tie-break in the barrier merge.
+			if k%4 == 0 {
+				sh.Send(to, delay, func() {
+					logs[to] = append(logs[to], fmt.Sprintf("t=%.6f from=%d k=%d dup", float64(s.Shard(to).Eng.Now()), i, k))
+				})
+			}
+		})
+	}
+	s.RunUntil(500 * Millisecond)
+	var flat []string
+	for i, l := range logs {
+		flat = append(flat, fmt.Sprintf("-- shard %d --", i))
+		flat = append(flat, l...)
+	}
+	return flat
+}
+
+func TestStriperParallelMatchesSequential(t *testing.T) {
+	seq := stripeScenario(nil)
+	if len(seq) < 100 {
+		t.Fatalf("scenario too small to be meaningful: %d log lines", len(seq))
+	}
+	for trial := 0; trial < 3; trial++ {
+		par := stripeScenario(goroutinePar)
+		if len(par) != len(seq) {
+			t.Fatalf("trial %d: parallel log has %d lines, sequential %d", trial, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("trial %d: log diverges at line %d:\nseq: %s\npar: %s", trial, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+func TestStriperLookaheadViolationPanics(t *testing.T) {
+	s := NewStriper(2, 10*Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send below the lookahead horizon did not panic")
+		}
+	}()
+	s.Shard(0).Send(1, 5*Millisecond, func() {})
+}
+
+func TestStriperBadDestinationPanics(t *testing.T) {
+	s := NewStriper(2, Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send to an out-of-range shard did not panic")
+		}
+	}()
+	s.Shard(0).Send(2, Millisecond, func() {})
+}
+
+// TestStriperHorizonBoundary pins the conservative contract at its edge:
+// a message sent with delay exactly equal to the lookahead lands at the
+// next window boundary and must still be delivered (not lost or late).
+func TestStriperHorizonBoundary(t *testing.T) {
+	const horizon = 10 * Millisecond
+	s := NewStriper(2, horizon)
+	var gotAt Time = -1
+	s.Shard(0).Eng.At(0, func() {
+		s.Shard(0).Send(1, horizon, func() { gotAt = s.Shard(1).Eng.Now() })
+	})
+	s.RunUntil(3 * horizon)
+	if gotAt != horizon {
+		t.Fatalf("boundary message delivered at %v, want %v", gotAt, Time(horizon))
+	}
+}
+
+// TestStriperClocksAdvance checks every shard's clock reaches the
+// deadline even when heaps drain early — components hosted on idle shards
+// rely on a consistent notion of now.
+func TestStriperClocksAdvance(t *testing.T) {
+	s := NewStriper(3, 7*Millisecond)
+	s.Shard(1).Eng.After(Millisecond, func() {})
+	end := s.RunUntil(100 * Millisecond)
+	if end != 100*Millisecond {
+		t.Fatalf("RunUntil returned %v, want 100ms", end)
+	}
+	for i := 0; i < s.Shards(); i++ {
+		if now := s.Shard(i).Eng.Now(); now != 100*Millisecond {
+			t.Fatalf("shard %d clock = %v, want 100ms", i, now)
+		}
+	}
+	if s.Now() != 100*Millisecond {
+		t.Fatalf("striper clock = %v, want 100ms", s.Now())
+	}
+}
+
+// TestStriperFiredCounts sanity-checks the aggregate event counter.
+func TestStriperFiredCounts(t *testing.T) {
+	s := NewStriper(2, Millisecond)
+	s.Shard(0).Eng.At(0, func() {})
+	s.Shard(1).Eng.At(0, func() { s.Shard(1).Send(0, Millisecond, func() {}) })
+	s.RunUntil(10 * Millisecond)
+	if got := s.Fired(); got != 3 {
+		t.Fatalf("Fired() = %d, want 3", got)
+	}
+}
+
+// TestStriperSendBeforeRun verifies setup-time sends (clocks at zero, no
+// window in flight) are queued and delivered once the run starts.
+func TestStriperSendBeforeRun(t *testing.T) {
+	s := NewStriper(2, Millisecond)
+	fired := false
+	s.Shard(0).Send(1, 2*Millisecond, func() { fired = true })
+	s.RunUntil(5 * Millisecond)
+	if !fired {
+		t.Fatal("setup-time cross-shard send was never delivered")
+	}
+}

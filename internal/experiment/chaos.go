@@ -100,7 +100,7 @@ func ChaosTable(seed uint64, duration des.Time) []ChaosRow {
 	scenarios := ChaosScenarios()
 	perScenario := len(chaosModes)
 	rows := make([]ChaosRow, len(scenarios)*perScenario)
-	parallelFor(len(rows), func(i int) {
+	ParallelFor(len(rows), func(i int) {
 		sc := scenarios[i/perScenario]
 		rows[i] = chaosCell(sc, chaosModes[i%perScenario], seed, duration, profile)
 	})
@@ -136,7 +136,7 @@ func ChaosTimelines(seed uint64, name string, duration des.Time) []*RunResult {
 		}
 		profile := TrainDCM(seed, cluster.DefaultConfig())
 		out := make([]*RunResult, len(chaosModes))
-		parallelFor(len(chaosModes), func(i int) {
+		ParallelFor(len(chaosModes), func(i int) {
 			// Each run gets its own freshly-built schedule: Build is pure
 			// in (seed, dur), so all controllers face identical faults
 			// without sharing mutable schedule state across goroutines.
@@ -149,7 +149,7 @@ func ChaosTimelines(seed uint64, name string, duration des.Time) []*RunResult {
 
 func chaosScenarioRows(sc ChaosScenario, seed uint64, duration des.Time, profile scaling.DCMProfile) []ChaosRow {
 	rows := make([]ChaosRow, len(chaosModes))
-	parallelFor(len(chaosModes), func(i int) {
+	ParallelFor(len(chaosModes), func(i int) {
 		rows[i] = chaosCell(sc, chaosModes[i], seed, duration, profile)
 	})
 	return rows

@@ -33,12 +33,13 @@ func SetMaxWorkers(n int) int {
 	return int(maxWorkers.Swap(int64(n)))
 }
 
-// parallelFor runs fn(0..n-1), fanning out over at most MaxWorkers
+// ParallelFor runs fn(0..n-1), fanning out over at most MaxWorkers
 // goroutines. Iterations must be independent; completion order is
 // unspecified, so fn must write results only to its own index.
 // Nested calls are safe — each level spawns its own bounded pool and
-// GOMAXPROCS bounds actual CPU use.
-func parallelFor(n int, fn func(i int)) {
+// GOMAXPROCS bounds actual CPU use. Besides backing RunMany, it is the
+// worker-pool driver the scale mode injects into des.Striper.
+func ParallelFor(n int, fn func(i int)) {
 	w := MaxWorkers()
 	if w > n {
 		w = n
@@ -71,6 +72,6 @@ func parallelFor(n int, fn func(i int)) {
 // MaxWorkers, and returns results in input order.
 func RunMany(cfgs []RunConfig) []*RunResult {
 	out := make([]*RunResult, len(cfgs))
-	parallelFor(len(cfgs), func(i int) { out[i] = Run(cfgs[i]) })
+	ParallelFor(len(cfgs), func(i int) { out[i] = Run(cfgs[i]) })
 	return out
 }

@@ -38,7 +38,7 @@ func TestParallelForCoversEveryIndexOnce(t *testing.T) {
 		withWorkers(workers, func() {
 			const n = 100
 			var hits [n]atomic.Int32
-			parallelFor(n, func(i int) { hits[i].Add(1) })
+			ParallelFor(n, func(i int) { hits[i].Add(1) })
 			for i := range hits {
 				if got := hits[i].Load(); got != 1 {
 					t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
@@ -52,7 +52,7 @@ func TestParallelForBoundsConcurrency(t *testing.T) {
 	withWorkers(3, func() {
 		var cur, peak atomic.Int32
 		var mu sync.Mutex
-		parallelFor(64, func(int) {
+		ParallelFor(64, func(int) {
 			c := cur.Add(1)
 			mu.Lock()
 			if c > peak.Load() {

@@ -79,7 +79,7 @@ type SweepResult struct {
 // results in input order (the Fig. 3 / Fig. 7 panel sets).
 func SweepMany(cfgs []SweepConfig) []SweepResult {
 	out := make([]SweepResult, len(cfgs))
-	parallelFor(len(cfgs), func(i int) { out[i] = Sweep(cfgs[i]) })
+	ParallelFor(len(cfgs), func(i int) { out[i] = Sweep(cfgs[i]) })
 	return out
 }
 
@@ -106,7 +106,7 @@ func Sweep(cfg SweepConfig) SweepResult {
 	// seed), so they fan out over the worker pool; results land in level
 	// order regardless of completion order.
 	res.Points = make([]SweepPoint, len(cfg.Levels))
-	parallelFor(len(cfg.Levels), func(i int) {
+	ParallelFor(len(cfg.Levels), func(i int) {
 		res.Points[i] = sweepLevel(cfg, cfg.Levels[i])
 	})
 	// Knee: smallest level within 5% of the peak.

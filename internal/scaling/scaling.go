@@ -65,21 +65,26 @@ type DCMProfile struct {
 
 // Config tunes a framework.
 type Config struct {
+	// Mode selects which of the three frameworks this config drives.
 	Mode Mode
 
 	// Threshold engine (the EC2-AutoScaling rule: scale when tier CPU
 	// exceeds High; paper uses 80%).
 	High float64
-	Low  float64
+	// Low is the scale-in threshold: below it for SustainIn checks, a
+	// tier releases a VM.
+	Low float64
 	// CheckEvery is the decision interval (1 s monitoring).
 	CheckEvery des.Time
 	// SustainOut/SustainIn are the consecutive breaches required before
 	// acting — "quick start" (short) vs "slow turn off" (long).
 	SustainOut int
-	SustainIn  int
+	// SustainIn is the consecutive low-CPU checks required to scale in.
+	SustainIn int
 	// OutCooldown/InCooldown block repeat actions per tier.
 	OutCooldown des.Time
-	InCooldown  des.Time
+	// InCooldown blocks repeated scale-in actions on the same tier.
+	InCooldown des.Time
 
 	// SCT estimator settings (ConScale only).
 	SCT sct.Config
@@ -107,9 +112,11 @@ type Config struct {
 	// tier scales out even if no CPU crossed the threshold — catching the
 	// under-allocation regime where response times burn while hardware
 	// idles (the failure mode of stale soft-resource settings).
-	SLATarget     float64
+	SLATarget float64
+	// SLAPercentile is the tail percentile the QoS trigger watches.
 	SLAPercentile float64
-	SLAWindow     des.Time
+	// SLAWindow is the sliding window the tail latency is measured over.
+	SLAWindow des.Time
 
 	// VerticalDBMaxCores enables vertical scaling of the DB tier (the
 	// scale-up strategy of paper Section III-C.1): when the DB tier needs
@@ -120,7 +127,8 @@ type Config struct {
 
 	// Soft-resource safety clamps.
 	MinThreads, MaxThreads int
-	MinConns, MaxConns     int
+	// MinConns/MaxConns clamp the DB connection-pool adaptation range.
+	MinConns, MaxConns int
 
 	// WarehouseRetention bounds metric history.
 	WarehouseRetention des.Time
@@ -181,9 +189,13 @@ func (k EventKind) String() string {
 
 // Event records one scaling action for the evaluation timelines.
 type Event struct {
-	Time   des.Time
-	Kind   EventKind
-	Tier   cluster.Tier
+	// Time is the simulation instant the action took effect.
+	Time des.Time
+	// Kind classifies the action (scale-out, scale-in, adaptation...).
+	Kind EventKind
+	// Tier is the tier the action applied to.
+	Tier cluster.Tier
+	// Detail is a human-readable summary for audit trails.
 	Detail string
 }
 
@@ -605,7 +617,7 @@ func (f *Framework) escapeUnderAllocation(now des.Time) {
 			f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.App,
 				Detail: fmt.Sprintf("under-allocation escape: app threads %d->%d", threads, grown)})
 			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.App.String(),
-				Cause: fmt.Sprintf("under-allocation escape: %d queued while max cpu=%.2f", queued, maxAppCPU),
+				Cause:  fmt.Sprintf("under-allocation escape: %d queued while max cpu=%.2f", queued, maxAppCPU),
 				Detail: "app threads", Value: float64(grown)})
 		}
 	}
@@ -638,7 +650,7 @@ func (f *Framework) escapeUnderAllocation(now des.Time) {
 			f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.DB,
 				Detail: fmt.Sprintf("under-allocation escape: db conns %d->%d", conns, grown)})
 			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.DB.String(),
-				Cause: fmt.Sprintf("under-allocation escape: %d waiting while max db busy=%.2f", waiting, maxDBBusy),
+				Cause:  fmt.Sprintf("under-allocation escape: %d waiting while max db busy=%.2f", waiting, maxDBBusy),
 				Detail: "db conns per app", Value: float64(grown)})
 		}
 	}
@@ -668,7 +680,7 @@ func (f *Framework) applyConScale() {
 			f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.App,
 				Detail: fmt.Sprintf("sct: app threads=%d", threads)})
 			f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.App.String(),
-				Cause: fmt.Sprintf("sct optimal=%d saturated=%v", appOpt, saturated),
+				Cause:  fmt.Sprintf("sct optimal=%d saturated=%v", appOpt, saturated),
 				Detail: "app threads", Value: float64(threads)})
 		}
 	}
@@ -683,7 +695,7 @@ func (f *Framework) applyConScale() {
 				f.log(Event{Time: now, Kind: SoftAdapt, Tier: cluster.DB,
 					Detail: fmt.Sprintf("sct: db optimal=%d/server -> conns=%d/app", dbOpt, perApp)})
 				f.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.DB.String(),
-					Cause: fmt.Sprintf("sct optimal=%d/server saturated=%v", dbOpt, saturated),
+					Cause:  fmt.Sprintf("sct optimal=%d/server saturated=%v", dbOpt, saturated),
 					Detail: "db conns per app", Value: float64(perApp)})
 			}
 		}

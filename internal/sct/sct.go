@@ -251,8 +251,10 @@ func (e *Estimator) Estimate(samples []metrics.WindowSample) (Estimate, bool) {
 // ScatterPoint is one (concurrency, value) pair for the Fig. 6/7 scatter
 // graphs.
 type ScatterPoint struct {
+	// Concurrency is the x coordinate (windowed mean concurrency).
 	Concurrency float64
-	Value       float64
+	// Value is the y coordinate (throughput or response time).
+	Value float64
 }
 
 // Scatter extracts the throughput-vs-concurrency and RT-vs-concurrency
@@ -274,10 +276,14 @@ func Scatter(samples []metrics.WindowSample) (tp, rt []ScatterPoint) {
 // BinnedCurve returns the per-concurrency mean throughput and RT curve
 // (the blue trend line of Fig. 6), for reporting and plots.
 type BinnedCurve struct {
+	// Concurrency holds the integer bin centers, ascending.
 	Concurrency []int
-	MeanTP      []float64
-	MeanRT      []float64
-	Count       []int
+	// MeanTP is the mean throughput observed in each bin.
+	MeanTP []float64
+	// MeanRT is the mean response time observed in each bin.
+	MeanRT []float64
+	// Count is the number of window samples aggregated per bin.
+	Count []int
 }
 
 // Curve bins the tuples and returns the averaged curve.

@@ -67,13 +67,13 @@ type SLOMonitor struct {
 	base, cur int
 
 	// Rolling sums over the two windows (in whole seconds).
-	fastW, slowW                       int
+	fastW, slowW                         int
 	fastGood, fastBad, slowGood, slowBad uint64
 
 	alerts []Alert
 
 	// Optional registry instruments (nil until Register).
-	goodC, badC, alertsC *Counter
+	goodC, badC, alertsC  *Counter
 	fastG, slowG, activeG *Gauge
 }
 

@@ -16,6 +16,7 @@ type Submitter func(done func(ok bool))
 
 // GeneratorConfig configures the closed-loop user population.
 type GeneratorConfig struct {
+	// Trace is the workload-variation curve driving the population size.
 	Trace *Trace
 	// ThinkTime is the mean exponential think time between a user's
 	// response and next request (RUBBoS uses ~7 s; 0 = closed loop with
@@ -37,13 +38,31 @@ type GeneratorConfig struct {
 	// arrive after this many seconds count as failures (the user gave
 	// up), matching how real visitors experience an overloaded site.
 	Abandon float64
+	// Streaming switches to the O(1)-memory open-loop population used by
+	// the million-client scale mode: one aggregate arrival process whose
+	// rate tracks the trace (per class, see Classes), with completions
+	// folded into constant-size StreamStats instead of the per-request
+	// Sample slice. Samples() returns nil and TailLatency serves only the
+	// maintained p50/p95/p99 in this mode; everything else — Timeline,
+	// ErrorRate, GoodputTotal — behaves identically. Implies open loop.
+	Streaming bool
+	// Classes partitions the streaming population into think-time classes
+	// (ignored unless Streaming). Empty means one class with ThinkTime.
+	Classes []Class
+	// TailFrom is the streaming warmup cutoff: completions finishing
+	// before it are excluded from the tail estimators and MeanRT
+	// (ignored unless Streaming).
+	TailFrom des.Time
 }
 
 // Sample is one completed end-to-end request.
 type Sample struct {
+	// Finish is the simulation instant the response arrived.
 	Finish des.Time
-	RT     float64
-	OK     bool
+	// RT is the client-observed response time in seconds.
+	RT float64
+	// OK is false when the request was rejected or timed out.
+	OK bool
 }
 
 // TimelinePoint aggregates client-observed behaviour over one interval —
@@ -53,7 +72,7 @@ type TimelinePoint struct {
 	Users      int      // target users at interval start
 	Throughput float64  // successful completions per second
 	MeanRT     float64  // seconds; NaN if no completions
-	Errors     int
+	Errors     int      // rejected or timed-out requests this interval
 }
 
 // Generator replays a trace as a closed-loop user population: each user
@@ -71,6 +90,7 @@ type Generator struct {
 	retiring int
 
 	samples []Sample
+	stream  *StreamStats // non-nil iff cfg.Streaming
 
 	curStart   des.Time
 	curOK      int
@@ -111,6 +131,10 @@ func NewGenerator(eng *des.Engine, rnd *rng.Source, cfg GeneratorConfig, submit 
 func (g *Generator) Start() {
 	g.curStart = g.eng.Now()
 	g.startAt = g.eng.Now()
+	if g.cfg.Streaming {
+		g.startStreaming()
+		return
+	}
 	if g.cfg.OpenLoop {
 		g.startOpenLoop()
 		return
@@ -224,7 +248,11 @@ func (g *Generator) userIssue() {
 
 func (g *Generator) record(s Sample) {
 	g.rollStats(s.Finish)
-	g.samples = append(g.samples, s)
+	if g.stream != nil {
+		g.stream.observe(s)
+	} else {
+		g.samples = append(g.samples, s)
+	}
 	if s.OK {
 		g.curOK++
 		g.curRTSum += s.RT
@@ -251,7 +279,8 @@ func (g *Generator) rollStats(now des.Time) {
 	}
 }
 
-// Samples returns all completed request samples so far.
+// Samples returns all completed request samples so far. In streaming
+// mode no samples are retained and it returns nil — use Stream instead.
 func (g *Generator) Samples() []Sample { return g.samples }
 
 // Timeline returns the per-interval aggregation, closing intervals up to
@@ -265,8 +294,14 @@ func (g *Generator) Timeline() []TimelinePoint {
 func (g *Generator) Active() int { return g.active }
 
 // TailLatency returns the p-th percentile response time (seconds) over all
-// successful samples with Finish >= from — the Table I metric.
+// successful samples with Finish >= from — the Table I metric. In
+// streaming mode it serves the maintained P² estimates for p ∈ {50, 95,
+// 99} (from is fixed at config time by TailFrom and ignored here); other
+// percentiles panic.
 func (g *Generator) TailLatency(p float64, from des.Time) float64 {
+	if g.stream != nil {
+		return g.stream.Quantile(p)
+	}
 	var rts []float64
 	for _, s := range g.samples {
 		if s.OK && s.Finish >= from {
@@ -279,6 +314,13 @@ func (g *Generator) TailLatency(p float64, from des.Time) float64 {
 
 // ErrorRate returns the fraction of failed requests over the whole run.
 func (g *Generator) ErrorRate() float64 {
+	if g.stream != nil {
+		total := g.stream.OK + g.stream.Errors
+		if total == 0 {
+			return 0
+		}
+		return float64(g.stream.Errors) / float64(total)
+	}
 	if len(g.samples) == 0 {
 		return 0
 	}
@@ -293,6 +335,9 @@ func (g *Generator) ErrorRate() float64 {
 
 // GoodputTotal returns the count of successful requests.
 func (g *Generator) GoodputTotal() int {
+	if g.stream != nil {
+		return int(g.stream.OK)
+	}
 	n := 0
 	for _, s := range g.samples {
 		if s.OK {

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"testing"
+
+	"conscale/internal/des"
+	"conscale/internal/rng"
+	"conscale/internal/stats"
+)
+
+// echoSubmitter completes every request after a lognormal-ish service
+// time drawn from its own stream, independent of the generator's RNG.
+func echoSubmitter(eng *des.Engine, rnd *rng.Source) Submitter {
+	return func(done func(ok bool)) {
+		d := des.Time(rnd.LogNormal(math.Log(0.050), 0.5))
+		eng.After(d, func() { done(true) })
+	}
+}
+
+func runStreaming(users int, think float64, dur des.Time) *Generator {
+	eng := des.New()
+	gen := NewGenerator(eng, rng.New(7), GeneratorConfig{
+		Trace:     NewConstantTrace(users, dur),
+		ThinkTime: think,
+		Streaming: true,
+	}, echoSubmitter(eng, rng.New(99)))
+	gen.Start()
+	eng.RunUntil(dur + des.Second)
+	return gen
+}
+
+func TestStreamingIssuesTraceRate(t *testing.T) {
+	const users, think = 2000, 2.0
+	gen := runStreaming(users, think, 30*des.Second)
+	st := gen.Stream()
+	if st == nil {
+		t.Fatal("Stream() returned nil in streaming mode")
+	}
+	want := float64(users) / think * 30 // expected arrivals
+	got := float64(st.Issued)
+	if got < 0.9*want || got > 1.1*want {
+		t.Fatalf("issued %d requests, want ~%.0f (±10%%)", st.Issued, want)
+	}
+	if st.OK == 0 || st.Errors != 0 {
+		t.Fatalf("ok=%d errors=%d, want all-ok completions", st.OK, st.Errors)
+	}
+	if gen.Samples() != nil {
+		t.Fatalf("streaming mode retained %d samples, want none", len(gen.Samples()))
+	}
+	if gen.GoodputTotal() != int(st.OK) {
+		t.Fatalf("GoodputTotal=%d disagrees with stream OK=%d", gen.GoodputTotal(), st.OK)
+	}
+	if tl := gen.Timeline(); len(tl) < 25 {
+		t.Fatalf("timeline has %d points, want ≥25", len(tl))
+	}
+}
+
+// TestStreamingQuantilesTrackExact drives the same completion stream
+// through the P² estimators and an exact percentile, and bounds the gap
+// by the documented 5% contract (slack to 8% for the shorter stream).
+func TestStreamingQuantilesTrackExact(t *testing.T) {
+	eng := des.New()
+	svc := rng.New(99)
+	var exact []float64
+	submit := func(done func(ok bool)) {
+		d := des.Time(svc.LogNormal(math.Log(0.050), 0.5))
+		eng.After(d, func() { done(true) })
+	}
+	gen := NewGenerator(eng, rng.New(7), GeneratorConfig{
+		Trace:     NewConstantTrace(3000, 60*des.Second),
+		ThinkTime: 2,
+		Streaming: true,
+	}, func(done func(ok bool)) {
+		start := eng.Now()
+		submit(func(ok bool) {
+			exact = append(exact, float64(eng.Now()-start))
+			done(ok)
+		})
+	})
+	gen.Start()
+	eng.RunUntil(61 * des.Second)
+	sort.Float64s(exact)
+	for _, p := range []float64{50, 95, 99} {
+		want := stats.PercentileSorted(exact, p)
+		got := gen.TailLatency(p, 0)
+		if rel := math.Abs(got-want) / want; rel > 0.08 {
+			t.Fatalf("p%.0f: streaming %.4fs vs exact %.4fs (rel err %.1f%%)", p, got, want, rel*100)
+		}
+	}
+}
+
+func TestStreamingClasses(t *testing.T) {
+	eng := des.New()
+	gen := NewGenerator(eng, rng.New(3), GeneratorConfig{
+		Trace:     NewConstantTrace(1000, 40*des.Second),
+		Streaming: true,
+		Classes: []Class{
+			{Name: "readers", Weight: 3, ThinkTime: 2},
+			{Name: "authors", Weight: 1, ThinkTime: 8},
+		},
+	}, echoSubmitter(eng, rng.New(99)))
+	gen.Start()
+	eng.RunUntil(41 * des.Second)
+	st := gen.Stream()
+	if len(st.Classes) != 2 || st.Classes[0].Name != "readers" || st.Classes[1].Name != "authors" {
+		t.Fatalf("class table wrong: %+v", st.Classes)
+	}
+	// Rate ratio readers:authors = (3/4)/2 : (1/4)/8 = 12:1.
+	ratio := float64(st.Classes[0].Issued) / float64(st.Classes[1].Issued)
+	if ratio < 9 || ratio > 15 {
+		t.Fatalf("readers:authors issue ratio %.1f, want ~12", ratio)
+	}
+}
+
+func TestStreamingTailFromExcludesWarmup(t *testing.T) {
+	eng := des.New()
+	slow := true
+	submit := func(done func(ok bool)) {
+		d := des.Time(0.010)
+		if slow {
+			d = des.Time(5.0) // poison the warmup with huge RTs
+		}
+		eng.After(d, func() { done(true) })
+	}
+	eng.At(10*des.Second, func() { slow = false })
+	gen := NewGenerator(eng, rng.New(5), GeneratorConfig{
+		Trace:     NewConstantTrace(500, 60*des.Second),
+		ThinkTime: 1,
+		Streaming: true,
+		TailFrom:  20 * des.Second,
+	}, submit)
+	gen.Start()
+	eng.RunUntil(61 * des.Second)
+	if p99 := gen.TailLatency(99, 0); p99 > 0.1 {
+		t.Fatalf("p99=%.3fs contaminated by pre-TailFrom warmup (want ~0.010s)", p99)
+	}
+	if st := gen.Stream(); st.MaxRT > 0.1 {
+		t.Fatalf("MaxRT=%.3fs includes warmup completions", st.MaxRT)
+	}
+}
+
+func TestStreamingUnsupportedQuantilePanics(t *testing.T) {
+	gen := runStreaming(100, 1, des.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TailLatency(90) in streaming mode did not panic")
+		}
+	}()
+	gen.TailLatency(90, 0)
+}
+
+// TestStreamingClientStateO1 is the scale mode's memory-budget
+// regression: holding the request rate fixed while growing the notional
+// client population 100× must not grow allocations — the population is an
+// aggregate arrival process, not per-client structs. A closed-loop
+// population at the large count is run for contrast: it must allocate far
+// more, since it schedules per-user think events.
+func TestStreamingClientStateO1(t *testing.T) {
+	const dur = 20 * des.Second
+	alloc := func(fn func()) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		fn()
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+	// Same offered rate (1000 req/s): 1k clients thinking 1 s vs. 100k
+	// clients thinking 100 s.
+	small := alloc(func() { runStreaming(1_000, 1, dur) })
+	big := alloc(func() { runStreaming(100_000, 100, dur) })
+	if float64(big) > 1.5*float64(small) {
+		t.Fatalf("streaming allocations grew with client count: 1k clients → %d B, 100k clients → %d B", small, big)
+	}
+	closed := alloc(func() {
+		eng := des.New()
+		gen := NewGenerator(eng, rng.New(7), GeneratorConfig{
+			Trace:     NewConstantTrace(100_000, dur),
+			ThinkTime: 100,
+		}, echoSubmitter(eng, rng.New(99)))
+		gen.Start()
+		eng.RunUntil(dur + des.Second)
+	})
+	if closed < 4*big {
+		t.Fatalf("expected closed-loop 100k-client run to allocate ≫ streaming (closed %d B vs streaming %d B)", closed, big)
+	}
+}

@@ -13,8 +13,11 @@ import (
 
 // Trace is a time-varying concurrent-user curve.
 type Trace struct {
-	Name     string
+	// Name labels the trace in reports and CSV artifacts.
+	Name string
+	// Duration is the total simulated span of the trace.
 	Duration des.Time
+	// MaxUsers is the population at normalised load 1.0.
 	MaxUsers int
 	// shape maps normalised time u in [0,1] to normalised load in [0,1].
 	shape func(u float64) float64
