@@ -1,5 +1,5 @@
 // Command benchreport measures the repo's performance-critical paths and
-// writes the results as a machine-readable JSON file (BENCH_5.json), so
+// writes the results as a machine-readable JSON file (BENCH_6.json), so
 // every future change has a perf trajectory to compare against:
 //
 //   - DES engine microbenchmarks (inline 4-ary heap) against the frozen
@@ -24,12 +24,21 @@
 //     arrival hot path) and the client-count sweep — {10k, 100k, 1M}
 //     clients × {EC2, DCM, ConScale} (the 10k tier only under -short) —
 //     reporting wall time, events/sec, peak heap, and controller tails,
-//     plus a striped-vs-sequential byte-identity check.
+//     plus a striped-vs-sequential byte-identity check;
+//   - a controller-zoo smoke tournament: every registered controller on
+//     one trace, ranked on p99 / SLO-burn minutes / VM-hours (the full
+//     factorial lives in `experiments -run tournament`).
+//
+// The -gate mode re-measures only the hot-path microbenchmarks and
+// diffs them against the committed BENCH_2..5 trajectory: the
+// machine-independent des/baseline ns ratios must stay within the slack
+// factor of the worst committed ratio, and allocs/op must not grow.
 //
 // Usage:
 //
-//	benchreport -out BENCH_5.json          # full measurement
-//	benchreport -short -out BENCH_5.json   # CI smoke (seconds, not minutes)
+//	benchreport -out BENCH_6.json          # full measurement
+//	benchreport -short -out BENCH_6.json   # CI smoke (seconds, not minutes)
+//	benchreport -gate                      # trend gate vs committed BENCH_2..5
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -104,7 +114,15 @@ type Scale struct {
 	ProcessPeakRSSMB         float64               `json:"process_peak_rss_mb"`
 }
 
-// Report is the BENCH_5.json document.
+// Tournament records the controller-zoo smoke tournament: every
+// registered controller on one trace, ranked on the tournament axes.
+type Tournament struct {
+	Factorial string                      `json:"factorial"`
+	Ranking   []experiment.TournamentRank `json:"ranking"`
+	Cells     []experiment.TournamentCell `json:"cells"`
+}
+
+// Report is the BENCH_6.json document.
 type Report struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -115,6 +133,7 @@ type Report struct {
 	Tracing    Tracing            `json:"tracing"`
 	Telemetry  Telemetry          `json:"telemetry"`
 	Scale      Scale              `json:"scale"`
+	Tournament Tournament         `json:"tournament"`
 	Derived    map[string]float64 `json:"derived"`
 }
 
@@ -131,21 +150,54 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_5.json", "output path for the JSON report")
-		short = flag.Bool("short", false, "shrink the harness measurement for CI smoke runs")
+		out          = flag.String("out", "BENCH_6.json", "output path for the JSON report")
+		short        = flag.Bool("short", false, "shrink the harness measurement for CI smoke runs")
+		gate         = flag.Bool("gate", false, "trend-gate mode: measure only the hot-path microbenchmarks, diff against the committed history, exit 1 on regression")
+		history      = flag.String("gate-history", "BENCH_2.json,BENCH_3.json,BENCH_4.json,BENCH_5.json", "comma-separated committed reports the gate diffs against")
+		gateSlack    = flag.Float64("gate-slack", 1.25, "allowed growth factor over the worst committed ratio before the gate fails")
+		gateSlowdown = flag.Float64("gate-slowdown", 1, "multiply the measured des hot-path nanoseconds (self-test hook: 2 must fail the gate)")
 	)
 	flag.Parse()
 
+	if *gate {
+		runGate(strings.Split(*history, ","), *gateSlack, *gateSlowdown)
+		return
+	}
+
 	rep := Report{
-		Schema:     "conscale-bench/5",
+		Schema:     "conscale-bench/6",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Short:      *short,
 		Derived:    map[string]float64{},
 	}
 
+	rep.Benchmarks = microBenches()
+	for _, r := range rep.Benchmarks {
+		fmt.Printf("   %-36s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	// Headline derived numbers: the acceptance criteria of the perf work.
+	byName := resultIndex(rep.Benchmarks)
+	if n, b := byName["des/schedule_fire"], byName["des_baseline/schedule_fire"]; b.AllocsPerOp > 0 {
+		rep.Derived["des_allocs_reduction_pct"] = 100 * float64(b.AllocsPerOp-n.AllocsPerOp) / float64(b.AllocsPerOp)
+		rep.Derived["des_ns_speedup"] = b.NsPerOp / n.NsPerOp
+	}
+	rep.Derived["trace_disabled_allocs_per_op"] = float64(byName["trace/disabled_hot_path"].AllocsPerOp)
+	rep.Derived["trace_sampled_ns_per_request"] = byName["trace/sampled_span_tree"].NsPerOp
+	rep.Derived["telemetry_disabled_allocs_per_op"] = float64(byName["telemetry/disabled_hot_path"].AllocsPerOp)
+	rep.Derived["telemetry_counter_ns_per_inc"] = byName["telemetry/counter_inc"].NsPerOp
+	rep.Derived["telemetry_histogram_ns_per_observe"] = byName["telemetry/histogram_observe"].NsPerOp
+	runEndToEnd(&rep, *short, *out)
+}
+
+// microBenches measures every microbenchmark section — the hot paths
+// the trend gate watches plus the observability layers' unit costs.
+func microBenches() []Result {
+	var results []Result
 	fmt.Println("== DES engine microbenchmarks (inline 4-ary heap vs container/heap baseline)")
-	rep.Benchmarks = append(rep.Benchmarks,
+	results = append(results,
 		measure("des/schedule_fire", func(b *testing.B) {
 			b.ReportAllocs()
 			e := des.New()
@@ -215,7 +267,7 @@ func main() {
 	)
 
 	fmt.Println("== metrics.Recorder microbenchmarks")
-	rep.Benchmarks = append(rep.Benchmarks,
+	results = append(results,
 		measure("metrics/arrive_depart", func(b *testing.B) {
 			b.ReportAllocs()
 			r := metrics.NewRecorder(50 * des.Millisecond)
@@ -241,7 +293,7 @@ func main() {
 	)
 
 	fmt.Println("== trace microbenchmarks (disabled hot path must stay 0 allocs/op)")
-	rep.Benchmarks = append(rep.Benchmarks,
+	results = append(results,
 		measure("trace/disabled_hot_path", func(b *testing.B) {
 			b.ReportAllocs()
 			tr := trace.New(trace.Config{SampleRate: 1})
@@ -281,7 +333,7 @@ func main() {
 		}),
 	)
 	fmt.Println("== telemetry registry microbenchmarks (disabled hot path must stay 0 allocs/op)")
-	rep.Benchmarks = append(rep.Benchmarks,
+	results = append(results,
 		measure("telemetry/counter_inc", func(b *testing.B) {
 			b.ReportAllocs()
 			reg := telemetry.NewRegistry()
@@ -339,7 +391,7 @@ func main() {
 		}),
 	)
 	fmt.Println("== scale-mode microbenchmarks (striper barrier, streaming arrival)")
-	rep.Benchmarks = append(rep.Benchmarks,
+	results = append(results,
 		measure("des/striper_window_barrier", func(b *testing.B) {
 			// Pure synchronization cost: 8 empty shards crossing one
 			// lookahead window per op.
@@ -376,35 +428,23 @@ func main() {
 			}
 		}),
 	)
-	for _, r := range rep.Benchmarks {
-		fmt.Printf("   %-36s %12.1f ns/op %8d B/op %6d allocs/op\n",
-			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
-	}
+	return results
+}
 
-	// Headline derived numbers: the acceptance criteria of the perf work.
-	byName := map[string]Result{}
-	for _, r := range rep.Benchmarks {
-		byName[r.Name] = r
-	}
-	if n, b := byName["des/schedule_fire"], byName["des_baseline/schedule_fire"]; b.AllocsPerOp > 0 {
-		rep.Derived["des_allocs_reduction_pct"] = 100 * float64(b.AllocsPerOp-n.AllocsPerOp) / float64(b.AllocsPerOp)
-		rep.Derived["des_ns_speedup"] = b.NsPerOp / n.NsPerOp
-	}
-	rep.Derived["trace_disabled_allocs_per_op"] = float64(byName["trace/disabled_hot_path"].AllocsPerOp)
-	rep.Derived["trace_sampled_ns_per_request"] = byName["trace/sampled_span_tree"].NsPerOp
-	rep.Derived["telemetry_disabled_allocs_per_op"] = float64(byName["telemetry/disabled_hot_path"].AllocsPerOp)
-	rep.Derived["telemetry_counter_ns_per_inc"] = byName["telemetry/counter_inc"].NsPerOp
-	rep.Derived["telemetry_histogram_ns_per_observe"] = byName["telemetry/histogram_observe"].NsPerOp
-
+// runEndToEnd performs the end-to-end measurements (harness fan-out,
+// tracer/telemetry overhead, scale sweep, controller tournament),
+// writes the report, and exits nonzero on any identity or
+// zero-allocation violation.
+func runEndToEnd(rep *Report, short bool, out string) {
 	fmt.Println("== experiment harness wall time (sequential vs parallel, byte-identity checked)")
-	rep.Harness = measureHarness(*short)
+	rep.Harness = measureHarness(short)
 	rep.Derived["harness_speedup"] = rep.Harness.Speedup
 	fmt.Printf("   %s: sequential %.1fs, parallel %.1fs (workers=%d) -> %.2fx, identical=%v\n",
 		rep.Harness.Experiment, rep.Harness.SequentialSec, rep.Harness.ParallelSec,
 		rep.Harness.Workers, rep.Harness.Speedup, rep.Harness.OutputsMatch)
 
 	fmt.Println("== tracer overhead end to end (off vs 1/64 sampled vs fully sampled)")
-	rep.Tracing = measureTracing(*short)
+	rep.Tracing = measureTracing(short)
 	rep.Derived["tracer_sampled_overhead_pct"] = rep.Tracing.SampledPct
 	rep.Derived["tracer_full_overhead_pct"] = rep.Tracing.FullPct
 	fmt.Printf("   %s: off %.1fs, sampled %.1fs (+%.1f%%), full %.1fs (+%.1f%%), timeline identical=%v\n",
@@ -412,14 +452,14 @@ func main() {
 		rep.Tracing.FullSec, rep.Tracing.FullPct, rep.Tracing.TimelineIdentical)
 
 	fmt.Println("== telemetry overhead end to end (bare vs full layer armed)")
-	rep.Telemetry = measureTelemetry(*short)
+	rep.Telemetry = measureTelemetry(short)
 	rep.Derived["telemetry_overhead_pct"] = rep.Telemetry.OverheadPct
 	fmt.Printf("   %s: off %.1fs, on %.1fs (+%.1f%%, %d scrapes), timeline identical=%v\n",
 		rep.Telemetry.Experiment, rep.Telemetry.OffSec, rep.Telemetry.OnSec,
 		rep.Telemetry.OverheadPct, rep.Telemetry.Scrapes, rep.Telemetry.TimelineIdentical)
 
 	fmt.Println("== scale mode: client-count sweep (striped byte-identity checked)")
-	rep.Scale = measureScale(*short)
+	rep.Scale = measureScale(short)
 	experiment.RenderScale(os.Stdout, rep.Scale.Rows)
 	fmt.Printf("   striped byte-identical=%v, process peak RSS %.0f MB\n",
 		rep.Scale.StripedMatchesSequential, rep.Scale.ProcessPeakRSSMB)
@@ -431,7 +471,15 @@ func main() {
 		rep.Derived["scale_heap_growth_ratio"] = top.PeakHeapMB / rep.Scale.Rows[0].PeakHeapMB
 	}
 
-	f, err := os.Create(*out)
+	fmt.Println("== controller-zoo smoke tournament (every controller, one trace)")
+	rep.Tournament = measureTournament(short)
+	rep.Derived["tournament_controllers"] = float64(len(rep.Tournament.Ranking))
+	for _, r := range rep.Tournament.Ranking {
+		fmt.Printf("   %-20s p99=%.1fms burn=%.2fmin vm=%.3fh score=%d\n",
+			r.Controller, r.MeanP99Ms, r.BurnMin, r.VMHours, r.Score)
+	}
+
+	f, err := os.Create(out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -446,7 +494,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
 	if !rep.Harness.OutputsMatch {
 		fmt.Fprintln(os.Stderr, "FAIL: parallel harness output diverged from sequential")
 		os.Exit(1)
@@ -471,6 +519,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "FAIL: striped scale run diverged from the sequential fallback")
 		os.Exit(1)
 	}
+}
+
+// measureTournament runs the controller-zoo smoke tournament: every
+// registered controller on the big-spike trace at one tier — the
+// schema-6 tournament block. The full factorial lives in `experiments
+// -run tournament`.
+func measureTournament(short bool) Tournament {
+	cfg := experiment.TournamentConfig{
+		Traces:   []string{workload.BigSpike},
+		Tiers:    []int{2500},
+		Duration: 300 * des.Second,
+	}
+	label := "all controllers x big-spike x 2500, 300s"
+	if short {
+		cfg.Duration = 120 * des.Second
+		label = "all controllers x big-spike x 2500, 120s smoke"
+	}
+	res := experiment.RunTournament(cfg)
+	return Tournament{Factorial: label, Ranking: res.Ranking, Cells: res.Cells}
 }
 
 // measureHarness times the Table 1 run matrix (the harness's dominant

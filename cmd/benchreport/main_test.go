@@ -1,0 +1,99 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoHistory loads the committed BENCH_2..5 trajectory from the repo
+// root (the test binary runs in cmd/benchreport).
+func repoHistory(t *testing.T) []historyReport {
+	t.Helper()
+	paths := make([]string, 0, 4)
+	for _, f := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json"} {
+		paths = append(paths, filepath.Join("..", "..", f))
+	}
+	history, err := loadHistory(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return history
+}
+
+// historySelf reuses the newest committed report as the "current" run:
+// a measurement identical to an accepted trajectory point must pass.
+func TestGatePassesOnCommittedTrajectory(t *testing.T) {
+	history := repoHistory(t)
+	current := history[len(history)-1].Benchmarks
+	if v := gateCheck(current, history, 1.25); len(v) != 0 {
+		t.Fatalf("committed trajectory failed its own gate: %v", v)
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown is the acceptance criterion: a 2x
+// slowdown on the des hot paths (with the frozen baseline untouched)
+// doubles every gate ratio and must trip the 1.25x slack.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	history := repoHistory(t)
+	last := history[len(history)-1].Benchmarks
+	current := make([]Result, len(last))
+	copy(current, last)
+	for i, r := range current {
+		if strings.HasPrefix(r.Name, "des/") {
+			current[i].NsPerOp *= 2
+		}
+	}
+	violations := gateCheck(current, history, 1.25)
+	if len(violations) == 0 {
+		t.Fatal("2x hot-path slowdown passed the trend gate")
+	}
+	found := false
+	for _, v := range violations {
+		if strings.Contains(v, "des/schedule_fire ") || strings.Contains(v, "des/schedule_fire regressed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations do not name the schedule_fire hot path: %v", violations)
+	}
+}
+
+// TestGateAllocRules pins the allocation half of the gate: a zero-alloc
+// path that starts allocating fails regardless of timing, and alloc
+// growth beyond the slack factor fails too.
+func TestGateAllocRules(t *testing.T) {
+	history := []historyReport{{
+		Path: "synthetic",
+		Benchmarks: []Result{
+			{Name: "des/schedule_fire", NsPerOp: 100, AllocsPerOp: 0},
+			{Name: "des_baseline/schedule_fire", NsPerOp: 200, AllocsPerOp: 2},
+			{Name: "trace/sampled_span_tree", NsPerOp: 500, AllocsPerOp: 10},
+		},
+	}}
+	current := []Result{
+		{Name: "des/schedule_fire", NsPerOp: 100, AllocsPerOp: 1}, // was zero-alloc
+		{Name: "des_baseline/schedule_fire", NsPerOp: 200, AllocsPerOp: 2},
+		{Name: "trace/sampled_span_tree", NsPerOp: 500, AllocsPerOp: 20}, // 2x allocs
+	}
+	violations := gateCheck(current, history, 1.25)
+	if len(violations) != 2 {
+		t.Fatalf("want the zero-alloc and alloc-growth violations, got %v", violations)
+	}
+}
+
+// TestGateIgnoresSlowMachines pins the gate's central design point:
+// absolute nanoseconds scaled uniformly (a slower CI runner) keep every
+// des/baseline ratio unchanged and must pass.
+func TestGateIgnoresSlowMachines(t *testing.T) {
+	history := repoHistory(t)
+	last := history[len(history)-1].Benchmarks
+	current := make([]Result, len(last))
+	copy(current, last)
+	for i := range current {
+		current[i].NsPerOp *= 3.7 // everything slower, ratios identical
+	}
+	if v := gateCheck(current, history, 1.25); len(v) != 0 {
+		t.Fatalf("uniformly slower machine failed the gate: %v", v)
+	}
+}

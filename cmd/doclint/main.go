@@ -50,6 +50,7 @@ var defaultPackages = []string{
 	"internal/cluster",
 	"internal/sct",
 	"internal/scaling",
+	"internal/controller",
 }
 
 func main() {

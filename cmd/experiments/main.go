@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"conscale/internal/controller"
 	"conscale/internal/des"
 	"conscale/internal/experiment"
 	"conscale/internal/scaling"
@@ -54,11 +55,13 @@ var runners = []runner{
 	{"slo", "SLO burn-rate detection lead time: EC2 vs DCM vs ConScale", runSLO},
 	{"report", "All-in-one reproduction report (Table I + Fig. 3 + Fig. 11)", runReport},
 	{"scale", "Million-client scale mode: streaming population over striped cells", runScale},
+	{"tournament", "Full-factorial controller tournament: every controller × trace × tier", runTournament},
 }
 
 // heavyRunners are excluded from `-run all` and must be requested by id:
-// the scale sweep's 1M-client tier multiplies the whole-suite wall time.
-var heavyRunners = map[string]bool{"scale": true}
+// the scale sweep's 1M-client tier and the tournament's full factorial
+// multiply the whole-suite wall time.
+var heavyRunners = map[string]bool{"scale": true, "tournament": true}
 
 // selectRunners resolves a -run spec ("all" or a comma-separated id list)
 // against the runner table, preserving table order and deduplicating.
@@ -123,6 +126,14 @@ var (
 	scaleSeq      = flag.Bool("scale-seq", false, "scale sweep: force the sequential striper fallback")
 )
 
+// Tournament flags (the `-run tournament` experiment).
+var (
+	tournControllers = flag.String("tournament-controllers", "", "tournament: comma-separated controller names (default: every registered controller)")
+	tournTraces      = flag.String("tournament-traces", "", "tournament: comma-separated trace names (default: all six)")
+	tournTiers       = flag.String("tournament-tiers", "2500,7500", "tournament: comma-separated peak client counts")
+	tournDuration    = flag.Float64("tournament-duration", 300, "tournament: simulated seconds per cell")
+)
+
 func main() {
 	var (
 		run        = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
@@ -142,6 +153,10 @@ func main() {
 			os.Exit(2)
 		}
 		if _, err := parseScaleSweep(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := parseTournament(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -620,5 +635,101 @@ func runScale(seed uint64, outDir string) error {
 	}
 	return writeCSV(outDir, "BENCH_5.json", func(f *os.File) error {
 		return experiment.WriteScaleReport(f, rows)
+	})
+}
+
+// parseTournament expands the tournament flags into the factorial
+// configuration, validating controller and trace names up front so a
+// typo fails before hours of simulation.
+func parseTournament(seed uint64) (experiment.TournamentConfig, error) {
+	cfg := experiment.DefaultTournamentConfig()
+	cfg.Seed = seed
+	if s := strings.TrimSpace(*tournControllers); s != "" {
+		cfg.Controllers = nil
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(strings.ToLower(tok))
+			if tok == "" {
+				continue
+			}
+			if _, err := controller.New(tok, controller.Options{}); err != nil {
+				return cfg, err
+			}
+			cfg.Controllers = append(cfg.Controllers, tok)
+		}
+		if len(cfg.Controllers) == 0 {
+			return cfg, fmt.Errorf("-tournament-controllers is empty")
+		}
+	}
+	if s := strings.TrimSpace(*tournTraces); s != "" {
+		cfg.Traces = nil
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(strings.ToLower(tok))
+			if tok == "" {
+				continue
+			}
+			known := false
+			for _, n := range workload.Names() {
+				if tok == n {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return cfg, fmt.Errorf("unknown trace %q; available: %s",
+					tok, strings.Join(workload.Names(), ", "))
+			}
+			cfg.Traces = append(cfg.Traces, tok)
+		}
+		if len(cfg.Traces) == 0 {
+			return cfg, fmt.Errorf("-tournament-traces is empty")
+		}
+	}
+	if s := strings.TrimSpace(*tournTiers); s != "" {
+		cfg.Tiers = nil
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			n, err := strconv.Atoi(tok)
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("bad -tournament-tiers entry %q", tok)
+			}
+			cfg.Tiers = append(cfg.Tiers, n)
+		}
+		sort.Ints(cfg.Tiers)
+	}
+	if len(cfg.Tiers) == 0 {
+		return cfg, fmt.Errorf("-tournament-tiers is empty")
+	}
+	if *tournDuration <= 0 {
+		return cfg, fmt.Errorf("-tournament-duration must be positive")
+	}
+	cfg.Duration = des.Time(*tournDuration) * des.Second
+	return cfg, nil
+}
+
+// runTournament executes the factorial, prints the ranked standings, and
+// writes tournament_summary.csv plus BENCH_6.json (schema
+// conscale-bench/6, tournament section).
+func runTournament(seed uint64, outDir string) error {
+	cfg, err := parseTournament(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d controllers × %d traces × %d tiers = %d cells (%.0fs each)\n",
+		len(cfg.Controllers), len(cfg.Traces), len(cfg.Tiers),
+		len(cfg.Controllers)*len(cfg.Traces)*len(cfg.Tiers), float64(cfg.Duration))
+	res := experiment.RunTournament(cfg)
+	experiment.RenderTournament(os.Stdout, res)
+
+	if err := writeCSV(outDir, "tournament_summary.csv", func(f *os.File) error {
+		experiment.WriteTournamentCSV(f, res)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "BENCH_6.json", func(f *os.File) error {
+		return experiment.WriteTournamentReport(f, res)
 	})
 }

@@ -44,6 +44,7 @@ import (
 
 	"conscale/internal/chaos"
 	"conscale/internal/cluster"
+	"conscale/internal/controller"
 	"conscale/internal/des"
 	"conscale/internal/experiment"
 	"conscale/internal/lb"
@@ -530,3 +531,77 @@ func WriteScaleReport(w io.Writer, rows []ScaleRow) error {
 
 // RenderScale prints a scale sweep as an ASCII table.
 func RenderScale(w io.Writer, rows []ScaleRow) { experiment.RenderScale(w, rows) }
+
+// Controller zoo: pluggable scaling policies driven by a shared runtime,
+// and the full-factorial tournament that ranks them.
+type (
+	// Controller is one pluggable scaling policy: it observes the
+	// cluster once per decision tick and acts through an Actuator.
+	Controller = controller.Controller
+	// ControllerEnv is everything a controller may touch at Init time.
+	ControllerEnv = controller.Env
+	// ControllerActuator is the action surface controllers mutate
+	// the cluster through (scale-out/in, pool resizes).
+	ControllerActuator = controller.Actuator
+	// ControllerObservation is the per-tick cluster view handed to Tick.
+	ControllerObservation = controller.Observation
+	// ControllerTierState is the per-tier slice of an observation.
+	ControllerTierState = controller.TierState
+	// ControllerTierEstimate is the tier-aggregated SCT signal.
+	ControllerTierEstimate = controller.TierEstimate
+	// ControllerOptions parameterizes controller construction.
+	ControllerOptions = controller.Options
+	// ControllerFactory builds one controller instance from options.
+	ControllerFactory = controller.Factory
+	// ControllerRuntime drives a controller against a cluster: metric
+	// collection, SCT refresh, decision ticks, repair, audit, telemetry.
+	ControllerRuntime = controller.Runtime
+	// SCTSignal is the composable SCT concurrency-range estimator any
+	// controller can consume.
+	SCTSignal = controller.Signal
+	// TournamentConfig describes the controllers × traces × tiers
+	// factorial.
+	TournamentConfig = experiment.TournamentConfig
+	// TournamentResult holds every cell and the ranked standings.
+	TournamentResult = experiment.TournamentResult
+	// TournamentCell is one controller × trace × tier run, scored.
+	TournamentCell = experiment.TournamentCell
+	// TournamentRank is one controller's aggregate standing.
+	TournamentRank = experiment.TournamentRank
+)
+
+// RegisterController adds a custom controller family to the zoo under a
+// unique name; it panics on a duplicate. Registered controllers are
+// buildable by NewController and play in RunTournament.
+func RegisterController(name string, f ControllerFactory) { controller.Register(name, f) }
+
+// NewController builds a registered controller by name ("ec2", "dcm",
+// "conscale", "target-tracking", "step-scaling", "hybrid-mpc",
+// "tabs-token", or any name added via RegisterController).
+func NewController(name string, opts ControllerOptions) (Controller, error) {
+	return controller.New(name, opts)
+}
+
+// ControllerNames returns every registered controller name, sorted.
+func ControllerNames() []string { return controller.Names() }
+
+// NewControllerRuntime attaches a controller to a cluster. Call Start
+// before running the engine; legacy adapters ("ec2", "dcm", "conscale")
+// delegate to the untouched scaling.Framework byte-identically.
+func NewControllerRuntime(c *Cluster, ctrl Controller, opts ControllerOptions) *ControllerRuntime {
+	return controller.NewRuntime(c, ctrl, opts)
+}
+
+// DefaultTournamentConfig returns the standard factorial: every
+// registered controller × all six traces × two scale tiers.
+func DefaultTournamentConfig() TournamentConfig { return experiment.DefaultTournamentConfig() }
+
+// RunTournament executes the controller tournament and ranks the
+// controllers by rank sum over p99 / SLO-burn minutes / VM-hours.
+func RunTournament(cfg TournamentConfig) *TournamentResult { return experiment.RunTournament(cfg) }
+
+// RenderTournament prints the ranked standings and per-cell table.
+func RenderTournament(w io.Writer, res *TournamentResult) { experiment.RenderTournament(w, res) }
+
+// WriteTournamentCSV writes every factorial cell as CSV.
+func WriteTournamentCSV(w io.Writer, res *TournamentResult) { experiment.WriteTournamentCSV(w, res) }

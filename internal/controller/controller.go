@@ -1,0 +1,261 @@
+// Package controller is the pluggable scaling-controller zoo. It turns
+// the repo's hardwired three-way Mode switch (EC2 / DCM / ConScale in
+// internal/scaling) into an open interface: a Controller observes the
+// cluster once per decision tick — tier utilization, queue depths,
+// windowed tail latency, and the SCT concurrency-range signal — and
+// emits scale-out/in and pool-resize actions through an Actuator that
+// handles the bookkeeping every controller shares (pending-launch
+// tracking, the dark-tier repair path, the decision log, and the audit
+// trail).
+//
+// The three paper frameworks remain available as adapters ("ec2",
+// "dcm", "conscale") that delegate to the untouched scaling.Framework,
+// so their trajectories stay byte-identical to the pre-zoo code. The
+// new families are grounded in the related work:
+//
+//   - "target-tracking" / "target-tracking-sct": AWS-style
+//     target-tracking on tier CPU with out/in cooldowns (the policy
+//     shape of ECS/EC2 application auto-scaling); the -sct variant also
+//     consumes the SCT signal for soft-resource adaptation.
+//   - "step-scaling": AWS step policies — breach-magnitude bands map to
+//     step adjustments (+1 VM above High, +2 above the surge band).
+//   - "hybrid-mpc": an OptScaler-style hybrid — a seed-deterministic
+//     Holt linear forecaster over per-tier demand feeds a proactive
+//     capacity plan, corrected each tick by an MPC-like one-step search
+//     over candidate actions.
+//   - "tabs-token": TABS-style token-based elasticity (Mukherjee &
+//     Borst) — scale-out on idle-token depletion, scale-in after a
+//     sustained idle timeout.
+//
+// Every controller is seeded and deterministic: the same seed and trace
+// produce an identical decision log on every run.
+package controller
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"conscale/internal/cluster"
+	"conscale/internal/des"
+	"conscale/internal/scaling"
+)
+
+// Controller is one scaling policy. The Runtime drives it: Init is
+// called once before simulation events fire, Tick on every decision
+// interval with a fresh Observation, and Stop when the run ends.
+//
+// Controllers act only through env.Act (never by mutating the cluster
+// directly), must not retain the Observation past the tick, and must
+// draw any randomness from a source seeded by Options.Seed so a run's
+// decision log is a pure function of (seed, trace, config).
+type Controller interface {
+	// Name returns the registry name of the controller.
+	Name() string
+	// Init attaches the controller to its runtime environment. It runs
+	// before the first simulation event fires.
+	Init(env Env)
+	// Tick observes the cluster once per decision interval and may act
+	// through the environment's Actuator.
+	Tick(obs *Observation)
+	// Stop releases any resources when the run ends.
+	Stop()
+}
+
+// Env is everything a controller may touch: the cluster (read-only
+// inspection), the Actuator (all mutations), the shared SCT signal, and
+// the options it was built with.
+type Env struct {
+	// Cluster is the controlled cluster, for read-only inspection beyond
+	// what Observation carries.
+	Cluster *cluster.Cluster
+	// Act is the only mutation path: scale and pool actions flow through
+	// it so the decision log and audit trail see every action.
+	Act Actuator
+	// Signal is the shared SCT concurrency-range estimator (nil for
+	// self-driving legacy adapters, which embed their own).
+	Signal *Signal
+	// Opts echoes the Options the controller was constructed with.
+	Opts Options
+}
+
+// Actuator is the action surface the Runtime exposes to controllers.
+// Scale actions return false when refused (launch already pending, tier
+// at capacity, or last VM); pool setters clamp to the configured range
+// and ignore no-op changes.
+type Actuator interface {
+	// ScaleOut launches one VM on the tier. The cause string lands in
+	// the decision log and audit trail.
+	ScaleOut(tier cluster.Tier, cause string) bool
+	// ScaleIn drains and retires one VM, refusing to empty the tier.
+	ScaleIn(tier cluster.Tier, cause string) bool
+	// SetAppThreads resizes every app server's thread pool.
+	SetAppThreads(n int, cause string)
+	// SetDBConns resizes every app server's DB connection pool.
+	SetDBConns(n int, cause string)
+}
+
+// TierState is the per-tier slice of an Observation.
+type TierState struct {
+	// CPU is the tier's mean CPU utilization (0..1).
+	CPU float64
+	// Disk is the highest per-server disk utilization (DB tier).
+	Disk float64
+	// MinCPU / MaxCPU are the per-server utilization extremes.
+	MinCPU, MaxCPU float64
+	// Idle counts servers under 10% CPU — the free tokens of a
+	// token-based policy.
+	Idle int
+	// Ready is the in-service VM count.
+	Ready int
+	// Pending reports a launch in flight (boot not finished).
+	Pending bool
+	// Queue is the summed accept-queue length across the tier.
+	Queue int
+	// PoolWaiting counts callers blocked waiting for this tier's
+	// connection pools (DB tier: app threads waiting for a connection).
+	PoolWaiting int
+}
+
+// TierEstimate is the tier-aggregated SCT signal: the mean optimal
+// concurrency across the tier's per-server estimates.
+type TierEstimate struct {
+	// Optimal is the recommended per-server concurrency setting.
+	Optimal int
+	// Saturated reports whether a majority of contributing estimates
+	// witnessed the curve's descending stage (safe to tighten).
+	Saturated bool
+	// OK reports whether any fresh estimate contributed.
+	OK bool
+}
+
+// Observation is the per-tick view the Runtime hands to Tick.
+type Observation struct {
+	// Now is the simulation time of the tick.
+	Now des.Time
+	// App and DB describe the scalable tiers.
+	App, DB TierState
+	// Tail is the windowed web-tier tail response time in seconds (the
+	// client-visible SLO proxy); NaN while the window is empty.
+	Tail float64
+	// AppSCT / DBSCT carry the tier-aggregated SCT concurrency signal
+	// (zero-valued with OK=false when the signal is dark).
+	AppSCT, DBSCT TierEstimate
+	// Threads / Conns are the current soft-resource settings.
+	Threads, Conns int
+}
+
+// Options parameterizes controller construction. Base supplies the
+// shared knobs every family reads (thresholds, cooldowns, soft-resource
+// clamps, SCT settings); Seed feeds any controller-internal randomness.
+type Options struct {
+	// Seed is the run seed; deterministic controllers derive any random
+	// stream from it.
+	Seed uint64
+	// Base carries the shared scaling knobs (thresholds, cooldowns,
+	// clamps, SCT config). Legacy adapters consume it wholesale.
+	Base scaling.Config
+	// SLAPercentile is the tail percentile Observation.Tail reports
+	// (default 95).
+	SLAPercentile float64
+	// SLAWindow is the sliding window Tail is measured over (default 10 s).
+	SLAWindow des.Time
+}
+
+// withDefaults fills the zero-valued Options fields.
+func (o Options) withDefaults() Options {
+	if o.SLAPercentile <= 0 {
+		o.SLAPercentile = 95
+	}
+	if o.SLAWindow <= 0 {
+		o.SLAWindow = 10 * des.Second
+	}
+	if o.Base.CheckEvery <= 0 {
+		o.Base = scaling.DefaultConfig(o.Base.Mode)
+	}
+	return o
+}
+
+// Factory builds one controller instance from options.
+type Factory func(opts Options) Controller
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a controller family under a unique name. It panics on a
+// duplicate: registration happens at init time and a collision is a
+// programming error.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" || f == nil {
+		panic("controller: Register with empty name or nil factory")
+	}
+	if _, dup := registry[key]; dup {
+		panic("controller: duplicate registration of " + key)
+	}
+	registry[key] = f
+}
+
+// aliases maps accepted spellings to registry names.
+var aliases = map[string]string{
+	"ec2-autoscaling": "ec2",
+	"tabs":            "tabs-token",
+}
+
+// New builds a registered controller by name (case-insensitive;
+// "ec2-autoscaling" and "tabs" are accepted aliases). The error names
+// every registered controller.
+func New(name string, opts Options) (Controller, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := aliases[key]; ok {
+		key = canon
+	}
+	regMu.RLock()
+	f, ok := registry[key]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("controller: unknown controller %q; registered: %s",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(opts.withDefaults()), nil
+}
+
+// Names returns every registered controller name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// nanSafe replaces NaN with the fallback.
+func nanSafe(v, fallback float64) float64 {
+	if math.IsNaN(v) {
+		return fallback
+	}
+	return v
+}

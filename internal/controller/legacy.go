@@ -1,0 +1,63 @@
+package controller
+
+import (
+	"conscale/internal/scaling"
+)
+
+// legacy adapts one of the three paper frameworks (EC2-AutoScaling,
+// DCM, ConScale) to the Controller interface. It is self-driving: the
+// wrapped scaling.Framework arms its own monitoring/decision/estimator
+// loops exactly as it always has, so a legacy controller's trajectory
+// is byte-identical to running the framework directly — a property
+// pinned by TestLegacyAdapterByteIdentical.
+type legacy struct {
+	mode      scaling.Mode
+	cfgHolder scaling.Config
+	fw        *scaling.Framework
+}
+
+func init() {
+	for _, mode := range []scaling.Mode{scaling.EC2, scaling.DCM, scaling.ConScale} {
+		mode := mode
+		name := map[scaling.Mode]string{
+			scaling.EC2:      "ec2",
+			scaling.DCM:      "dcm",
+			scaling.ConScale: "conscale",
+		}[mode]
+		Register(name, func(opts Options) Controller {
+			cfg := opts.Base
+			cfg.Mode = mode
+			return &legacy{mode: mode, cfgHolder: cfg}
+		})
+	}
+}
+
+// Name implements Controller.
+func (l *legacy) Name() string {
+	switch l.mode {
+	case scaling.EC2:
+		return "ec2"
+	case scaling.DCM:
+		return "dcm"
+	default:
+		return "conscale"
+	}
+}
+
+// Init implements Controller: it builds the wrapped framework against
+// the run's cluster. The framework arms nothing until the Runtime's
+// Start delegates to it.
+func (l *legacy) Init(env Env) {
+	l.fw = scaling.New(env.Cluster, l.cfgHolder)
+}
+
+// Tick implements Controller; the wrapped framework drives itself, so
+// the runtime never calls this.
+func (l *legacy) Tick(*Observation) {}
+
+// Stop implements Controller; the runtime stops the framework directly.
+func (l *legacy) Stop() {}
+
+// framework implements frameworkBacked: the Runtime delegates start,
+// stop, events, estimates, audit, and telemetry to the framework.
+func (l *legacy) framework() *scaling.Framework { return l.fw }

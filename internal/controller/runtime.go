@@ -1,0 +1,343 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"conscale/internal/cluster"
+	"conscale/internal/des"
+	"conscale/internal/metrics"
+	"conscale/internal/scaling"
+	"conscale/internal/sct"
+	"conscale/internal/server"
+	"conscale/internal/sla"
+	"conscale/internal/trace"
+)
+
+// Runtime drives one Controller against one cluster. It owns everything
+// every controller shares — the metric-warehouse collection loop, the
+// decision ticker, the windowed tail tracker, the SCT signal refresh,
+// the dark-tier repair path, pending-launch bookkeeping, the decision
+// log, and audit/telemetry recording — so a controller is nothing but
+// policy: a Tick function over Observations.
+//
+// For the legacy adapters ("ec2", "dcm", "conscale") the Runtime steps
+// aside entirely and delegates to the wrapped scaling.Framework, which
+// arms its own loops; this keeps the three paper frameworks
+// byte-identical to their pre-zoo trajectories.
+type Runtime struct {
+	opts Options
+	c    *cluster.Cluster
+	ctrl Controller
+	fw   *scaling.Framework // non-nil for self-driving legacy adapters
+
+	w   *metrics.Warehouse
+	sig *Signal
+
+	tail   *sla.WindowTail
+	slaFed des.Time
+
+	events   []scaling.Event
+	pendingN map[cluster.Tier]int
+	lastOut  map[cluster.Tier]des.Time
+	lastIn   map[cluster.Tier]des.Time
+
+	actions int // accepted scale actions (telemetry)
+	denies  int // refused scale actions (telemetry)
+	audit   *trace.Audit
+
+	collector *des.Ticker
+	decider   *des.Ticker
+	estimator *des.Ticker
+}
+
+// frameworkBacked marks a self-driving legacy adapter: the Runtime
+// delegates everything to the wrapped framework instead of driving
+// ticks itself.
+type frameworkBacked interface {
+	framework() *scaling.Framework
+}
+
+// NewRuntime attaches a controller to a cluster. Call Start to begin
+// control. The controller's Init runs here, before any simulation event
+// fires.
+func NewRuntime(c *cluster.Cluster, ctrl Controller, opts Options) *Runtime {
+	opts = opts.withDefaults()
+	rt := &Runtime{
+		opts:     opts,
+		c:        c,
+		ctrl:     ctrl,
+		pendingN: make(map[cluster.Tier]int),
+		lastOut:  make(map[cluster.Tier]des.Time),
+		lastIn:   make(map[cluster.Tier]des.Time),
+	}
+	env := Env{Cluster: c, Act: rt, Opts: opts}
+	if fb, ok := ctrl.(frameworkBacked); ok {
+		ctrl.Init(env)
+		rt.fw = fb.framework()
+		return rt
+	}
+	rt.w = metrics.NewWarehouse(opts.Base.WarehouseRetention)
+	rt.sig = newSignal(c, rt.w, opts.Base)
+	rt.tail = sla.NewWindowTail(opts.SLAWindow)
+	env.Signal = rt.sig
+	ctrl.Init(env)
+	return rt
+}
+
+// Controller returns the driven controller.
+func (rt *Runtime) Controller() Controller { return rt.ctrl }
+
+// Name returns the driven controller's registry name.
+func (rt *Runtime) Name() string { return rt.ctrl.Name() }
+
+// Warehouse exposes the metric warehouse backing the SCT signal.
+func (rt *Runtime) Warehouse() *metrics.Warehouse {
+	if rt.fw != nil {
+		return rt.fw.Warehouse()
+	}
+	return rt.w
+}
+
+// Events returns the decision log in the same shape the legacy
+// frameworks produce, so figures and regression tests compare directly.
+func (rt *Runtime) Events() []scaling.Event {
+	if rt.fw != nil {
+		return rt.fw.Events()
+	}
+	return rt.events
+}
+
+// Estimates returns the SCT signal's current per-server view.
+func (rt *Runtime) Estimates() map[string]sct.Estimate {
+	if rt.fw != nil {
+		return rt.fw.Estimates()
+	}
+	return rt.sig.Estimates()
+}
+
+// SetAudit attaches a decision audit trail (nil detaches). Call before
+// Start so the first decisions are recorded.
+func (rt *Runtime) SetAudit(a *trace.Audit) {
+	if rt.fw != nil {
+		rt.fw.SetAudit(a)
+		return
+	}
+	rt.audit = a
+	rt.sig.audit = a
+}
+
+// Start arms the monitoring, signal, and decision loops.
+func (rt *Runtime) Start() {
+	if rt.fw != nil {
+		rt.fw.Start()
+		return
+	}
+	eng := rt.c.Eng
+	rt.collector = eng.Every(des.Second, func() { rt.c.CollectInto(rt.w) })
+	rt.decider = eng.Every(rt.opts.Base.CheckEvery, rt.tick)
+	rt.estimator = eng.Every(rt.opts.Base.EstimateEvery, rt.sig.refresh)
+}
+
+// Stop disarms the loops and stops the controller.
+func (rt *Runtime) Stop() {
+	if rt.fw != nil {
+		rt.fw.Stop()
+		rt.ctrl.Stop()
+		return
+	}
+	for _, t := range []*des.Ticker{rt.collector, rt.decider, rt.estimator} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	rt.ctrl.Stop()
+}
+
+// tick is one decision interval: repair dark tiers, observe, let the
+// controller act.
+func (rt *Runtime) tick() {
+	for _, tier := range []cluster.Tier{cluster.Web, cluster.App, cluster.DB} {
+		rt.repairTier(tier)
+	}
+	obs := rt.observe()
+	rt.ctrl.Tick(obs)
+}
+
+// repairTier re-provisions a tier with zero ready VMs — the same repair
+// path scaling.Framework applies: a dark tier's CPU signal reads zero,
+// so no utilization-driven policy would ever recover it.
+func (rt *Runtime) repairTier(tier cluster.Tier) {
+	if rt.c.ReadyCount(tier) > 0 || rt.pendingN[tier] > 0 {
+		return
+	}
+	now := rt.c.Eng.Now()
+	rt.log(scaling.Event{Time: now, Kind: scaling.Repair, Tier: tier, Detail: "tier dark: provisioning replacement"})
+	rt.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditRepair, Tier: tier.String(),
+		Cause: "tier dark: zero ready VMs", Detail: "launch replacement"})
+	rt.pendingN[tier]++
+	launched := rt.c.AddVM(tier, func(srv *server.Server) {
+		ready := rt.c.Eng.Now()
+		rt.pendingN[tier]--
+		rt.lastOut[tier] = ready
+		rt.log(scaling.Event{Time: ready, Kind: scaling.Repair, Tier: tier, Detail: srv.Name() + " ready"})
+		rt.audit.Record(trace.AuditEvent{Time: ready, Kind: trace.AuditRepair, Tier: tier.String(),
+			Cause: "tier dark: zero ready VMs", Detail: srv.Name() + " ready"})
+	})
+	if !launched {
+		rt.pendingN[tier]--
+		rt.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditScaleOutDenied, Tier: tier.String(),
+			Cause: "repair launch refused: tier at capacity"})
+	}
+}
+
+// observe builds the per-tick view: tier states, the windowed tail, the
+// soft-resource settings, and the SCT signal.
+func (rt *Runtime) observe() *Observation {
+	now := rt.c.Eng.Now()
+	// Feed the web tier's server-side response times into the sliding
+	// tail tracker: the web tier covers the whole downstream path, so it
+	// approximates client-visible latency without client telemetry.
+	for _, srv := range rt.c.Servers(cluster.Web) {
+		for _, w := range rt.w.FineSince(srv.Name(), rt.slaFed) {
+			if w.Completions > 0 && !math.IsNaN(w.RT) {
+				rt.tail.Add(w.Start, w.RT)
+			}
+		}
+	}
+	rt.slaFed = now
+
+	obs := &Observation{
+		Now:  now,
+		App:  rt.tierState(cluster.App),
+		DB:   rt.tierState(cluster.DB),
+		Tail: rt.tail.Percentile(now, rt.opts.SLAPercentile),
+	}
+	// App threads waiting on a DB connection belong to the DB tier's
+	// state: they measure DB-side soft-resource pressure.
+	for _, srv := range rt.c.Servers(cluster.App) {
+		if p := srv.CallPool(); p != nil {
+			obs.DB.PoolWaiting += p.Waiting()
+		}
+	}
+	_, obs.Threads, obs.Conns = rt.c.SoftResources()
+	obs.AppSCT = rt.sig.Tier(cluster.App)
+	obs.DBSCT = rt.sig.Tier(cluster.DB)
+	return obs
+}
+
+// tierState summarizes one tier's hardware view.
+func (rt *Runtime) tierState(tier cluster.Tier) TierState {
+	st := TierState{
+		CPU:     rt.c.TierCPU(tier),
+		Ready:   rt.c.ReadyCount(tier),
+		Pending: rt.pendingN[tier] > 0,
+		MinCPU:  math.NaN(),
+	}
+	for _, srv := range rt.c.Servers(tier) {
+		if srv.Draining() {
+			continue
+		}
+		u := srv.CPUUtilization()
+		if math.IsNaN(st.MinCPU) || u < st.MinCPU {
+			st.MinCPU = u
+		}
+		if u > st.MaxCPU {
+			st.MaxCPU = u
+		}
+		if u < 0.10 {
+			st.Idle++
+		}
+		if d := srv.DiskUtilization(); d > st.Disk {
+			st.Disk = d
+		}
+		st.Queue += srv.QueueLen()
+	}
+	st.MinCPU = nanSafe(st.MinCPU, 0)
+	return st
+}
+
+// ScaleOut implements Actuator: launch one VM on the tier. Multiple
+// launches may be in flight at once (step policies burst); the
+// controller sees obs.Pending and throttles itself.
+func (rt *Runtime) ScaleOut(tier cluster.Tier, cause string) bool {
+	now := rt.c.Eng.Now()
+	rt.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditThresholdTrigger, Tier: tier.String(),
+		Cause: cause})
+	rt.pendingN[tier]++
+	launched := rt.c.AddVM(tier, func(srv *server.Server) {
+		ready := rt.c.Eng.Now()
+		rt.pendingN[tier]--
+		rt.lastOut[tier] = ready
+		rt.log(scaling.Event{Time: ready, Kind: scaling.ScaleOut, Tier: tier, Detail: srv.Name() + " ready"})
+		rt.audit.Record(trace.AuditEvent{Time: ready, Kind: trace.AuditScaleOutReady, Tier: tier.String(),
+			Cause: cause, Detail: srv.Name() + " ready"})
+	})
+	if !launched {
+		rt.pendingN[tier]--
+		rt.denies++
+		rt.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditScaleOutDenied, Tier: tier.String(),
+			Cause: cause, Detail: "tier at capacity"})
+		return false
+	}
+	rt.actions++
+	rt.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditScaleOutLaunch, Tier: tier.String(),
+		Cause: cause, Detail: "VM launched: preparation period started"})
+	return true
+}
+
+// ScaleIn implements Actuator: drain and retire one VM, never emptying
+// the tier.
+func (rt *Runtime) ScaleIn(tier cluster.Tier, cause string) bool {
+	now := rt.c.Eng.Now()
+	if rt.c.ReadyCount(tier) <= 1 {
+		rt.denies++
+		return false
+	}
+	name := rt.c.RemoveVM(tier)
+	if name == "" {
+		rt.denies++
+		return false
+	}
+	rt.actions++
+	rt.lastIn[tier] = now
+	rt.w.Forget(name)
+	rt.log(scaling.Event{Time: now, Kind: scaling.ScaleIn, Tier: tier, Detail: name})
+	rt.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditScaleIn, Tier: tier.String(),
+		Cause: cause, Detail: name})
+	return true
+}
+
+// SetAppThreads implements Actuator: clamp and apply a per-server app
+// thread-pool setting, ignoring no-op changes.
+func (rt *Runtime) SetAppThreads(n int, cause string) {
+	n = clamp(n, rt.opts.Base.MinThreads, rt.opts.Base.MaxThreads)
+	_, cur, _ := rt.c.SoftResources()
+	if n == cur {
+		return
+	}
+	now := rt.c.Eng.Now()
+	rt.c.SetAppThreads(n)
+	rt.log(scaling.Event{Time: now, Kind: scaling.SoftAdapt, Tier: cluster.App,
+		Detail: fmt.Sprintf("app threads=%d", n)})
+	rt.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.App.String(),
+		Cause: cause, Detail: "app threads", Value: float64(n)})
+}
+
+// SetDBConns implements Actuator: clamp and apply a per-app DB
+// connection-pool setting, ignoring no-op changes.
+func (rt *Runtime) SetDBConns(n int, cause string) {
+	n = clamp(n, rt.opts.Base.MinConns, rt.opts.Base.MaxConns)
+	_, _, cur := rt.c.SoftResources()
+	if n == cur {
+		return
+	}
+	now := rt.c.Eng.Now()
+	rt.c.SetDBConns(n)
+	rt.log(scaling.Event{Time: now, Kind: scaling.SoftAdapt, Tier: cluster.DB,
+		Detail: fmt.Sprintf("db conns=%d", n)})
+	rt.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditPoolResize, Tier: cluster.DB.String(),
+		Cause: cause, Detail: "db conns per app", Value: float64(n)})
+}
+
+func (rt *Runtime) log(e scaling.Event) { rt.events = append(rt.events, e) }

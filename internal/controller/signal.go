@@ -1,0 +1,167 @@
+package controller
+
+import (
+	"fmt"
+
+	"conscale/internal/cluster"
+	"conscale/internal/des"
+	"conscale/internal/metrics"
+	"conscale/internal/scaling"
+	"conscale/internal/sct"
+	"conscale/internal/trace"
+)
+
+// Signal is the composable SCT concurrency-range estimator: the paper's
+// Scatter-Concurrency-Throughput model over the metric warehouse,
+// refreshed asynchronously and exposed as a per-tier recommendation any
+// controller can consume — hardware-only policies may ignore it, hybrid
+// policies can feed it into pool sizing without reimplementing the
+// estimator.
+type Signal struct {
+	base   scaling.Config
+	est    *sct.Estimator
+	c      *cluster.Cluster
+	w      *metrics.Warehouse
+	audit  *trace.Audit
+	cached map[string]timedEstimate
+
+	lastEscape map[cluster.Tier]des.Time
+}
+
+// timedEstimate stamps an estimate with its refresh time so stale views
+// of a past regime age out with the collection window.
+type timedEstimate struct {
+	est sct.Estimate
+	at  des.Time
+}
+
+// newSignal builds the signal over a cluster and its warehouse.
+func newSignal(c *cluster.Cluster, w *metrics.Warehouse, base scaling.Config) *Signal {
+	return &Signal{
+		base:       base,
+		est:        sct.New(base.SCT),
+		c:          c,
+		w:          w,
+		cached:     make(map[string]timedEstimate),
+		lastEscape: make(map[cluster.Tier]des.Time),
+	}
+}
+
+// refresh re-runs the SCT model over each non-draining app/DB server's
+// recent window — the asynchronous Optimal Concurrency Estimator
+// workflow of the paper's Fig. 8.
+func (s *Signal) refresh() {
+	now := s.c.Eng.Now()
+	since := now - s.est.Config().CollectionWindow
+	for _, tier := range []cluster.Tier{cluster.App, cluster.DB} {
+		for _, srv := range s.c.Servers(tier) {
+			if srv.Draining() {
+				continue
+			}
+			est, ok := s.est.Estimate(s.w.FineSince(srv.Name(), since))
+			if !ok {
+				continue
+			}
+			s.cached[srv.Name()] = timedEstimate{est: est, at: now}
+			s.audit.Record(trace.AuditEvent{Time: now, Kind: trace.AuditSCTEstimate, Tier: tier.String(),
+				Cause: "signal refresh", Detail: srv.Name(),
+				Qlower: est.Qlower, Qupper: est.Qupper, Value: est.PlateauTP})
+		}
+	}
+}
+
+// Estimates returns the current per-server view.
+func (s *Signal) Estimates() map[string]sct.Estimate {
+	out := make(map[string]sct.Estimate, len(s.cached))
+	for k, v := range s.cached {
+		out[k] = v.est
+	}
+	return out
+}
+
+// Tier aggregates the cached per-server estimates of a tier: the mean
+// optimal concurrency of the fresh estimates, with Saturated set when a
+// majority witnessed the curve's descending stage.
+func (s *Signal) Tier(tier cluster.Tier) TierEstimate {
+	now := s.c.Eng.Now()
+	maxAge := s.est.Config().CollectionWindow
+	sum, n, sat := 0, 0, 0
+	for _, srv := range s.c.Servers(tier) {
+		if srv.Draining() {
+			continue
+		}
+		te, found := s.cached[srv.Name()]
+		if !found || now-te.at > maxAge {
+			continue // stale: describes a regime the window no longer covers
+		}
+		sum += te.est.Optimal()
+		n++
+		if te.est.Saturated {
+			sat++
+		}
+	}
+	if n == 0 {
+		return TierEstimate{}
+	}
+	return TierEstimate{Optimal: (sum + n/2) / n, Saturated: sat*2 > n, OK: true}
+}
+
+// ApplyPools turns the tier-aggregated signal into soft-resource
+// actuation, mirroring ConScale's policy: the app tier gets the
+// estimated per-server optimal thread pool; the DB tier's total optimal
+// concurrency is split across the app servers' connection pools. Only
+// saturated estimates may tighten an allocation — an ascending-only
+// curve proves nothing about the optimum being lower than the current
+// setting. It also applies the under-allocation escape: when requests
+// queue while the tier's critical hardware idles, the pool (not
+// hardware) binds, so the allocation widens multiplicatively until the
+// curve's descending stage becomes observable again; tightening is held
+// off for 30 s after an escape so fresh post-escape data arrives first.
+func (s *Signal) ApplyPools(act Actuator, obs *Observation) {
+	if s == nil {
+		return // signal-less environments (unit tests, custom harnesses)
+	}
+	const escapeHold = 30 * des.Second
+	now := obs.Now
+
+	if obs.AppSCT.OK {
+		threads := clamp(obs.AppSCT.Optimal, s.base.MinThreads, s.base.MaxThreads)
+		recentEscape := s.lastEscape[cluster.App] > 0 && now-s.lastEscape[cluster.App] < escapeHold
+		if threads >= obs.Threads || (obs.AppSCT.Saturated && !recentEscape) {
+			act.SetAppThreads(threads,
+				fmt.Sprintf("sct signal: app optimal=%d saturated=%v", obs.AppSCT.Optimal, obs.AppSCT.Saturated))
+		}
+	}
+	if obs.DBSCT.OK && obs.App.Ready > 0 && obs.DB.Ready > 0 {
+		perApp := clamp(ceilDiv(obs.DBSCT.Optimal*obs.DB.Ready, obs.App.Ready), s.base.MinConns, s.base.MaxConns)
+		recentEscape := s.lastEscape[cluster.DB] > 0 && now-s.lastEscape[cluster.DB] < escapeHold
+		if perApp >= obs.Conns || (obs.DBSCT.Saturated && !recentEscape) {
+			act.SetDBConns(perApp,
+				fmt.Sprintf("sct signal: db optimal=%d/server saturated=%v", obs.DBSCT.Optimal, obs.DBSCT.Saturated))
+		}
+	}
+
+	// Under-allocation escape, app tier: accept queues grow while no app
+	// server's CPU is near the threshold.
+	_, threads, conns := s.c.SoftResources()
+	if obs.App.MaxCPU < s.base.High && obs.App.Queue > 2*threads {
+		if grown := clamp(threads*3/2, s.base.MinThreads, s.base.MaxThreads); grown > threads {
+			s.lastEscape[cluster.App] = now
+			act.SetAppThreads(grown,
+				fmt.Sprintf("under-allocation escape: %d queued while max cpu=%.2f", obs.App.Queue, obs.App.MaxCPU))
+		}
+	}
+	// DB connections: app threads pile up waiting for the pool while the
+	// DB tier's critical resources idle.
+	dbBusy := obs.DB.MaxCPU
+	if obs.DB.Disk > dbBusy {
+		dbBusy = obs.DB.Disk
+	}
+	if dbBusy < s.base.High && obs.DB.PoolWaiting > 2*conns {
+		if grown := clamp(conns*3/2, s.base.MinConns, s.base.MaxConns); grown > conns {
+			s.lastEscape[cluster.DB] = now
+			act.SetDBConns(grown,
+				fmt.Sprintf("under-allocation escape: %d waiting while max db busy=%.2f", obs.DB.PoolWaiting, dbBusy))
+		}
+	}
+}

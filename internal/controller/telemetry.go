@@ -1,0 +1,62 @@
+package controller
+
+import (
+	"sort"
+
+	"conscale/internal/scaling"
+	"conscale/internal/telemetry"
+)
+
+// RegisterTelemetry publishes the runtime's decision state on a metrics
+// registry. Legacy adapters delegate to the wrapped framework so the
+// metric names and values match the pre-zoo exposition exactly; native
+// controllers publish the same families from the Runtime's own decision
+// log and SCT signal. Everything is collector-based — read at scrape
+// time, never on the decision path — so arming telemetry cannot change
+// a run's trajectory.
+func (rt *Runtime) RegisterTelemetry(reg *telemetry.Registry) {
+	if rt == nil || reg == nil {
+		return
+	}
+	if rt.fw != nil {
+		rt.fw.RegisterTelemetry(reg)
+		return
+	}
+	reg.Collect("conscale_scaling_events_total", "Scaling log entries by action kind.",
+		telemetry.KindCounter, func(emit func(float64, ...string)) {
+			var byKind [4]int
+			for _, e := range rt.events {
+				if int(e.Kind) < len(byKind) {
+					byKind[e.Kind]++
+				}
+			}
+			for k, n := range byKind {
+				emit(float64(n), "kind", scaling.EventKind(k).String())
+			}
+		})
+	reg.CounterFunc("conscale_controller_actions_total",
+		"Scale actions the actuator accepted.",
+		func() float64 { return float64(rt.actions) })
+	reg.CounterFunc("conscale_controller_denies_total",
+		"Scale actions the actuator refused (capacity, last VM).",
+		func() float64 { return float64(rt.denies) })
+
+	sctCollector := func(pick func(te timedEstimate) float64) telemetry.Collector {
+		return func(emit func(float64, ...string)) {
+			names := make([]string, 0, len(rt.sig.cached))
+			for name := range rt.sig.cached {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				emit(pick(rt.sig.cached[name]), "server", name)
+			}
+		}
+	}
+	reg.Collect("conscale_sct_qlower", "Lower bound of the SCT rational concurrency range.",
+		telemetry.KindGauge, sctCollector(func(te timedEstimate) float64 { return float64(te.est.Qlower) }))
+	reg.Collect("conscale_sct_qupper", "Upper bound of the SCT rational concurrency range.",
+		telemetry.KindGauge, sctCollector(func(te timedEstimate) float64 { return float64(te.est.Qupper) }))
+	reg.Collect("conscale_sct_plateau_tp", "Estimated plateau throughput of the SCT curve.",
+		telemetry.KindGauge, sctCollector(func(te timedEstimate) float64 { return te.est.PlateauTP }))
+}

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"conscale/internal/controller"
+	"conscale/internal/des"
+	"conscale/internal/scaling"
+)
+
+// ctrlRun returns a small but non-trivial run config: long enough for
+// scale decisions and SCT estimates to fire, short enough for the test
+// suite.
+func ctrlRun(mode scaling.Mode, ctrl string) RunConfig {
+	fcfg := scaling.DefaultConfig(mode)
+	fcfg.SCT.CollectionWindow = 60 * des.Second
+	fcfg.SCT.MinTotalSamples = 30
+	fcfg.SCT.MinDistinctBins = 3
+	return RunConfig{
+		Mode:       mode,
+		TraceName:  "big-spike",
+		MaxUsers:   1500,
+		Duration:   180 * des.Second,
+		Seed:       7,
+		Controller: ctrl,
+		Framework:  &fcfg,
+	}
+}
+
+// decisionLog serializes the parts of a run that a controller influences
+// — the scaling event log, the per-second VM counts, the soft-resource
+// history, and the client-observed timeline — into a comparable blob.
+func decisionLog(t *testing.T, r *RunResult) string {
+	t.Helper()
+	blob, err := json.Marshal(struct {
+		Events      []scaling.Event
+		VMs         []int
+		SoftHistory [][2]int
+		Timeline    interface{}
+	}{r.Events, r.VMs, r.SoftHistory, r.Timeline})
+	if err != nil {
+		t.Fatalf("marshal decision log: %v", err)
+	}
+	return string(blob)
+}
+
+// TestLegacyAdaptersByteIdentical pins the controller-zoo refactor's
+// core guarantee: routing EC2/DCM/ConScale through their legacy
+// adapters produces byte-identical trajectories to the pre-zoo Mode
+// path.
+func TestLegacyAdaptersByteIdentical(t *testing.T) {
+	cases := []struct {
+		mode scaling.Mode
+		ctrl string
+	}{
+		{scaling.EC2, "ec2"},
+		{scaling.DCM, "dcm"},
+		{scaling.ConScale, "conscale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.ctrl, func(t *testing.T) {
+			direct := Run(ctrlRun(tc.mode, ""))
+			adapted := Run(ctrlRun(tc.mode, tc.ctrl))
+			if got, want := decisionLog(t, adapted), decisionLog(t, direct); got != want {
+				t.Fatalf("adapter %q diverged from the direct %v path", tc.ctrl, tc.mode)
+			}
+			if got, want := fmt.Sprintf("%.9f/%.9f/%.9f", adapted.P50, adapted.P95, adapted.P99),
+				fmt.Sprintf("%.9f/%.9f/%.9f", direct.P50, direct.P95, direct.P99); got != want {
+				t.Fatalf("adapter %q tails %s != direct %s", tc.ctrl, got, want)
+			}
+		})
+	}
+}
+
+// TestControllersDeterministic runs every registered controller twice
+// with the same seed and trace and requires identical decision logs —
+// the property the tournament's rankings and the audit trail depend on.
+// Run under -race this also exercises each controller's decision path
+// for data races.
+func TestControllersDeterministic(t *testing.T) {
+	for _, name := range controller.Names() {
+		t.Run(name, func(t *testing.T) {
+			mode := scaling.EC2
+			switch name {
+			case "dcm":
+				mode = scaling.DCM
+			case "conscale":
+				mode = scaling.ConScale
+			}
+			a := Run(ctrlRun(mode, name))
+			b := Run(ctrlRun(mode, name))
+			if got, want := decisionLog(t, b), decisionLog(t, a); got != want {
+				t.Fatalf("controller %q is not deterministic: same seed produced different decision logs", name)
+			}
+			if len(a.Timeline) == 0 {
+				t.Fatalf("controller %q produced an empty timeline", name)
+			}
+		})
+	}
+}

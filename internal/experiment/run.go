@@ -11,6 +11,7 @@ import (
 
 	"conscale/internal/chaos"
 	"conscale/internal/cluster"
+	"conscale/internal/controller"
 	"conscale/internal/des"
 	"conscale/internal/metrics"
 	"conscale/internal/qnet"
@@ -31,6 +32,15 @@ type RunConfig struct {
 	MaxUsers  int
 	Duration  des.Time
 	Seed      uint64
+
+	// Controller (if non-empty) names a registered controller from the
+	// internal/controller zoo to drive the run instead of the Mode
+	// switch. The legacy names ("ec2", "dcm", "conscale") route through
+	// adapters that wrap the untouched scaling.Framework, so their
+	// trajectories are byte-identical to the Mode path; any other name
+	// runs under the controller Runtime. When empty, Mode selects the
+	// framework directly — the pre-zoo behavior, preserved verbatim.
+	Controller string
 
 	// ThinkTime is the mean user think time (7 s, the RUBBoS default).
 	ThinkTime float64
@@ -100,6 +110,9 @@ type TierSeries struct {
 type RunResult struct {
 	Mode  scaling.Mode
 	Trace string
+	// Controller is the zoo controller that drove the run ("" when the
+	// Mode switch drove it directly).
+	Controller string
 
 	// Timeline is the client-observed per-second series (RT, TP, errors).
 	Timeline []workload.TimelinePoint
@@ -150,6 +163,19 @@ type RunResult struct {
 	Samples []workload.Sample
 }
 
+// driver is what Run needs from whatever controls the cluster — the
+// scaling.Framework Mode switch and the controller.Runtime both satisfy
+// it, so every run flows through one code path regardless of policy.
+type driver interface {
+	SetAudit(*trace.Audit)
+	RegisterTelemetry(*telemetry.Registry)
+	Start()
+	Stop()
+	Warehouse() *metrics.Warehouse
+	Events() []scaling.Event
+	Estimates() map[string]sct.Estimate
+}
+
 // Run executes one full scaling experiment.
 func Run(cfg RunConfig) *RunResult {
 	ccfg := cluster.DefaultConfig()
@@ -179,7 +205,16 @@ func Run(cfg RunConfig) *RunResult {
 		c.SetTracer(tracer)
 	}
 
-	f := scaling.New(c, fcfg)
+	var f driver
+	if cfg.Controller == "" {
+		f = scaling.New(c, fcfg)
+	} else {
+		ctrl, err := controller.New(cfg.Controller, controller.Options{Seed: cfg.Seed, Base: fcfg})
+		if err != nil {
+			panic(err) // validated by callers; a typo here is a programming error
+		}
+		f = controller.NewRuntime(c, ctrl, controller.Options{Seed: cfg.Seed, Base: fcfg})
+	}
 	f.SetAudit(tracer.Audit())
 
 	// Arm the telemetry layer before the control loops start so the first
@@ -235,9 +270,10 @@ func Run(cfg RunConfig) *RunResult {
 	}, submit)
 
 	res := &RunResult{
-		Mode:    cfg.Mode,
-		Trace:   cfg.TraceName,
-		TierCPU: map[cluster.Tier][]float64{cluster.App: nil, cluster.DB: nil},
+		Mode:       cfg.Mode,
+		Controller: cfg.Controller,
+		Trace:      cfg.TraceName,
+		TierCPU:    map[cluster.Tier][]float64{cluster.App: nil, cluster.DB: nil},
 	}
 
 	// Per-second system sampling (VM count, tier CPU, soft resources).

@@ -354,6 +354,10 @@ func (f *Framework) repairTier(tier cluster.Tier) {
 		ready := f.c.Eng.Now()
 		f.pendingScale[tier] = false
 		f.lastOut[tier] = ready
+		// Quiet ticks counted while the tier was dark measured a
+		// configuration that no longer exists; restart the counter so
+		// scale-in needs a full sustained window on the repaired tier.
+		f.below[tier] = 0
 		f.log(Event{Time: ready, Kind: Repair, Tier: tier, Detail: srv.Name() + " ready"})
 		f.audit.Record(trace.AuditEvent{Time: ready, Kind: trace.AuditRepair, Tier: tier.String(),
 			Cause: "tier dark: zero ready VMs", Detail: srv.Name() + " ready"})
@@ -492,6 +496,12 @@ func (f *Framework) scaleOut(tier cluster.Tier, cause string) {
 		ready := f.c.Eng.Now()
 		f.pendingScale[tier] = false
 		f.lastOut[tier] = ready
+		// Quiet ticks counted while the launch was pending measured the
+		// pre-scale-out configuration; restart the counter so scale-in
+		// needs a full sustained window on the grown tier — otherwise a
+		// counter saturated during the preparation period drains the new
+		// VM on the first post-ready tick (a launch→drain flap).
+		f.below[tier] = 0
 		f.log(Event{Time: ready, Kind: ScaleOut, Tier: tier, Detail: srv.Name() + " ready"})
 		f.audit.Record(trace.AuditEvent{Time: ready, Kind: trace.AuditScaleOutReady, Tier: tier.String(),
 			Cause: cause, Detail: srv.Name() + " ready"})
