@@ -7,16 +7,20 @@ import (
 	"strings"
 )
 
-// gatePairs are the schedule_fire-class hot paths the trend gate
-// watches: each inline-heap benchmark paired with the frozen
-// container/heap baseline measured in the same process. Committed
-// BENCH_*.json files come from different machines, so the gate compares
-// the machine-independent ns ratio des/X ÷ des_baseline/X rather than
-// absolute nanoseconds.
+// gatePairs are the hot paths the trend gate watches: each benchmark
+// paired with a reference measured in the same process — the inline-heap
+// engine against the frozen container/heap baseline, and the striper
+// barrier/batch paths against the engine's schedule→fire hot path.
+// Committed BENCH_*.json files come from different machines, so the gate
+// compares the machine-independent same-process ns ratio numerator ÷
+// denominator rather than absolute nanoseconds.
 var gatePairs = [][2]string{
 	{"des/schedule_fire", "des_baseline/schedule_fire"},
 	{"des/schedule_fire_depth1k", "des_baseline/schedule_fire_depth1k"},
 	{"des/cancel_heavy", "des_baseline/cancel_heavy"},
+	{"des/striper_barrier_loaded", "des/schedule_fire"},
+	{"des/striper_idle_fastforward", "des/schedule_fire"},
+	{"des/engine_at_batch", "des/schedule_fire"},
 }
 
 // historyReport is the slice of a committed BENCH_*.json the gate
@@ -141,7 +145,7 @@ func gateCheck(current []Result, history []historyReport, slack float64) []strin
 }
 
 // runGate is the `-gate` mode: re-measure the hot-path microbenchmarks,
-// diff them against the committed BENCH_2..5 trajectory, and exit 1 on
+// diff them against the committed BENCH_2..7 trajectory, and exit 1 on
 // regression. slowdown (normally 1) multiplies the measured des-side
 // nanoseconds — the self-test hook that proves the gate trips on an
 // injected hot-path slowdown.

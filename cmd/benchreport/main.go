@@ -1,5 +1,5 @@
 // Command benchreport measures the repo's performance-critical paths and
-// writes the results as a machine-readable JSON file (BENCH_6.json), so
+// writes the results as a machine-readable JSON file (BENCH_7.json), so
 // every future change has a perf trajectory to compare against:
 //
 //   - DES engine microbenchmarks (inline 4-ary heap) against the frozen
@@ -20,25 +20,30 @@
 //   - telemetry overhead end to end: the same run bare and with the whole
 //     layer armed (registry, collectors, 5 s scraper, SLO monitor), with a
 //     timeline byte-identity check;
-//   - scale-mode microbenchmarks (striper window barrier, streaming
-//     arrival hot path) and the client-count sweep — {10k, 100k, 1M}
+//   - scale-mode microbenchmarks (striper window barrier empty and
+//     loaded, idle fast-forward, Engine.AtBatch bulk insert, streaming
+//     arrival hot path — the loaded barrier and AtBatch must stay at
+//     zero allocations) and the client-count sweep — {10k, 100k, 1M}
 //     clients × {EC2, DCM, ConScale} (the 10k tier only under -short) —
 //     reporting wall time, events/sec, peak heap, and controller tails,
-//     plus a striped-vs-sequential byte-identity check;
+//     plus a striped-vs-sequential byte-identity check and a striper
+//     worker-count scaling curve (1/2/4/8 workers on the ConScale cell);
 //   - a controller-zoo smoke tournament: every registered controller on
 //     one trace, ranked on p99 / SLO-burn minutes / VM-hours (the full
 //     factorial lives in `experiments -run tournament`).
 //
 // The -gate mode re-measures only the hot-path microbenchmarks and
-// diffs them against the committed BENCH_2..5 trajectory: the
-// machine-independent des/baseline ns ratios must stay within the slack
-// factor of the worst committed ratio, and allocs/op must not grow.
+// diffs them against the committed BENCH_2..7 trajectory: the
+// machine-independent same-process ns ratios (des vs the frozen
+// baseline, striper barrier vs the engine hot path) must stay within
+// the slack factor of the worst committed ratio, and allocs/op must
+// not grow.
 //
 // Usage:
 //
-//	benchreport -out BENCH_6.json          # full measurement
-//	benchreport -short -out BENCH_6.json   # CI smoke (seconds, not minutes)
-//	benchreport -gate                      # trend gate vs committed BENCH_2..5
+//	benchreport -out BENCH_7.json          # full measurement
+//	benchreport -short -out BENCH_7.json   # CI smoke (seconds, not minutes)
+//	benchreport -gate                      # trend gate vs committed BENCH_2..7
 package main
 
 import (
@@ -106,10 +111,12 @@ type Telemetry struct {
 }
 
 // Scale records the scale-mode sweep: one row per (mode, clients) point
-// plus the striped-vs-sequential identity verdict.
+// plus the striped-vs-sequential identity verdict and the striper
+// worker-count scaling curve (same cell, workers varied).
 type Scale struct {
 	Sweep                    string                `json:"sweep"`
 	Rows                     []experiment.ScaleRow `json:"rows"`
+	Curve                    []experiment.ScaleRow `json:"curve,omitempty"`
 	StripedMatchesSequential bool                  `json:"striped_byte_identical"`
 	ProcessPeakRSSMB         float64               `json:"process_peak_rss_mb"`
 }
@@ -122,7 +129,7 @@ type Tournament struct {
 	Cells     []experiment.TournamentCell `json:"cells"`
 }
 
-// Report is the BENCH_6.json document.
+// Report is the BENCH_7.json document.
 type Report struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -150,10 +157,10 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	var (
-		out          = flag.String("out", "BENCH_6.json", "output path for the JSON report")
+		out          = flag.String("out", "BENCH_7.json", "output path for the JSON report")
 		short        = flag.Bool("short", false, "shrink the harness measurement for CI smoke runs")
 		gate         = flag.Bool("gate", false, "trend-gate mode: measure only the hot-path microbenchmarks, diff against the committed history, exit 1 on regression")
-		history      = flag.String("gate-history", "BENCH_2.json,BENCH_3.json,BENCH_4.json,BENCH_5.json", "comma-separated committed reports the gate diffs against")
+		history      = flag.String("gate-history", "BENCH_2.json,BENCH_3.json,BENCH_4.json,BENCH_5.json,BENCH_6.json,BENCH_7.json", "comma-separated committed reports the gate diffs against")
 		gateSlack    = flag.Float64("gate-slack", 1.25, "allowed growth factor over the worst committed ratio before the gate fails")
 		gateSlowdown = flag.Float64("gate-slowdown", 1, "multiply the measured des hot-path nanoseconds (self-test hook: 2 must fail the gate)")
 	)
@@ -165,7 +172,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:     "conscale-bench/6",
+		Schema:     "conscale-bench/7",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Short:      *short,
@@ -410,6 +417,67 @@ func microBenches() []Result {
 				s.RunUntil(s.Now() + 2*des.Millisecond)
 			}
 		}),
+		measure("des/striper_barrier_loaded", func(b *testing.B) {
+			// Steady-state cost of a traffic-carrying window barrier:
+			// run the window, sort per-shard outboxes, k-way merge,
+			// bulk-insert 32 deliveries. The re-arming tick closures are
+			// created once at setup, so this must stay at 0 allocs/op —
+			// the gate's allocation rule pins it.
+			b.ReportAllocs()
+			const horizon = des.Millisecond
+			s := des.NewStriper(4, horizon)
+			fn := func() {}
+			for i := 0; i < 4; i++ {
+				i := i
+				sh := s.Shard(i)
+				var tick func()
+				tick = func() {
+					for k := 0; k < 8; k++ {
+						sh.Send((i+1+k)%4, horizon+des.Time(k%3)*horizon, fn)
+					}
+					sh.Eng.At(sh.Eng.Now()+horizon, tick)
+				}
+				sh.Eng.At(0, tick)
+			}
+			for w := 0; w < 64; w++ {
+				s.RunUntil(s.Now() + horizon)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.RunUntil(s.Now() + horizon)
+			}
+		}),
+		measure("des/striper_idle_fastforward", func(b *testing.B) {
+			// Skipping a one-second idle stretch (1000 empty lookahead
+			// windows) per op: idle time must be nearly free.
+			b.ReportAllocs()
+			s := des.NewStriper(4, des.Millisecond)
+			sh := s.Shard(0)
+			var tick func()
+			tick = func() { sh.Eng.At(sh.Eng.Now()+des.Second, tick) }
+			sh.Eng.At(0, tick)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.RunUntil(s.Now() + des.Second)
+			}
+		}),
+		measure("des/engine_at_batch", func(b *testing.B) {
+			// The barrier bulk-insert path: 64 merged deliveries into a
+			// warm engine per op; steady state must stay at 0 allocs/op.
+			b.ReportAllocs()
+			e := des.New()
+			fn := func() {}
+			evs := make([]des.BatchEvent, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := e.Now() + 1
+				for j := range evs {
+					evs[j] = des.BatchEvent{At: at + des.Time(j), Fn: fn}
+				}
+				e.AtBatch(evs)
+				e.RunUntil(at + des.Time(len(evs)))
+			}
+		}),
 		measure("workload/streaming_arrival", func(b *testing.B) {
 			// Per-request cost of the streaming population with an
 			// immediately-completing system: arrival draw + class pick +
@@ -469,6 +537,20 @@ func runEndToEnd(rep *Report, short bool, out string) {
 		rep.Derived["scale_top_events_per_sec"] = top.EventsPerSec
 		rep.Derived["scale_top_peak_heap_mb"] = top.PeakHeapMB
 		rep.Derived["scale_heap_growth_ratio"] = top.PeakHeapMB / rep.Scale.Rows[0].PeakHeapMB
+	}
+	if len(rep.Scale.Curve) > 0 {
+		fmt.Println("== striper worker-count scaling curve (conscale cell, trajectory identical at every count)")
+		experiment.RenderScale(os.Stdout, rep.Scale.Curve)
+		base := rep.Scale.Curve[0]
+		for _, r := range rep.Scale.Curve {
+			if r.Events != base.Events {
+				fmt.Fprintln(os.Stderr, "FAIL: scaling-curve rows executed different event counts")
+				os.Exit(1)
+			}
+			if r.Workers == 4 && r.WallSec > 0 {
+				rep.Derived["scale_speedup_4workers"] = base.WallSec / r.WallSec
+			}
+		}
 	}
 
 	fmt.Println("== controller-zoo smoke tournament (every controller, one trace)")
@@ -684,15 +766,21 @@ func measureTelemetry(short bool) Telemetry {
 }
 
 // measureScale runs the scale-mode client-count sweep — {10k, 100k, 1M}
-// × {EC2, DCM, ConScale}, or the 10k tier only under -short — and
-// verifies the striped-parallel execution is byte-identical to the
-// sequential fallback on a reduced configuration.
+// × {EC2, DCM, ConScale}, or the 10k tier only under -short — verifies
+// the striped worker pool is byte-identical to the sequential fallback
+// on a reduced configuration, and records the worker-count scaling
+// curve on the ConScale cell (1/2/4/8 pinned workers, 100k clients, or
+// 1/2/4 at 10k under -short).
 func measureScale(short bool) Scale {
 	tiers := []int{10_000, 100_000, 1_000_000}
 	label := "{10k,100k,1M} clients x {ec2,dcm,conscale}, 16 cells, 120s"
+	curveClients := 100_000
+	curveWorkers := []int{1, 2, 4, 8}
 	if short {
 		tiers = []int{10_000}
 		label = "10k clients x {ec2,dcm,conscale}, 16 cells, 120s smoke"
+		curveClients = 10_000
+		curveWorkers = []int{1, 2, 4}
 	}
 	var rows []experiment.ScaleRow
 	for _, clients := range tiers {
@@ -706,25 +794,34 @@ func measureScale(short bool) Scale {
 		}
 	}
 
+	var curve []experiment.ScaleRow
+	for _, workers := range curveWorkers {
+		cfg := experiment.DefaultScaleConfig(scaling.ConScale, curveClients)
+		cfg.Workers = workers
+		res := experiment.RunScale(cfg)
+		fmt.Printf("   curve conscale x %d, workers=%d: wall=%.1fs events=%d\n",
+			curveClients, res.Workers, res.WallSec, res.Events)
+		curve = append(curve, res.Row())
+	}
+
 	// Identity check on a reduced configuration with the worker pool
 	// forced wide, so the parallel path fans out even on 1-CPU runners.
-	identity := func(parallel bool) []byte {
+	identity := func(workers int) []byte {
 		cfg := experiment.DefaultScaleConfig(scaling.ConScale, 3000)
 		cfg.Cells = 4
 		cfg.Duration = 30 * des.Second
-		cfg.Parallel = parallel
+		cfg.Workers = workers
 		var buf bytes.Buffer
 		experiment.WriteScaleTimelineCSV(&buf, experiment.RunScale(cfg))
 		return buf.Bytes()
 	}
-	prev := experiment.SetMaxWorkers(4)
-	seq := identity(false)
-	par := identity(true)
-	experiment.SetMaxWorkers(prev)
+	seq := identity(1)
+	par := identity(4)
 
 	return Scale{
 		Sweep:                    label,
 		Rows:                     rows,
+		Curve:                    curve,
 		StripedMatchesSequential: bytes.Equal(seq, par),
 		ProcessPeakRSSMB:         float64(experiment.ProcessPeakRSS()) / (1 << 20),
 	}

@@ -124,6 +124,7 @@ var (
 	scaleCells    = flag.Int("scale-cells", 16, "scale sweep: independent n-tier cells per run")
 	scaleDuration = flag.Float64("scale-duration", 120, "scale sweep: simulated seconds per run")
 	scaleSeq      = flag.Bool("scale-seq", false, "scale sweep: force the sequential striper fallback")
+	scaleWorkers  = flag.String("scale-workers", "", "scale sweep: comma-separated striper worker counts, repeating each sweep point per count (e.g. 1,2,4,8 records a scaling curve; empty = one auto-sized run)")
 )
 
 // Tournament flags (the `-run tournament` experiment).
@@ -568,24 +569,48 @@ func parseScaleSweep(seed uint64) ([]experiment.ScaleConfig, error) {
 	if *scaleDuration <= 0 {
 		return nil, fmt.Errorf("-scale-duration must be positive")
 	}
+	// A worker count of 0 means "auto": sized from Parallel inside
+	// RunScale. Explicit counts repeat every sweep point, innermost, so a
+	// scaling curve reads as consecutive rows of the same cell.
+	workerCounts := []int{0}
+	if s := strings.TrimSpace(*scaleWorkers); s != "" {
+		workerCounts = nil
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			n, err := strconv.Atoi(tok)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("bad -scale-workers entry %q", tok)
+			}
+			workerCounts = append(workerCounts, n)
+		}
+		if len(workerCounts) == 0 {
+			return nil, fmt.Errorf("-scale-workers is empty")
+		}
+	}
 	var cfgs []experiment.ScaleConfig
 	for _, n := range clients {
 		for _, m := range modes {
-			cfg := experiment.DefaultScaleConfig(m, n)
-			cfg.Seed = seed
-			cfg.Cells = *scaleCells
-			cfg.Duration = des.Time(*scaleDuration) * des.Second
-			cfg.Parallel = !*scaleSeq
-			cfg.Telemetry = true
-			cfgs = append(cfgs, cfg)
+			for _, w := range workerCounts {
+				cfg := experiment.DefaultScaleConfig(m, n)
+				cfg.Seed = seed
+				cfg.Cells = *scaleCells
+				cfg.Duration = des.Time(*scaleDuration) * des.Second
+				cfg.Parallel = !*scaleSeq
+				cfg.Workers = w
+				cfg.Telemetry = true
+				cfgs = append(cfgs, cfg)
+			}
 		}
 	}
 	return cfgs, nil
 }
 
-// runScale executes the {clients} × {modes} sweep, prints the summary
-// table, and writes scale_summary.csv, BENCH_5.json (schema
-// conscale-bench/5, scale section), and the largest ConScale run's
+// runScale executes the {clients} × {modes} × {workers} sweep, prints
+// the summary table, and writes scale_summary.csv, BENCH_7.json (schema
+// conscale-bench/7, scale section), and the largest ConScale run's
 // client timeline.
 func runScale(seed uint64, outDir string) error {
 	cfgs, err := parseScaleSweep(seed)
@@ -595,8 +620,12 @@ func runScale(seed uint64, outDir string) error {
 	rows := make([]experiment.ScaleRow, 0, len(cfgs))
 	var biggest *experiment.ScaleResult
 	for _, cfg := range cfgs {
-		fmt.Printf("   %s × %d clients (%d cells, %.0fs)...\n",
-			cfg.Mode, cfg.Clients, cfg.Cells, float64(cfg.Duration))
+		workers := "auto"
+		if cfg.Workers > 0 {
+			workers = strconv.Itoa(cfg.Workers)
+		}
+		fmt.Printf("   %s × %d clients (%d cells, %.0fs, workers=%s)...\n",
+			cfg.Mode, cfg.Clients, cfg.Cells, float64(cfg.Duration), workers)
 		res := experiment.RunScale(cfg)
 		fmt.Printf("     wall=%.1fs events=%d (%.2fM ev/s) heap=%.1fMB p99=%.0fms err=%.4f\n",
 			res.WallSec, res.Events, res.EventsPerSec/1e6,
@@ -610,12 +639,12 @@ func runScale(seed uint64, outDir string) error {
 	experiment.RenderScale(os.Stdout, rows)
 
 	if err := writeCSV(outDir, "scale_summary.csv", func(f *os.File) error {
-		if _, err := fmt.Fprintln(f, "mode,clients,cells,duration_s,wall_s,events,events_per_s,peak_heap_mb,requests,goodput,error_rate,p50_ms,p95_ms,p99_ms,vms,scale_actions"); err != nil {
+		if _, err := fmt.Fprintln(f, "mode,clients,cells,workers,duration_s,wall_s,events,events_per_s,peak_heap_mb,requests,goodput,error_rate,p50_ms,p95_ms,p99_ms,vms,scale_actions"); err != nil {
 			return err
 		}
 		for _, r := range rows {
-			if _, err := fmt.Fprintf(f, "%s,%d,%d,%.0f,%.2f,%d,%.0f,%.1f,%d,%d,%.4f,%.1f,%.1f,%.1f,%d,%d\n",
-				r.Mode, r.Clients, r.Cells, r.DurationSec, r.WallSec, r.Events,
+			if _, err := fmt.Fprintf(f, "%s,%d,%d,%d,%.0f,%.2f,%d,%.0f,%.1f,%d,%d,%.4f,%.1f,%.1f,%.1f,%d,%d\n",
+				r.Mode, r.Clients, r.Cells, r.Workers, r.DurationSec, r.WallSec, r.Events,
 				r.EventsPerSec, r.PeakHeapMB, r.Requests, r.Goodput, r.ErrorRate,
 				r.P50Ms, r.P95Ms, r.P99Ms, r.VMs, r.ScaleActions); err != nil {
 				return err
@@ -633,7 +662,7 @@ func runScale(seed uint64, outDir string) error {
 			return err
 		}
 	}
-	return writeCSV(outDir, "BENCH_5.json", func(f *os.File) error {
+	return writeCSV(outDir, "BENCH_7.json", func(f *os.File) error {
 		return experiment.WriteScaleReport(f, rows)
 	})
 }

@@ -138,3 +138,30 @@ func TestRunnerNamesUniqueAndLower(t *testing.T) {
 		t.Error("blame runner missing from table")
 	}
 }
+
+func TestParseScaleSweepWorkers(t *testing.T) {
+	old := *scaleWorkers
+	defer func() { *scaleWorkers = old }()
+	*scaleWorkers = "1, 2,4"
+	cfgs, err := parseScaleSweep(1)
+	if err != nil {
+		t.Fatalf("parseScaleSweep: %v", err)
+	}
+	// 3 client tiers × 3 modes × 3 worker counts, workers innermost so a
+	// scaling curve reads as consecutive rows of the same cell.
+	if len(cfgs) != 27 {
+		t.Fatalf("got %d sweep points, want 27", len(cfgs))
+	}
+	if cfgs[0].Workers != 1 || cfgs[1].Workers != 2 || cfgs[2].Workers != 4 {
+		t.Fatalf("worker counts not innermost: %d,%d,%d", cfgs[0].Workers, cfgs[1].Workers, cfgs[2].Workers)
+	}
+	if cfgs[0].Clients != cfgs[2].Clients || cfgs[0].Mode != cfgs[2].Mode {
+		t.Fatalf("curve rows differ beyond workers: %+v vs %+v", cfgs[0], cfgs[2])
+	}
+	for _, bad := range []string{"0", "-2", "x", " , "} {
+		*scaleWorkers = bad
+		if _, err := parseScaleSweep(1); err == nil {
+			t.Errorf("-scale-workers=%q must be rejected", bad)
+		}
+	}
+}

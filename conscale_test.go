@@ -177,7 +177,7 @@ func TestPublicScaleMode(t *testing.T) {
 	if err := conscale.WriteScaleReport(&buf, []conscale.ScaleRow{res.Row()}); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(buf.Bytes(), []byte("conscale-bench/5")) {
+	if !bytes.Contains(buf.Bytes(), []byte("conscale-bench/7")) {
 		t.Fatalf("report lacks schema: %s", buf.String())
 	}
 }

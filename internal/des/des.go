@@ -145,6 +145,51 @@ func (e *Engine) At(t Time, fn func()) Handle {
 	return Handle{e: e, slot: idx, gen: s.gen}
 }
 
+// BatchEvent is one element of an AtBatch bulk insertion: an absolute
+// virtual time and the closure to run there.
+type BatchEvent struct {
+	// At is the absolute virtual delivery time.
+	At Time
+	// Fn is the event body.
+	Fn func()
+}
+
+// AtBatch schedules every event in evs, in slice order, exactly as the
+// equivalent sequence of At calls would — same panics, same sequence
+// numbers, same tie-break order — but grows the heap and slot storage
+// once up front instead of once per append. The striper's window barrier
+// uses it to bulk-insert a merged cross-shard batch without reallocating
+// engine storage mid-batch. Handles are not returned: barrier deliveries
+// are never cancelled.
+func (e *Engine) AtBatch(evs []BatchEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	if need := len(e.heap) + len(evs); need > cap(e.heap) {
+		grown := make([]entry, len(e.heap), need+need/2)
+		copy(grown, e.heap)
+		e.heap = grown
+	}
+	if deficit := len(evs) - len(e.free); deficit > 0 {
+		if need := len(e.slots) + deficit; need > cap(e.slots) {
+			grown := make([]slot, len(e.slots), need+need/2)
+			copy(grown, e.slots)
+			e.slots = grown
+		}
+	}
+	for _, ev := range evs {
+		e.At(ev.At, ev.Fn)
+	}
+}
+
+// NextEvent reports the virtual time of the earliest pending event, or
+// false when the schedule is empty. Cancelled events are skipped (and
+// opportunistically swept). The striper's idle fast-forward uses it to
+// jump over lookahead windows in which no shard can execute anything.
+func (e *Engine) NextEvent() (Time, bool) {
+	return e.peek()
+}
+
 // After schedules fn d seconds of virtual time from now. Negative d panics.
 func (e *Engine) After(d Time, fn func()) Handle {
 	if d < 0 {

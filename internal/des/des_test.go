@@ -536,3 +536,121 @@ func BenchmarkEngineCancelHeavy(b *testing.B) {
 		e.Step()
 	}
 }
+
+// AtBatch promises byte-for-byte equivalence with the same sequence of At
+// calls: same firing order, same tie-breaks against events that were
+// already scheduled and events scheduled afterwards.
+func TestAtBatchMatchesSequentialAt(t *testing.T) {
+	times := []Time{3, 1, 2, 2, 1, 3, 0.5, 2}
+	run := func(batch bool) []int {
+		e := New()
+		var fired []int
+		rec := func(id int) func() { return func() { fired = append(fired, id) } }
+		e.At(2, rec(100)) // pre-existing event sharing a batch timestamp
+		if batch {
+			evs := make([]BatchEvent, len(times))
+			for i, at := range times {
+				evs[i] = BatchEvent{At: at, Fn: rec(i)}
+			}
+			e.AtBatch(evs)
+		} else {
+			for i, at := range times {
+				e.At(at, rec(i))
+			}
+		}
+		e.At(1, rec(200)) // later event sharing a batch timestamp
+		e.Run()
+		return fired
+	}
+	want := run(false)
+	got := run(true)
+	if len(got) != len(want) {
+		t.Fatalf("AtBatch fired %d events, At fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order diverges at %d: AtBatch %v, At %v", i, got, want)
+		}
+	}
+}
+
+// An empty batch is a no-op and a past-scheduled batch event panics like At.
+func TestAtBatchEdgeCases(t *testing.T) {
+	e := New()
+	e.AtBatch(nil)
+	e.AtBatch([]BatchEvent{})
+	if e.Pending() != 0 {
+		t.Fatalf("empty batches scheduled %d events", e.Pending())
+	}
+	e.At(5, func() {})
+	e.RunUntil(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtBatch with a past event did not panic")
+		}
+	}()
+	e.AtBatch([]BatchEvent{{At: 3, Fn: func() {}}, {At: 1, Fn: func() {}}})
+}
+
+// A warm engine must absorb a batch without allocating: storage is
+// pre-grown once, then reused via the free list forever after.
+func TestAtBatchAllocBudget(t *testing.T) {
+	e := New()
+	fn := func() {}
+	evs := make([]BatchEvent, 64)
+	warm := func() {
+		at := e.Now() + 1
+		for j := range evs {
+			evs[j] = BatchEvent{At: at + Time(j), Fn: fn}
+		}
+		e.AtBatch(evs)
+		e.RunUntil(at + Time(len(evs)))
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(200, warm); allocs != 0 {
+		t.Fatalf("warm AtBatch cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// NextEvent reports the earliest pending time, skipping cancelled entries,
+// without advancing the clock or firing anything.
+func TestNextEvent(t *testing.T) {
+	e := New()
+	if _, ok := e.NextEvent(); ok {
+		t.Fatal("empty engine reported a next event")
+	}
+	h := e.At(1, func() {})
+	e.At(2, func() {})
+	if at, ok := e.NextEvent(); !ok || at != 1 {
+		t.Fatalf("NextEvent = %v,%v, want 1,true", at, ok)
+	}
+	h.Cancel()
+	if at, ok := e.NextEvent(); !ok || at != 2 {
+		t.Fatalf("NextEvent after cancel = %v,%v, want 2,true", at, ok)
+	}
+	if e.Now() != 0 || e.Fired() != 0 {
+		t.Fatalf("NextEvent advanced the engine: now=%v fired=%d", e.Now(), e.Fired())
+	}
+	e.Run()
+	if _, ok := e.NextEvent(); ok {
+		t.Fatal("drained engine reported a next event")
+	}
+}
+
+// BenchmarkEngineAtBatch measures the barrier bulk-insert path: 64 merged
+// deliveries into a warm engine per op. Steady state must be 0 allocs/op.
+func BenchmarkEngineAtBatch(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	fn := func() {}
+	evs := make([]BatchEvent, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := e.Now() + 1
+		for j := range evs {
+			evs[j] = BatchEvent{At: at + Time(j), Fn: fn}
+		}
+		e.AtBatch(evs)
+		e.RunUntil(at + Time(len(evs)))
+	}
+}

@@ -2,6 +2,9 @@ package des
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -77,6 +80,308 @@ func TestStriperParallelMatchesSequential(t *testing.T) {
 				t.Fatalf("trial %d: log diverges at line %d:\nseq: %s\npar: %s", trial, i, seq[i], par[i])
 			}
 		}
+	}
+}
+
+// stripeScenarioWorkers runs the chatter scenario on the persistent
+// pinned worker pool instead of a per-window driver.
+func stripeScenarioWorkers(workers int) []string {
+	const shards = 5
+	const horizon = 10 * Millisecond
+	s := NewStriper(shards, horizon)
+	s.SetWorkers(workers)
+	defer s.Close()
+
+	logs := make([][]string, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		sh := s.Shard(i)
+		tick := 0
+		sh.Eng.Every(3*Millisecond, func() {
+			tick++
+			k := tick
+			to := (i + 1) % shards
+			delay := horizon + Time(k%7)*Millisecond
+			sh.Send(to, delay, func() {
+				logs[to] = append(logs[to], fmt.Sprintf("t=%.6f from=%d k=%d", float64(s.Shard(to).Eng.Now()), i, k))
+			})
+			if k%4 == 0 {
+				sh.Send(to, delay, func() {
+					logs[to] = append(logs[to], fmt.Sprintf("t=%.6f from=%d k=%d dup", float64(s.Shard(to).Eng.Now()), i, k))
+				})
+			}
+		})
+	}
+	s.RunUntil(500 * Millisecond)
+	var flat []string
+	for i, l := range logs {
+		flat = append(flat, fmt.Sprintf("-- shard %d --", i))
+		flat = append(flat, l...)
+	}
+	return flat
+}
+
+// TestStriperWorkerPoolMatchesSequential is the contention half of the
+// determinism contract: the pinned worker pool must reproduce the
+// sequential trajectory exactly at worker counts below, at, and above
+// both GOMAXPROCS and the shard count (run under -race in CI).
+func TestStriperWorkerPoolMatchesSequential(t *testing.T) {
+	seq := stripeScenarioWorkers(1)
+	if len(seq) < 100 {
+		t.Fatalf("scenario too small to be meaningful: %d log lines", len(seq))
+	}
+	counts := []int{2, runtime.GOMAXPROCS(0), 5 + 1}
+	for _, workers := range counts {
+		for trial := 0; trial < 2; trial++ {
+			par := stripeScenarioWorkers(workers)
+			if len(par) != len(seq) {
+				t.Fatalf("workers=%d trial %d: log has %d lines, sequential %d", workers, trial, len(par), len(seq))
+			}
+			for i := range seq {
+				if par[i] != seq[i] {
+					t.Fatalf("workers=%d trial %d: log diverges at line %d:\nseq: %s\npar: %s",
+						workers, trial, i, seq[i], par[i])
+				}
+			}
+		}
+	}
+}
+
+// idleScenario alternates short chatter bursts with long silent stretches
+// so every adaptive path runs: per-window merges during bursts, window
+// batching in the lulls between scheduled events, and the idle
+// fast-forward across the fully empty stretches.
+func idleScenario(configure func(*Striper)) ([]string, StripeStats) {
+	const shards = 4
+	const horizon = 10 * Millisecond
+	s := NewStriper(shards, horizon)
+	if configure != nil {
+		configure(s)
+	}
+	defer s.Close()
+
+	var log []string
+	for i := 0; i < shards; i++ {
+		i := i
+		sh := s.Shard(i)
+		for burst := 0; burst < 3; burst++ {
+			burst := burst
+			// Bursts are ~2 s apart; each schedules a short local cascade
+			// that sends once across the stripe.
+			sh.Eng.At(Time(burst)*2+Time(i)*50*Millisecond, func() {
+				to := (i + 1) % shards
+				sh.Send(to, horizon+Time(burst)*Millisecond, func() {
+					log = append(log, fmt.Sprintf("t=%.6f to=%d burst=%d", float64(s.Shard(to).Eng.Now()), to, burst))
+				})
+			})
+		}
+	}
+	// A purely local busy stretch on shard 0 between 3 s and 5 s: events
+	// every half-window with zero cross-shard traffic. Fast-forward cannot
+	// skip these windows, so this is where adaptive batching must collapse
+	// many windows into one barrier iteration.
+	host := s.Shard(0).Eng
+	ticks := 0
+	var tk *Ticker
+	host.At(3*Second, func() {
+		tk = host.Every(horizon/2, func() { ticks++ })
+	})
+	host.At(5*Second, func() { tk.Stop() })
+	s.RunUntil(7 * Second)
+	log = append(log, fmt.Sprintf("ticks=%d", ticks))
+	return log, s.Stats()
+}
+
+// TestStriperIdleFastForward pins that long empty stretches are skipped,
+// not simulated window by window, and that skipping does not change the
+// trajectory relative to a striper with batching and fast-forward forced
+// off via SetMaxBatch(1) — which still fast-forwards, so also compare
+// against per-window sequential execution through the legacy driver.
+func TestStriperIdleFastForward(t *testing.T) {
+	base, baseStats := idleScenario(func(s *Striper) { s.SetMaxBatch(1) })
+	if len(base) == 0 {
+		t.Fatal("scenario produced no deliveries")
+	}
+	adaptive, stats := idleScenario(nil)
+	if len(adaptive) != len(base) {
+		t.Fatalf("adaptive run has %d deliveries, baseline %d", len(adaptive), len(base))
+	}
+	for i := range base {
+		if adaptive[i] != base[i] {
+			t.Fatalf("trajectory diverges at %d:\nbase:     %s\nadaptive: %s", i, base[i], adaptive[i])
+		}
+	}
+	pooled, _ := idleScenario(func(s *Striper) { s.SetWorkers(3) })
+	for i := range base {
+		if pooled[i] != base[i] {
+			t.Fatalf("pooled trajectory diverges at %d:\nbase:   %s\npooled: %s", i, base[i], pooled[i])
+		}
+	}
+	// 7 s / 10 ms = 700 windows; the idle stretches outside the bursts and
+	// the 3–5 s ticker run are empty and must be skipped, not simulated.
+	if stats.Skipped < 300 {
+		t.Fatalf("fast-forward skipped only %d windows of ~700", stats.Skipped)
+	}
+	// The adaptive run executes the same busy windows plus at most the
+	// empty tails of batches planned past the end of a busy stretch; the
+	// overshoot is bounded by the batch cap per stretch.
+	if stats.Windows < baseStats.Windows || stats.Windows > baseStats.Windows+2*64 {
+		t.Fatalf("adaptive run executed %d windows, baseline %d (+overshoot cap %d)",
+			stats.Windows, baseStats.Windows, 2*64)
+	}
+	if stats.Batches*3 >= baseStats.Batches {
+		t.Fatalf("adaptive run used %d barrier iterations for %d windows, baseline %d — batching is not engaging",
+			stats.Batches, stats.Windows, baseStats.Batches)
+	}
+	if stats.Merges == 0 || stats.Delivered == 0 {
+		t.Fatalf("no merges recorded: %+v", stats)
+	}
+}
+
+// TestStriperBatchEdgeBoundary pins the conservative contract inside a
+// batched stretch: a send with delay exactly one lookahead, fired in the
+// middle of a grown window batch, must land exactly on the next window
+// edge and be delivered there — the batch must stop at that edge rather
+// than run past it.
+func TestStriperBatchEdgeBoundary(t *testing.T) {
+	const horizon = 10 * Millisecond
+	for _, workers := range []int{1, 3} {
+		s := NewStriper(3, horizon)
+		s.SetWorkers(workers)
+		var gotAt Time = -1
+		// Quiet until 995 ms: the adaptive batch grows to its cap long
+		// before the sender fires mid-window at t=995ms.
+		s.Shard(0).Eng.At(995*Millisecond, func() {
+			s.Shard(0).Send(1, horizon, func() { gotAt = s.Shard(1).Eng.Now() })
+		})
+		s.RunUntil(2 * Second)
+		s.Close()
+		// Compare against the identical float expression the simulation
+		// computes (send time + lookahead), not a re-derived constant.
+		if want := 995*Millisecond + horizon; gotAt != want {
+			t.Fatalf("workers=%d: boundary message delivered at %v, want %v", workers, gotAt, want)
+		}
+		if st := s.Stats(); st.Skipped == 0 {
+			t.Fatalf("workers=%d: expected idle windows to be skipped, stats %+v", workers, st)
+		}
+	}
+}
+
+// TestStriperMergeMatchesReferenceSort is the k-way merge's property
+// test: for arbitrary outbox contents (including heavy timestamp ties
+// and per-shard interleavings), the merged delivery order must equal the
+// historical comparator's (time, source shard, send order) stable sort.
+func TestStriperMergeMatchesReferenceSort(t *testing.T) {
+	type ref struct {
+		at       Time
+		src, seq int
+		id       int
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		shards := 1 + rng.Intn(6)
+		s := NewStriper(shards, Millisecond)
+		var want []ref
+		id := 0
+		for src := 0; src < shards; src++ {
+			n := rng.Intn(12)
+			sh := s.shards[src]
+			for k := 0; k < n; k++ {
+				// Small timestamp domain forces cross- and intra-shard ties.
+				at := Time(rng.Intn(5)) * Millisecond
+				id++
+				capture := id
+				sh.outbox = append(sh.outbox, outMsg{at: at, seq: int32(k), to: 0, fn: func() { _ = capture }})
+				want = append(want, ref{at: at, src: src, seq: k, id: capture})
+			}
+		}
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			if want[i].src != want[j].src {
+				return want[i].src < want[j].src
+			}
+			return want[i].seq < want[j].seq
+		})
+		for _, sh := range s.shards {
+			sh.sortOutbox()
+		}
+		got := s.mergeOutboxes()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d deliveries, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].at != want[i].at {
+				t.Fatalf("trial %d: delivery %d at %v, want %v (src=%d seq=%d)",
+					trial, i, got[i].at, want[i].at, want[i].src, want[i].seq)
+			}
+		}
+	}
+}
+
+// TestStriperBarrierAllocFree pins the allocation-free barrier: once the
+// scratch buffers and engine storage have warmed up, a traffic-carrying
+// window barrier must not allocate at all (the per-window `make` churn
+// the reusable scratch replaces is the regression being guarded). Every
+// event is pre-scheduled so the measured op is pure striper machinery:
+// run window, sort outboxes, k-way merge, bulk-insert.
+func TestStriperBarrierAllocFree(t *testing.T) {
+	const horizon = Millisecond
+	const totalWindows = 320
+	s := NewStriper(4, horizon)
+	fn := func() {}
+	for w := 0; w < totalWindows; w++ {
+		at := Time(w) * horizon
+		for i := 0; i < 4; i++ {
+			i := i
+			sh := s.Shard(i)
+			sh.Eng.At(at, func() {
+				for k := 0; k < 8; k++ {
+					sh.Send((i+1+k)%4, horizon+Time(k%3)*horizon, fn)
+				}
+			})
+		}
+	}
+	for w := 0; w < 64; w++ { // warm scratch, outboxes, heaps, slots
+		s.RunUntil(s.Now() + horizon)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.RunUntil(s.Now() + horizon)
+	})
+	if allocs != 0 {
+		t.Fatalf("loaded window barrier allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestStriperWorkersLifecycle covers the pool lifecycle: arming, clamping
+// to the shard count, re-arming at a new width, Close idempotence, and
+// sequential fallback after Close — all on one striper whose trajectory
+// must be unaffected throughout.
+func TestStriperWorkersLifecycle(t *testing.T) {
+	s := NewStriper(3, Millisecond)
+	if s.Workers() != 1 {
+		t.Fatalf("fresh striper reports %d workers, want 1", s.Workers())
+	}
+	s.SetWorkers(8) // clamped to shard count
+	if s.Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(8) on 3 shards, want 3", s.Workers())
+	}
+	fired := 0
+	s.Shard(0).Eng.At(0, func() { s.Shard(0).Send(2, Millisecond, func() { fired++ }) })
+	s.RunUntil(5 * Millisecond)
+	s.SetWorkers(2) // re-arm narrower mid-life
+	s.Shard(1).Eng.At(s.Now(), func() { s.Shard(1).Send(0, Millisecond, func() { fired++ }) })
+	s.RunUntil(10 * Millisecond)
+	s.Close()
+	s.Close() // idempotent
+	if s.Workers() != 1 {
+		t.Fatalf("Workers() = %d after Close, want 1", s.Workers())
+	}
+	s.Shard(2).Eng.At(s.Now(), func() { s.Shard(2).Send(1, Millisecond, func() { fired++ }) })
+	s.RunUntil(15 * Millisecond)
+	if fired != 3 {
+		t.Fatalf("delivered %d sends across the lifecycle, want 3", fired)
 	}
 }
 
@@ -156,5 +461,51 @@ func TestStriperSendBeforeRun(t *testing.T) {
 	s.RunUntil(5 * Millisecond)
 	if !fired {
 		t.Fatal("setup-time cross-shard send was never delivered")
+	}
+}
+
+// BenchmarkStriperBarrierLoaded is the steady-state cost of a
+// traffic-carrying window barrier: run the window, sort per-shard
+// outboxes, k-way merge, bulk-insert 32 deliveries. The re-arming tick
+// closures are created once at setup, so steady state is 0 allocs/op.
+func BenchmarkStriperBarrierLoaded(b *testing.B) {
+	b.ReportAllocs()
+	const horizon = Millisecond
+	s := NewStriper(4, horizon)
+	fn := func() {}
+	for i := 0; i < 4; i++ {
+		i := i
+		sh := s.Shard(i)
+		var tick func()
+		tick = func() {
+			for k := 0; k < 8; k++ {
+				sh.Send((i+1+k)%4, horizon+Time(k%3)*horizon, fn)
+			}
+			sh.Eng.At(sh.Eng.Now()+horizon, tick)
+		}
+		sh.Eng.At(0, tick)
+	}
+	for w := 0; w < 64; w++ { // warm scratch, outboxes, heaps, slots
+		s.RunUntil(s.Now() + horizon)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunUntil(s.Now() + horizon)
+	}
+}
+
+// BenchmarkStriperIdleFastForward measures skipping a one-second idle
+// stretch (1000 empty lookahead windows) per op: the fast-forward must
+// make idle time nearly free instead of costing 1000 barriers.
+func BenchmarkStriperIdleFastForward(b *testing.B) {
+	b.ReportAllocs()
+	s := NewStriper(4, Millisecond)
+	sh := s.Shard(0)
+	var tick func()
+	tick = func() { sh.Eng.At(sh.Eng.Now()+Second, tick) }
+	sh.Eng.At(0, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunUntil(s.Now() + Second)
 	}
 }

@@ -53,10 +53,14 @@ type ScaleConfig struct {
 	// It is also the striper's conservative lookahead horizon — the
 	// minimum cross-shard delay that makes parallel windows safe.
 	EdgeDelay des.Time
-	// Parallel executes shard windows on the harness worker pool
-	// (ParallelFor). Sequential and parallel execution are byte-identical;
+	// Parallel executes shard windows on the striper's persistent pinned
+	// worker pool. Sequential and parallel execution are byte-identical;
 	// see TestScaleStripedMatchesSequential.
 	Parallel bool
+	// Workers fixes the worker-pool size. Zero derives it from Parallel
+	// (GOMAXPROCS workers when true, sequential when false); one forces
+	// sequential execution; larger values are clamped to the shard count.
+	Workers int
 	// Telemetry arms a frontdoor telemetry registry (arrival counter,
 	// in-flight gauge, client RT histogram) on the run.
 	Telemetry bool
@@ -129,6 +133,11 @@ type ScaleResult struct {
 	VMs          int
 	ScaleActions int
 
+	// Workers is the striper worker-pool size the run executed on (1 =
+	// sequential). The trajectory is identical at every value; only
+	// WallSec changes.
+	Workers int
+
 	// Events is the total simulation events executed; EventsPerSec the
 	// wall-clock execution rate; WallSec the wall-clock run time.
 	Events       uint64
@@ -177,10 +186,17 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 		cfg.WarmupSkip = 15 * des.Second
 	}
 
-	str := des.NewStriper(cfg.Cells+1, cfg.EdgeDelay)
-	if cfg.Parallel {
-		str.SetParallel(ParallelFor)
+	workers := cfg.Workers
+	if workers <= 0 {
+		if cfg.Parallel {
+			workers = runtime.GOMAXPROCS(0)
+		} else {
+			workers = 1
+		}
 	}
+	str := des.NewStriper(cfg.Cells+1, cfg.EdgeDelay)
+	str.SetWorkers(workers)
+	defer str.Close()
 	front := str.Shard(0)
 
 	// Seed-split streams: one master source hands every cell its own
@@ -291,6 +307,7 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 		Clients:  cfg.Clients,
 		Cells:    cfg.Cells,
 		Duration: cfg.Duration,
+		Workers:  str.Workers(),
 		Timeline: trimTimeline(gen.Timeline(), cfg.Duration),
 		Stream:   gen.Stream(),
 		WallSec:  wall,
@@ -356,6 +373,9 @@ type ScaleRow struct {
 	// Clients is the peak notional client count; Cells the cell count.
 	Clients int `json:"clients"`
 	Cells   int `json:"cells"`
+	// Workers is the striper worker-pool size the run executed on (1 =
+	// sequential; the trajectory is identical at every value).
+	Workers int `json:"workers"`
 	// DurationSec is the simulated length; WallSec the wall-clock cost.
 	DurationSec float64 `json:"duration_sec"`
 	WallSec     float64 `json:"wall_sec"`
@@ -391,6 +411,7 @@ func (r *ScaleResult) Row() ScaleRow {
 		Mode:         r.Mode.String(),
 		Clients:      r.Clients,
 		Cells:        r.Cells,
+		Workers:      r.Workers,
 		DurationSec:  float64(r.Duration),
 		WallSec:      r.WallSec,
 		Events:       r.Events,
@@ -408,7 +429,7 @@ func (r *ScaleResult) Row() ScaleRow {
 	}
 }
 
-// ScaleReport is the `-run scale` JSON artifact: benchreport schema 5's
+// ScaleReport is the `-run scale` JSON artifact: benchreport schema 7's
 // scale section as a standalone file.
 type ScaleReport struct {
 	// Schema identifies the report format.
@@ -423,7 +444,7 @@ type ScaleReport struct {
 // WriteScaleReport writes the sweep as indented JSON.
 func WriteScaleReport(w io.Writer, rows []ScaleRow) error {
 	rep := ScaleReport{
-		Schema:           "conscale-bench/5",
+		Schema:           "conscale-bench/7",
 		ProcessPeakRSSMB: float64(ProcessPeakRSS()) / (1 << 20),
 		Rows:             rows,
 	}
@@ -434,11 +455,11 @@ func WriteScaleReport(w io.Writer, rows []ScaleRow) error {
 
 // RenderScale prints the sweep as an aligned ASCII table.
 func RenderScale(w io.Writer, rows []ScaleRow) {
-	fmt.Fprintf(w, "%-9s %9s %6s %8s %12s %10s %9s %8s %8s %8s %6s %7s\n",
-		"mode", "clients", "cells", "wall_s", "events", "events/s", "heap_MB", "p50_ms", "p99_ms", "err", "vms", "actions")
+	fmt.Fprintf(w, "%-9s %9s %6s %4s %8s %12s %10s %9s %8s %8s %8s %6s %7s\n",
+		"mode", "clients", "cells", "wrk", "wall_s", "events", "events/s", "heap_MB", "p50_ms", "p99_ms", "err", "vms", "actions")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-9s %9d %6d %8.1f %12d %10.0f %9.1f %8.1f %8.1f %7.4f %6d %7d\n",
-			r.Mode, r.Clients, r.Cells, r.WallSec, r.Events, r.EventsPerSec,
+		fmt.Fprintf(w, "%-9s %9d %6d %4d %8.1f %12d %10.0f %9.1f %8.1f %8.1f %7.4f %6d %7d\n",
+			r.Mode, r.Clients, r.Cells, r.Workers, r.WallSec, r.Events, r.EventsPerSec,
 			r.PeakHeapMB, r.P50Ms, r.P99Ms, r.ErrorRate, r.VMs, r.ScaleActions)
 	}
 }

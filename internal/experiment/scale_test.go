@@ -55,30 +55,38 @@ func TestRunScaleSmoke(t *testing.T) {
 // identical scalar results. Worker count is forced above 1 so the
 // parallel path actually fans out even on single-CPU CI machines.
 func TestScaleStripedMatchesSequential(t *testing.T) {
-	prev := SetMaxWorkers(4)
-	defer SetMaxWorkers(prev)
-
-	render := func(parallel bool) (string, *ScaleResult) {
-		res := RunScale(smallScaleConfig(scaling.ConScale, parallel))
+	render := func(workers int) (string, *ScaleResult) {
+		cfg := smallScaleConfig(scaling.ConScale, workers > 1)
+		cfg.Workers = workers
+		res := RunScale(cfg)
 		var buf bytes.Buffer
 		WriteScaleTimelineCSV(&buf, res)
 		return buf.String(), res
 	}
-	seqCSV, seq := render(false)
-	parCSV, par := render(true)
-	if seqCSV != parCSV {
-		t.Fatalf("timeline CSV diverges between sequential and striped-parallel execution:\nseq:\n%s\npar:\n%s", seqCSV, parCSV)
-	}
-	if seq.Events != par.Events {
-		t.Fatalf("event counts diverge: seq=%d par=%d", seq.Events, par.Events)
-	}
-	if seq.P99 != par.P99 || seq.Goodput != par.Goodput || seq.Requests != par.Requests {
-		t.Fatalf("results diverge: seq p99=%v goodput=%d, par p99=%v goodput=%d",
-			seq.P99, seq.Goodput, par.P99, par.Goodput)
-	}
-	if seq.VMs != par.VMs || seq.ScaleActions != par.ScaleActions {
-		t.Fatalf("controller state diverges: seq vms=%d actions=%d, par vms=%d actions=%d",
-			seq.VMs, seq.ScaleActions, par.VMs, par.ScaleActions)
+	seqCSV, seq := render(1)
+	// 4 pooled workers over 5 shards, plus an over-provisioned count that
+	// must clamp to the shard count — both forced above 1 so the pool
+	// actually fans out even on single-CPU CI machines.
+	for _, workers := range []int{4, 7} {
+		parCSV, par := render(workers)
+		if seqCSV != parCSV {
+			t.Fatalf("workers=%d: timeline CSV diverges between sequential and striped-parallel execution:\nseq:\n%s\npar:\n%s",
+				workers, seqCSV, parCSV)
+		}
+		if seq.Events != par.Events {
+			t.Fatalf("workers=%d: event counts diverge: seq=%d par=%d", workers, seq.Events, par.Events)
+		}
+		if seq.P99 != par.P99 || seq.Goodput != par.Goodput || seq.Requests != par.Requests {
+			t.Fatalf("workers=%d: results diverge: seq p99=%v goodput=%d, par p99=%v goodput=%d",
+				workers, seq.P99, seq.Goodput, par.P99, par.Goodput)
+		}
+		if seq.VMs != par.VMs || seq.ScaleActions != par.ScaleActions {
+			t.Fatalf("workers=%d: controller state diverges: seq vms=%d actions=%d, par vms=%d actions=%d",
+				workers, seq.VMs, seq.ScaleActions, par.VMs, par.ScaleActions)
+		}
+		if par.Workers < 2 {
+			t.Fatalf("workers=%d: run reports pool size %d, want >1", workers, par.Workers)
+		}
 	}
 }
 
@@ -121,7 +129,7 @@ func TestScaleRowAndReport(t *testing.T) {
 	if err := WriteScaleReport(&buf, []ScaleRow{row}); err != nil {
 		t.Fatalf("report write failed: %v", err)
 	}
-	for _, want := range []string{`"schema": "conscale-bench/5"`, `"mode": "dcm"`} {
+	for _, want := range []string{`"schema": "conscale-bench/7"`, `"mode": "dcm"`, `"workers": 1`} {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			t.Fatalf("report lacks %s:\n%s", want, buf.String())
 		}
