@@ -21,6 +21,9 @@ var gatePairs = [][2]string{
 	{"des/striper_barrier_loaded", "des/schedule_fire"},
 	{"des/striper_idle_fastforward", "des/schedule_fire"},
 	{"des/engine_at_batch", "des/schedule_fire"},
+	{"forensics/recorder_snapshot", "des/schedule_fire"},
+	{"forensics/recorder_audit_event", "des/schedule_fire"},
+	{"forensics/detector_tick", "des/schedule_fire"},
 }
 
 // historyReport is the slice of a committed BENCH_*.json the gate

@@ -1,5 +1,5 @@
 // Command benchreport measures the repo's performance-critical paths and
-// writes the results as a machine-readable JSON file (BENCH_7.json), so
+// writes the results as a machine-readable JSON file (BENCH_8.json), so
 // every future change has a perf trajectory to compare against:
 //
 //   - DES engine microbenchmarks (inline 4-ary heap) against the frozen
@@ -30,10 +30,16 @@
 //     worker-count scaling curve (1/2/4/8 workers on the ConScale cell);
 //   - a controller-zoo smoke tournament: every registered controller on
 //     one trace, ranked on p99 / SLO-burn minutes / VM-hours (the full
-//     factorial lives in `experiments -run tournament`).
+//     factorial lives in `experiments -run tournament`);
+//   - forensics microbenchmarks: the disabled flight-recorder hot path
+//     (must stay at zero allocations), armed snapshot/audit-event
+//     recording, and the episode detector's observe and tick costs;
+//   - forensics overhead end to end: the same run bare and with the
+//     whole forensics layer armed (recorder rings, episode detector,
+//     1 s snapshot ticker), with a timeline byte-identity check.
 //
 // The -gate mode re-measures only the hot-path microbenchmarks and
-// diffs them against the committed BENCH_2..7 trajectory: the
+// diffs them against the committed BENCH_2..8 trajectory: the
 // machine-independent same-process ns ratios (des vs the frozen
 // baseline, striper barrier vs the engine hot path) must stay within
 // the slack factor of the worst committed ratio, and allocs/op must
@@ -41,9 +47,9 @@
 //
 // Usage:
 //
-//	benchreport -out BENCH_7.json          # full measurement
-//	benchreport -short -out BENCH_7.json   # CI smoke (seconds, not minutes)
-//	benchreport -gate                      # trend gate vs committed BENCH_2..7
+//	benchreport -out BENCH_8.json          # full measurement
+//	benchreport -short -out BENCH_8.json   # CI smoke (seconds, not minutes)
+//	benchreport -gate                      # trend gate vs committed BENCH_2..8
 package main
 
 import (
@@ -60,6 +66,7 @@ import (
 	"conscale/internal/des"
 	"conscale/internal/des/baseline"
 	"conscale/internal/experiment"
+	"conscale/internal/forensics"
 	"conscale/internal/metrics"
 	"conscale/internal/rng"
 	"conscale/internal/scaling"
@@ -129,7 +136,19 @@ type Tournament struct {
 	Cells     []experiment.TournamentCell `json:"cells"`
 }
 
-// Report is the BENCH_7.json document.
+// Forensics records the flight-recorder + episode-detector overhead
+// measurement: one run bare and the same run with the layer armed.
+type Forensics struct {
+	Experiment        string  `json:"experiment"`
+	OffSec            float64 `json:"forensics_off_seconds"`
+	OnSec             float64 `json:"forensics_on_seconds"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	Episodes          int     `json:"episodes"`
+	Snapshots         uint64  `json:"snapshots"`
+	TimelineIdentical bool    `json:"timeline_byte_identical"`
+}
+
+// Report is the BENCH_8.json document.
 type Report struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -141,6 +160,7 @@ type Report struct {
 	Telemetry  Telemetry          `json:"telemetry"`
 	Scale      Scale              `json:"scale"`
 	Tournament Tournament         `json:"tournament"`
+	Forensics  Forensics          `json:"forensics"`
 	Derived    map[string]float64 `json:"derived"`
 }
 
@@ -157,10 +177,10 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	var (
-		out          = flag.String("out", "BENCH_7.json", "output path for the JSON report")
+		out          = flag.String("out", "BENCH_8.json", "output path for the JSON report")
 		short        = flag.Bool("short", false, "shrink the harness measurement for CI smoke runs")
 		gate         = flag.Bool("gate", false, "trend-gate mode: measure only the hot-path microbenchmarks, diff against the committed history, exit 1 on regression")
-		history      = flag.String("gate-history", "BENCH_2.json,BENCH_3.json,BENCH_4.json,BENCH_5.json,BENCH_6.json,BENCH_7.json", "comma-separated committed reports the gate diffs against")
+		history      = flag.String("gate-history", "BENCH_2.json,BENCH_3.json,BENCH_4.json,BENCH_5.json,BENCH_6.json,BENCH_7.json,BENCH_8.json", "comma-separated committed reports the gate diffs against")
 		gateSlack    = flag.Float64("gate-slack", 1.25, "allowed growth factor over the worst committed ratio before the gate fails")
 		gateSlowdown = flag.Float64("gate-slowdown", 1, "multiply the measured des hot-path nanoseconds (self-test hook: 2 must fail the gate)")
 	)
@@ -172,7 +192,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:     "conscale-bench/7",
+		Schema:     "conscale-bench/8",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Short:      *short,
@@ -196,6 +216,9 @@ func main() {
 	rep.Derived["telemetry_disabled_allocs_per_op"] = float64(byName["telemetry/disabled_hot_path"].AllocsPerOp)
 	rep.Derived["telemetry_counter_ns_per_inc"] = byName["telemetry/counter_inc"].NsPerOp
 	rep.Derived["telemetry_histogram_ns_per_observe"] = byName["telemetry/histogram_observe"].NsPerOp
+	rep.Derived["forensics_disabled_allocs_per_op"] = float64(byName["forensics/recorder_disabled"].AllocsPerOp)
+	rep.Derived["forensics_snapshot_ns_per_op"] = byName["forensics/recorder_snapshot"].NsPerOp
+	rep.Derived["forensics_tick_ns_per_op"] = byName["forensics/detector_tick"].NsPerOp
 	runEndToEnd(&rep, *short, *out)
 }
 
@@ -496,6 +519,66 @@ func microBenches() []Result {
 			}
 		}),
 	)
+	fmt.Println("== forensics microbenchmarks (disabled recorder hot path must stay 0 allocs/op)")
+	results = append(results,
+		measure("forensics/recorder_disabled", func(b *testing.B) {
+			b.ReportAllocs()
+			f := forensics.New(forensics.Config{})
+			f.SetEnabled(false)
+			ev := trace.AuditEvent{Time: 1, Kind: trace.AuditScaleOutLaunch, Tier: "tomcat", Detail: "tomcat2"}
+			var snap forensics.TierSnapshot
+			for i := 0; i < b.N; i++ {
+				f.Rec.ObserveAudit(ev)
+				f.Rec.RecordSnapshot(snap)
+				f.Det.Observe(des.Time(i), 0.1, true)
+				f.Det.Tick(des.Time(i))
+			}
+		}),
+		measure("forensics/recorder_snapshot", func(b *testing.B) {
+			b.ReportAllocs()
+			r := forensics.NewRecorder(forensics.Config{})
+			var snap forensics.TierSnapshot
+			for i := 0; i < b.N; i++ {
+				snap.Time = des.Time(i)
+				r.RecordSnapshot(snap)
+			}
+		}),
+		measure("forensics/recorder_audit_event", func(b *testing.B) {
+			b.ReportAllocs()
+			r := forensics.NewRecorder(forensics.Config{})
+			ev := trace.AuditEvent{Kind: trace.AuditScaleOutLaunch, Tier: "tomcat", Detail: "tomcat2"}
+			for i := 0; i < b.N; i++ {
+				ev.Time = des.Time(i)
+				r.ObserveAudit(ev)
+			}
+		}),
+		measure("forensics/detector_observe", func(b *testing.B) {
+			// Steady-state windowed-tail feed: 10 samples per simulated
+			// second, so the window prunes as fast as it grows.
+			b.ReportAllocs()
+			d := forensics.NewDetector(forensics.DetectorConfig{})
+			for i := 0; i < b.N; i++ {
+				d.Observe(des.Time(i)/10, 0.1, true)
+			}
+		}),
+		measure("forensics/detector_tick", func(b *testing.B) {
+			// One detector evaluation per op over a populated 10 s window
+			// (the per-simulated-second cost of episode detection).
+			b.ReportAllocs()
+			d := forensics.NewDetector(forensics.DetectorConfig{})
+			for i := 0; i < 200; i++ {
+				d.Observe(des.Time(i)/10, 0.1, true)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now := 20 + des.Time(i)
+				for j := 0; j < 10; j++ {
+					d.Observe(now, 0.1, true)
+				}
+				d.Tick(now)
+			}
+		}),
+	)
 	return results
 }
 
@@ -553,6 +636,14 @@ func runEndToEnd(rep *Report, short bool, out string) {
 		}
 	}
 
+	fmt.Println("== forensics overhead end to end (bare vs recorder + episode detector armed)")
+	rep.Forensics = measureForensics(short)
+	rep.Derived["forensics_overhead_pct"] = rep.Forensics.OverheadPct
+	fmt.Printf("   %s: off %.1fs, on %.1fs (+%.1f%%, %d episodes, %d snapshots), timeline identical=%v\n",
+		rep.Forensics.Experiment, rep.Forensics.OffSec, rep.Forensics.OnSec,
+		rep.Forensics.OverheadPct, rep.Forensics.Episodes, rep.Forensics.Snapshots,
+		rep.Forensics.TimelineIdentical)
+
 	fmt.Println("== controller-zoo smoke tournament (every controller, one trace)")
 	rep.Tournament = measureTournament(short)
 	rep.Derived["tournament_controllers"] = float64(len(rep.Tournament.Ranking))
@@ -599,6 +690,14 @@ func runEndToEnd(rep *Report, short bool, out string) {
 	}
 	if !rep.Scale.StripedMatchesSequential {
 		fmt.Fprintln(os.Stderr, "FAIL: striped scale run diverged from the sequential fallback")
+		os.Exit(1)
+	}
+	if !rep.Forensics.TimelineIdentical {
+		fmt.Fprintln(os.Stderr, "FAIL: forensics-armed run's timeline diverged from the bare run")
+		os.Exit(1)
+	}
+	if rep.Derived["forensics_disabled_allocs_per_op"] != 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: disabled forensics hot path allocates")
 		os.Exit(1)
 	}
 }
@@ -761,6 +860,58 @@ func measureTelemetry(short bool) Telemetry {
 		OnSec:             onSec,
 		OverheadPct:       100 * (onSec - offSec) / offSec,
 		Scrapes:           scrapes,
+		TimelineIdentical: bytes.Equal(offCSV, onCSV),
+	}
+}
+
+// measureForensics runs the same ConScale Large Variations experiment
+// bare and with the forensics layer armed — flight-recorder rings, the
+// 1 s snapshot ticker, and the episode detector — and verifies the
+// always-on observer never perturbs the client-observed timeline.
+func measureForensics(short bool) Forensics {
+	duration := 720 * des.Second
+	users := 7500
+	label := "conscale large-variations (720s)"
+	if short {
+		duration = 120 * des.Second
+		users = 3000
+		label = "conscale large-variations (120s smoke)"
+	}
+	run := func(armed bool) (float64, []byte, *experiment.RunResult) {
+		cfg := experiment.DefaultRunConfig(scaling.ConScale, workload.LargeVariations)
+		cfg.Duration = duration
+		cfg.MaxUsers = users
+		if armed {
+			cfg.Tracing = &trace.Config{SampleRate: 1.0 / 64}
+			cfg.Forensics = &forensics.Config{}
+		}
+		t0 := time.Now()
+		res := experiment.Run(cfg)
+		sec := time.Since(t0).Seconds()
+		var buf bytes.Buffer
+		if err := experiment.WriteTimelineCSV(&buf, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return sec, buf.Bytes(), res
+	}
+
+	offSec, offCSV, _ := run(false)
+	onSec, onCSV, res := run(true)
+
+	var episodes int
+	var snaps uint64
+	if res.Forensics != nil {
+		episodes = len(res.Forensics.Det.Episodes())
+		snaps, _, _, _, _ = res.Forensics.Rec.Counts()
+	}
+	return Forensics{
+		Experiment:        label,
+		OffSec:            offSec,
+		OnSec:             onSec,
+		OverheadPct:       100 * (onSec - offSec) / offSec,
+		Episodes:          episodes,
+		Snapshots:         snaps,
 		TimelineIdentical: bytes.Equal(offCSV, onCSV),
 	}
 }

@@ -6,12 +6,12 @@ import (
 	"testing"
 )
 
-// repoHistory loads the committed BENCH_2..7 trajectory from the repo
+// repoHistory loads the committed BENCH_2..8 trajectory from the repo
 // root (the test binary runs in cmd/benchreport).
 func repoHistory(t *testing.T) []historyReport {
 	t.Helper()
-	paths := make([]string, 0, 6)
-	for _, f := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json"} {
+	paths := make([]string, 0, 7)
+	for _, f := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json", "BENCH_8.json"} {
 		paths = append(paths, filepath.Join("..", "..", f))
 	}
 	history, err := loadHistory(paths)

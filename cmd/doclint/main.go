@@ -51,6 +51,7 @@ var defaultPackages = []string{
 	"internal/sct",
 	"internal/scaling",
 	"internal/controller",
+	"internal/forensics",
 }
 
 func main() {

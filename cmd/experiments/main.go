@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"conscale/internal/controller"
 	"conscale/internal/des"
 	"conscale/internal/experiment"
+	"conscale/internal/forensics"
 	"conscale/internal/scaling"
 	"conscale/internal/trace"
 	"conscale/internal/workload"
@@ -56,12 +58,13 @@ var runners = []runner{
 	{"report", "All-in-one reproduction report (Table I + Fig. 3 + Fig. 11)", runReport},
 	{"scale", "Million-client scale mode: streaming population over striped cells", runScale},
 	{"tournament", "Full-factorial controller tournament: every controller × trace × tier", runTournament},
+	{"episodes", "Fluctuation forensics: episode detection + causal attribution per controller", runEpisodes},
 }
 
 // heavyRunners are excluded from `-run all` and must be requested by id:
 // the scale sweep's 1M-client tier and the tournament's full factorial
 // multiply the whole-suite wall time.
-var heavyRunners = map[string]bool{"scale": true, "tournament": true}
+var heavyRunners = map[string]bool{"scale": true, "tournament": true, "episodes": true}
 
 // selectRunners resolves a -run spec ("all" or a comma-separated id list)
 // against the runner table, preserving table order and deduplicating.
@@ -135,6 +138,15 @@ var (
 	tournDuration    = flag.Float64("tournament-duration", 300, "tournament: simulated seconds per cell")
 )
 
+// Episode-forensics flags (the `-run episodes` experiment).
+var (
+	epControllers = flag.String("episodes-controllers", "", "episodes: comma-separated controller names (default: ec2,dcm,conscale,target-tracking-sct)")
+	epTraces      = flag.String("episodes-traces", "", "episodes: comma-separated trace names (default: all six)")
+	epUsers       = flag.Int("episodes-users", 0, "episodes: peak client population per cell (default 7500)")
+	epDuration    = flag.Float64("episodes-duration", 0, "episodes: simulated seconds per cell (default 720)")
+	epChaos       = flag.Bool("episodes-chaos", true, "episodes: arm the deterministic fault overlay (the attribution score's ground truth)")
+)
+
 func main() {
 	var (
 		run        = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
@@ -158,6 +170,10 @@ func main() {
 			os.Exit(2)
 		}
 		if _, err := parseTournament(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := parseEpisodes(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -761,4 +777,159 @@ func runTournament(seed uint64, outDir string) error {
 	return writeCSV(outDir, "BENCH_6.json", func(f *os.File) error {
 		return experiment.WriteTournamentReport(f, res)
 	})
+}
+
+func parseEpisodes(seed uint64) (experiment.EpisodesConfig, error) {
+	cfg := experiment.DefaultEpisodesConfig()
+	cfg.Seed = seed
+	cfg.Chaos = *epChaos
+	if s := strings.TrimSpace(*epControllers); s != "" {
+		cfg.Controllers = nil
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(strings.ToLower(tok))
+			if tok == "" {
+				continue
+			}
+			if _, err := controller.New(tok, controller.Options{}); err != nil {
+				return cfg, err
+			}
+			cfg.Controllers = append(cfg.Controllers, tok)
+		}
+		if len(cfg.Controllers) == 0 {
+			return cfg, fmt.Errorf("-episodes-controllers is empty")
+		}
+	}
+	if s := strings.TrimSpace(*epTraces); s != "" {
+		cfg.Traces = nil
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(strings.ToLower(tok))
+			if tok == "" {
+				continue
+			}
+			known := false
+			for _, n := range workload.Names() {
+				if tok == n {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return cfg, fmt.Errorf("unknown trace %q; available: %s",
+					tok, strings.Join(workload.Names(), ", "))
+			}
+			cfg.Traces = append(cfg.Traces, tok)
+		}
+		if len(cfg.Traces) == 0 {
+			return cfg, fmt.Errorf("-episodes-traces is empty")
+		}
+	}
+	if *epUsers < 0 {
+		return cfg, fmt.Errorf("-episodes-users must be positive")
+	}
+	if *epUsers > 0 {
+		cfg.Users = *epUsers
+	}
+	if *epDuration < 0 {
+		return cfg, fmt.Errorf("-episodes-duration must be positive")
+	}
+	if *epDuration > 0 {
+		cfg.Duration = des.Time(*epDuration) * des.Second
+	}
+	return cfg, nil
+}
+
+// runEpisodes executes the forensics matrix, prints the per-cell table,
+// the controller ranking, and the headline-trace ASCII episode reports,
+// and writes per-cell attribution JSON plus a combined Perfetto document
+// carrying the episode annotation track.
+func runEpisodes(seed uint64, outDir string) error {
+	cfg, err := parseEpisodes(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d controllers × %d traces = %d cells (%.0fs each, chaos=%v)\n",
+		len(cfg.Controllers), len(cfg.Traces),
+		len(cfg.Controllers)*len(cfg.Traces), float64(cfg.Duration), cfg.Chaos)
+	cells := experiment.RunEpisodes(cfg)
+	experiment.RenderEpisodes(os.Stdout, cells)
+	fmt.Println()
+	experiment.RenderEpisodeRanking(os.Stdout, experiment.RankEpisodes(cells))
+
+	if err := writeCSV(outDir, "episodes_summary.csv", func(f *os.File) error {
+		if _, err := fmt.Fprintln(f, "trace,controller,episodes,total_dur_s,mean_depth_ms,max_depth_ms,area_over_slo,fault_overlapped,fault_attributed,fault_top,fault_top_correct"); err != nil {
+			return err
+		}
+		for _, c := range cells {
+			if _, err := fmt.Fprintf(f, "%s,%s,%d,%.1f,%.1f,%.1f,%.3f,%d,%d,%d,%d\n",
+				c.Trace, c.Controller, c.Episodes, c.TotalDurS, c.MeanDepthMs,
+				c.MaxDepthMs, c.Area, c.FaultOverlapped, c.FaultAttributed,
+				c.FaultTop, c.FaultTopCorrect); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := writeCSV(outDir, "episodes_attribution.csv", func(f *os.File) error {
+		if _, err := fmt.Fprintln(f, "trace,controller,episode,onset_s,onset_hms,recovery_s,duration_s,depth_ms,area_over_slo,top_cause,top_score,top_at_s,top_detail"); err != nil {
+			return err
+		}
+		for _, c := range cells {
+			if c.Report == nil {
+				continue
+			}
+			for i, er := range c.Report.Episodes {
+				ep := er.Episode
+				top := er.TopCause()
+				if _, err := fmt.Fprintf(f, "%s,%s,%d,%.3f,%s,%.3f,%.3f,%.1f,%.3f,%s,%.2f,%.3f,%s\n",
+					c.Trace, c.Controller, i+1, float64(ep.Onset),
+					trace.FormatSimTime(ep.Onset), float64(ep.Recovery),
+					float64(ep.Duration()), ep.Depth*1000, ep.AreaOverSLO,
+					top.Kind, top.Score, float64(top.At),
+					strings.ReplaceAll(top.Detail, ",", ";")); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Per-cell JSON reports; ASCII timelines for the headline trace only
+	// (every cell's ASCII would drown the summary tables).
+	var perfetto *trace.ChromeTrace
+	for _, c := range cells {
+		if c.Report == nil {
+			continue
+		}
+		name := "episode_report_" + sanitize(c.Trace) + "_" + sanitize(c.Controller) + ".json"
+		if err := writeCSV(outDir, name, func(f *os.File) error {
+			return forensics.WriteJSON(f, c.Report)
+		}); err != nil {
+			return err
+		}
+		if c.Trace == workload.BigSpike && c.Episodes > 0 {
+			fmt.Printf("\n   episode reports, %s / %s:\n", c.Trace, c.Controller)
+			if err := forensics.WriteASCII(os.Stdout, c.Report); err != nil {
+				return err
+			}
+			if perfetto == nil && c.Res.Tracer != nil {
+				doc := trace.BuildChromeTrace(c.Res.Tracer.Slowest(), c.Res.Audit)
+				forensics.AppendChrome(&doc, c.Report)
+				perfetto = &doc
+			}
+		}
+	}
+	if perfetto != nil {
+		if err := writeCSV(outDir, "episodes_perfetto.json", func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			return enc.Encode(perfetto)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

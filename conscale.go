@@ -47,6 +47,7 @@ import (
 	"conscale/internal/controller"
 	"conscale/internal/des"
 	"conscale/internal/experiment"
+	"conscale/internal/forensics"
 	"conscale/internal/lb"
 	"conscale/internal/metrics"
 	"conscale/internal/mgmt"
@@ -486,6 +487,68 @@ func SLODetection(seed uint64) []SLODetectionRun { return experiment.SLODetectio
 
 // RenderSLODetection prints the detection comparison table.
 func RenderSLODetection(w io.Writer, runs []SLODetectionRun) { experiment.RenderSLO(w, runs) }
+
+// Fluctuation forensics: always-on flight recorder, response-time
+// episode detection, and causal attribution reports.
+type (
+	// Forensics bundles the flight recorder and the episode detector
+	// behind one enable switch.
+	Forensics = forensics.Forensics
+	// ForensicsConfig sizes the recorder rings and tunes the detector;
+	// zero values take the documented defaults.
+	ForensicsConfig = forensics.Config
+	// FlightRecorder keeps bounded rings of tier snapshots, controller
+	// decisions, SCT estimates, fault activations, and span summaries.
+	FlightRecorder = forensics.Recorder
+	// EpisodeDetector finds response-time fluctuation episodes from the
+	// windowed p99 against a learned baseline, with hysteresis.
+	EpisodeDetector = forensics.Detector
+	// EpisodeDetectorConfig tunes the detector thresholds and windows.
+	EpisodeDetectorConfig = forensics.DetectorConfig
+	// Episode is one detected fluctuation: onset, peak, recovery, depth.
+	Episode = forensics.Episode
+	// EpisodeCause is one ranked suspected cause with its evidence.
+	EpisodeCause = forensics.Cause
+	// EpisodeCauseKind classifies a suspected cause (fault, surge,
+	// decision, SCT shift, unknown).
+	EpisodeCauseKind = forensics.CauseKind
+	// EpisodeAttribution is one episode with its ranked causes, blame
+	// deltas, and controller reactions.
+	EpisodeAttribution = forensics.EpisodeReport
+	// ForensicsReport is a labelled run's full attribution output.
+	ForensicsReport = forensics.Report
+	// ForensicsTierSnapshot is one recorded per-tier occupancy sample.
+	ForensicsTierSnapshot = forensics.TierSnapshot
+	// ChromeTrace is the trace-event JSON document episode annotations
+	// append to (see WriteChromeTrace for building one from spans).
+	ChromeTrace = trace.ChromeTrace
+)
+
+// NewForensics returns an enabled recorder + detector pair. Arm it on an
+// experiment via RunConfig.Forensics; the layer only reads, so armed
+// runs stay byte-identical to bare ones.
+func NewForensics(cfg ForensicsConfig) *Forensics { return forensics.New(cfg) }
+
+// WriteForensicsJSON writes an attribution report as indented JSON.
+func WriteForensicsJSON(w io.Writer, rep *ForensicsReport) error {
+	return forensics.WriteJSON(w, rep)
+}
+
+// WriteForensicsASCII renders per-episode timelines, ranked causes,
+// blame deltas, and reactions as plain text.
+func WriteForensicsASCII(w io.Writer, rep *ForensicsReport) error {
+	return forensics.WriteASCII(w, rep)
+}
+
+// AppendForensicsChrome adds an episode annotation track (slices +
+// cause instants) to a Chrome trace-event document.
+func AppendForensicsChrome(doc *ChromeTrace, rep *ForensicsReport) {
+	forensics.AppendChrome(doc, rep)
+}
+
+// FormatSimTime renders simulated seconds as a human-readable mm:ss.mmm
+// clock (minutes unpadded past 99).
+func FormatSimTime(t Time) string { return trace.FormatSimTime(t) }
 
 // Scale mode: million-client populations over striped event execution.
 type (

@@ -167,6 +167,18 @@ type Window struct {
 	Target string
 }
 
+// Overlaps reports whether the fault window intersects the half-open
+// interval [start, end). Instantaneous windows (crashes, Start == End)
+// count as overlapping when their instant falls inside the interval —
+// the crash's effect outlives its zero-length window, which is the
+// forensics layer's business to model with a lag.
+func (w Window) Overlaps(start, end des.Time) bool {
+	if w.Start == w.End {
+		return w.Start >= start && w.Start < end
+	}
+	return w.Start < end && w.End > start
+}
+
 // String renders the window for logs and tables.
 func (w Window) String() string {
 	switch w.Fault.Kind {

@@ -671,6 +671,19 @@ func (c *Cluster) KillVMIndex(t Tier, idx int) string {
 	return ""
 }
 
+// TierOccupancy sums the accept-queue depth and the in-service request
+// count across the tier's ready servers — the flight-recorder snapshot
+// read. It allocates nothing, unlike ReadyServers.
+func (c *Cluster) TierOccupancy(t Tier) (queue, active int) {
+	for _, v := range c.vms[t] {
+		if v.ready && !v.srv.Draining() {
+			queue += v.srv.QueueLen()
+			active += v.srv.Active()
+		}
+	}
+	return queue, active
+}
+
 // ReadyServers returns the tier's servers currently serving traffic
 // (ready and not draining), in boot order — the candidate set fault
 // injection targets.

@@ -13,6 +13,7 @@ import (
 	"conscale/internal/cluster"
 	"conscale/internal/controller"
 	"conscale/internal/des"
+	"conscale/internal/forensics"
 	"conscale/internal/metrics"
 	"conscale/internal/qnet"
 	"conscale/internal/rng"
@@ -74,6 +75,15 @@ type RunConfig struct {
 	// request stream. Telemetry only reads simulation state, so an
 	// instrumented run's timeline is byte-identical to a bare one.
 	Telemetry *TelemetryOptions
+
+	// Forensics (if non-nil) arms the fluctuation-forensics layer: the
+	// flight recorder (fed by the audit-trail observer, the tracer's
+	// end-of-request tap, and a per-second occupancy snapshot tick) plus
+	// the episode detector over the client request stream. The layer only
+	// reads simulation state, so an armed run's timeline is byte-identical
+	// to a bare one. Arm Tracing alongside it — without the audit trail
+	// the recorder sees no decisions, faults, or SCT refreshes.
+	Forensics *forensics.Config
 
 	// WarmupSkip excludes the initial span from tail-latency statistics.
 	WarmupSkip des.Time
@@ -161,6 +171,24 @@ type RunResult struct {
 	// runs (the SLO lead-time evaluation needs ground-truth violation
 	// intervals).
 	Samples []workload.Sample
+
+	// Forensics is the armed forensics layer (nil when
+	// RunConfig.Forensics was nil): the flight recorder's rings and the
+	// detector's confirmed episodes, ready for Report().
+	Forensics *forensics.Forensics
+}
+
+// tierMap pairs cluster tiers with their trace tier IDs for forensics
+// occupancy snapshots (a package-level array so the tick allocates
+// nothing iterating it).
+var tierMap = [...]struct {
+	ct cluster.Tier
+	id trace.TierID
+}{
+	{cluster.Web, trace.TierWeb},
+	{cluster.App, trace.TierApp},
+	{cluster.Cache, trace.TierCache},
+	{cluster.DB, trace.TierDB},
 }
 
 // driver is what Run needs from whatever controls the cluster — the
@@ -257,6 +285,28 @@ func Run(cfg RunConfig) *RunResult {
 		scr.Start()
 	}
 
+	var fx *forensics.Forensics
+	if cfg.Forensics != nil {
+		fx = forensics.New(*cfg.Forensics)
+		fx.Det.Register(reg)
+		if tracer != nil {
+			tracer.Audit().SetObserver(fx.Rec.ObserveAudit)
+			tracer.SetOnEnd(fx.Rec.ObserveSpan)
+		}
+		// Feed the detector every client outcome. Like the telemetry
+		// wrapper above, this only reads the clock — the trajectory is
+		// untouched.
+		inner := submit
+		submit = func(done func(ok bool)) {
+			start := c.Eng.Now()
+			inner(func(ok bool) {
+				now := c.Eng.Now()
+				fx.Det.Observe(now, float64(now-start), ok)
+				done(ok)
+			})
+		}
+	}
+
 	f.Start()
 
 	think := cfg.ThinkTime
@@ -285,6 +335,27 @@ func Run(cfg RunConfig) *RunResult {
 		res.SoftHistory = append(res.SoftHistory, [2]int{app, db})
 	})
 
+	// Forensics snapshot + detector tick: a read-only observer, same
+	// determinism argument as the telemetry scraper.
+	var ftick *des.Ticker
+	if fx != nil {
+		ftick = c.Eng.Every(fx.Config().SnapshotInterval, func() {
+			now := c.Eng.Now()
+			s := forensics.TierSnapshot{Time: now, Clients: gen.Active()}
+			for _, m := range tierMap {
+				q, a := c.TierOccupancy(m.ct)
+				s.Tiers[m.id] = forensics.TierStat{
+					Ready:  c.ReadyCount(m.ct),
+					Queue:  q,
+					Active: a,
+					CPU:    c.TierCPU(m.ct),
+				}
+			}
+			fx.Rec.RecordSnapshot(s)
+			fx.Det.Tick(now)
+		})
+	}
+
 	if cfg.DatasetChangeAt > 0 {
 		c.Eng.At(cfg.DatasetChangeAt, func() { c.SetDatasetScale(cfg.DatasetChangeTo) })
 	}
@@ -300,6 +371,12 @@ func Run(cfg RunConfig) *RunResult {
 	gen.Start()
 	c.Eng.RunUntil(cfg.Duration)
 	sampler.Stop()
+	if ftick != nil {
+		ftick.Stop()
+	}
+	if fx != nil {
+		fx.Det.Finish(cfg.Duration)
+	}
 	scr.Stop()
 	f.Stop()
 	// Drain in-flight work briefly so final samples are complete.
@@ -323,6 +400,7 @@ func Run(cfg RunConfig) *RunResult {
 		res.SLO = slo
 		res.Samples = gen.Samples()
 	}
+	res.Forensics = fx
 
 	warm := cfg.WarmupSkip
 	res.P50 = gen.TailLatency(50, warm)

@@ -1,0 +1,386 @@
+package forensics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"conscale/internal/des"
+	"conscale/internal/trace"
+)
+
+// CauseKind classifies one suspected episode cause.
+type CauseKind uint8
+
+// The suspected-cause classes, in rough prior-strength order: an injected
+// fault outranks a workload surge outranks a controller decision outranks
+// an SCT signal shift. The scoring ranges are disjoint by design (fault
+// scores start at 2.5, surges cap at 2.0, decisions at 1.8, SCT shifts at
+// 0.9) so a fault overlapping the episode always tops the ranking.
+const (
+	// CauseFault blames an injected chaos fault overlapping the episode.
+	CauseFault CauseKind = iota
+	// CauseWorkloadSurge blames a client-population jump at onset.
+	CauseWorkloadSurge
+	// CauseDecision blames a controller action shortly before onset
+	// (a scale-in, a pool shrink) or a suppressed one during it.
+	CauseDecision
+	// CauseSCTShift blames an abrupt move of the SCT concurrency range.
+	CauseSCTShift
+	// CauseUnknown is the explicit "no recorded signal explains this".
+	CauseUnknown
+)
+
+// String implements fmt.Stringer.
+func (k CauseKind) String() string {
+	switch k {
+	case CauseFault:
+		return "fault"
+	case CauseWorkloadSurge:
+		return "workload-surge"
+	case CauseDecision:
+		return "decision"
+	case CauseSCTShift:
+		return "sct-shift"
+	case CauseUnknown:
+		return "unknown"
+	default:
+		return "cause?"
+	}
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k CauseKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Cause is one ranked suspect on an episode's cause list.
+type Cause struct {
+	// Kind classifies the suspect.
+	Kind CauseKind `json:"kind"`
+	// Score orders the list (higher = stronger; the per-kind ranges are
+	// documented on the CauseKind constants).
+	Score float64 `json:"score"`
+	// At anchors the suspect in time (fault start, decision time, ...).
+	At des.Time `json:"at_s"`
+	// Detail names the suspect ("cpu-interference tomcat2").
+	Detail string `json:"detail"`
+	// Evidence explains the score in one human-readable sentence.
+	Evidence string `json:"evidence"`
+}
+
+// BlameDelta is one tier×component latency change between the episode
+// and its pre-onset baseline, from the tracer's blame table.
+type BlameDelta struct {
+	// Component is "tier/kind" ("tomcat/queue", "mysql/pool-wait", ...).
+	Component string `json:"component"`
+	// BaselineMs is the per-request component magnitude (milliseconds)
+	// over the pre-onset baseline window.
+	BaselineMs float64 `json:"baseline_ms"`
+	// EpisodeMs is the same magnitude during the episode.
+	EpisodeMs float64 `json:"episode_ms"`
+	// DeltaMs is EpisodeMs − BaselineMs, the ranking key.
+	DeltaMs float64 `json:"delta_ms"`
+}
+
+// EpisodeReport is one episode with its ranked causes, its blame diff,
+// and the controller reactions recorded inside it.
+type EpisodeReport struct {
+	// Episode is the detected segment.
+	Episode Episode `json:"episode"`
+	// Causes is the ranked suspect list, strongest first (never empty —
+	// CauseUnknown closes the pipeline honestly).
+	Causes []Cause `json:"causes"`
+	// Blame lists the largest positive tier×component latency deltas vs
+	// the pre-episode baseline, largest first.
+	Blame []BlameDelta `json:"blame"`
+	// Reactions lists the controller actions taken during the episode
+	// (launches, readies, repairs) — the cure side of the timeline.
+	Reactions []string `json:"reactions"`
+}
+
+// Report is the full attribution output of one run.
+type Report struct {
+	// Label names the run ("big-spike/conscale").
+	Label string `json:"label"`
+	// Episodes carries one report per confirmed episode, onset order.
+	Episodes []EpisodeReport `json:"episodes"`
+	// Series is the detector's retained per-tick trace, for timelines.
+	Series []TickPoint `json:"series"`
+}
+
+// TopCause returns an episode report's strongest suspect.
+func (er EpisodeReport) TopCause() Cause {
+	if len(er.Causes) == 0 {
+		return Cause{Kind: CauseUnknown}
+	}
+	return er.Causes[0]
+}
+
+// Report runs the causal attribution pipeline: for every confirmed
+// episode it diffs the blame table against the pre-episode baseline
+// window, scans the flight recorder for overlapping faults, population
+// surges, suspect decisions, and SCT shifts, and emits the ranked
+// suspected-cause report. blame may be nil (no tracer armed) — the cause
+// ranking still works from the recorder alone.
+func (f *Forensics) Report(label string, blame []trace.BlameRow) *Report {
+	rep := &Report{Label: label}
+	if f == nil {
+		return rep
+	}
+	rep.Series = f.Det.Series()
+	for _, ep := range f.Det.Episodes() {
+		rep.Episodes = append(rep.Episodes, f.attribute(ep, blame))
+	}
+	return rep
+}
+
+func (f *Forensics) attribute(ep Episode, blame []trace.BlameRow) EpisodeReport {
+	er := EpisodeReport{Episode: ep}
+	er.Causes = append(er.Causes, f.faultCauses(ep)...)
+	if c, ok := f.surgeCause(ep); ok {
+		er.Causes = append(er.Causes, c)
+	}
+	causes, reactions := f.decisionCauses(ep)
+	er.Causes = append(er.Causes, causes...)
+	er.Reactions = reactions
+	er.Causes = append(er.Causes, f.sctCauses(ep)...)
+	if len(er.Causes) == 0 {
+		er.Causes = []Cause{{
+			Kind:     CauseUnknown,
+			Score:    0.1,
+			At:       ep.Onset,
+			Detail:   "no recorded signal",
+			Evidence: "no fault, surge, decision, or SCT shift found in the flight recorder around the episode",
+		}}
+	}
+	sort.SliceStable(er.Causes, func(i, j int) bool {
+		a, b := er.Causes[i], er.Causes[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Detail < b.Detail
+	})
+	er.Blame = f.blameDeltas(ep, blame)
+	return er
+}
+
+// faultCauses scores every recorded fault whose influence window — the
+// activation window extended by FaultLag, since a crash's effect outlives
+// its instant — overlaps the episode. Scores live in [2.5, 5]: a floor
+// for any overlap, plus the overlapped episode fraction, plus a proximity
+// term that rewards faults striking at (or just before) onset.
+func (f *Forensics) faultCauses(ep Episode) []Cause {
+	var out []Cause
+	epLen := float64(ep.Duration())
+	for _, fr := range f.Rec.Faults() {
+		effEnd := fr.End + f.cfg.FaultLag
+		if fr.At >= ep.Recovery || effEnd <= ep.Onset {
+			continue
+		}
+		ovl := math.Min(float64(effEnd), float64(ep.Recovery)) - math.Max(float64(fr.At), float64(ep.Onset))
+		frac := 0.0
+		if epLen > 0 {
+			frac = math.Min(1, ovl/epLen)
+		}
+		gap := 0.0 // distance from the fault's active window to onset
+		if fr.At > ep.Onset {
+			gap = float64(fr.At - ep.Onset)
+		} else if fr.End < ep.Onset {
+			gap = float64(ep.Onset - fr.End)
+		}
+		prox := math.Exp(-gap / float64(f.cfg.FaultLag))
+		target := fr.Target
+		if target == "" {
+			target = fr.Tier
+		}
+		out = append(out, Cause{
+			Kind:   CauseFault,
+			Score:  2.5 + 1.5*frac + prox,
+			At:     fr.At,
+			Detail: fr.Kind + " " + target,
+			Evidence: fmt.Sprintf("fault active %s-%s covers %.0f%% of the episode (gap to onset %.1f s)",
+				trace.FormatSimTime(fr.At), trace.FormatSimTime(fr.End), 100*frac, gap),
+		})
+	}
+	return out
+}
+
+// surgeCause compares the mean client population just after onset with
+// the pre-episode baseline window; a ≥1.25× jump becomes a suspect with
+// score min(2.0, 0.8×ratio) — strong surges rank just under any fault.
+func (f *Forensics) surgeCause(ep Episode) (Cause, bool) {
+	preSum, preN := 0.0, 0
+	postSum, postN := 0.0, 0
+	postEnd := ep.Onset + 10*des.Second
+	if postEnd > ep.Recovery {
+		postEnd = ep.Recovery
+	}
+	for _, s := range f.Rec.Snapshots() {
+		switch {
+		case s.Time >= ep.Onset-f.cfg.BaselineWindow && s.Time < ep.Onset:
+			preSum += float64(s.Clients)
+			preN++
+		case s.Time >= ep.Onset && s.Time <= postEnd:
+			postSum += float64(s.Clients)
+			postN++
+		}
+	}
+	if preN == 0 || postN == 0 || preSum <= 0 {
+		return Cause{}, false
+	}
+	ratio := (postSum / float64(postN)) / (preSum / float64(preN))
+	if ratio < 1.25 {
+		return Cause{}, false
+	}
+	return Cause{
+		Kind:   CauseWorkloadSurge,
+		Score:  math.Min(2.0, 0.8*ratio),
+		At:     ep.Onset,
+		Detail: fmt.Sprintf("client population x%.2f", ratio),
+		Evidence: fmt.Sprintf("mean active clients %.0f in the %.0f s before onset vs %.0f just after",
+			preSum/float64(preN), float64(f.cfg.BaselineWindow), postSum/float64(postN)),
+	}, true
+}
+
+// decisionCauses scans the decision ring: capacity-removing actions
+// (scale-in, pool resize) in the pre-onset baseline window become
+// suspects whose score decays with distance from onset (max 1.8); a
+// cooldown-suppressed trigger during the episode becomes a 1.0 suspect.
+// Remedial actions inside the episode (launches, readies, repairs,
+// scale-ups) are returned separately as the reactions timeline.
+func (f *Forensics) decisionCauses(ep Episode) ([]Cause, []string) {
+	var causes []Cause
+	var reactions []string
+	for _, e := range f.Rec.Decisions() {
+		switch e.Kind {
+		case trace.AuditScaleIn, trace.AuditPoolResize:
+			if e.Time >= ep.Onset-f.cfg.BaselineWindow && e.Time < ep.Onset {
+				age := float64(ep.Onset - e.Time)
+				causes = append(causes, Cause{
+					Kind:   CauseDecision,
+					Score:  1.2 + 0.6*math.Exp(-age/float64(f.cfg.BaselineWindow)),
+					At:     e.Time,
+					Detail: e.Kind.String() + " " + e.Tier,
+					Evidence: fmt.Sprintf("%s on %s %.1f s before onset (%s)",
+						e.Kind, e.Tier, age, e.Cause),
+				})
+			}
+		case trace.AuditCooldownSkip:
+			if e.Time >= ep.Onset && e.Time <= ep.Recovery {
+				causes = append(causes, Cause{
+					Kind:     CauseDecision,
+					Score:    1.0,
+					At:       e.Time,
+					Detail:   "cooldown-skip " + e.Tier,
+					Evidence: fmt.Sprintf("scale-out suppressed during the episode at %s (%s)", trace.FormatSimTime(e.Time), e.Cause),
+				})
+			}
+		case trace.AuditScaleOutLaunch, trace.AuditScaleOutReady, trace.AuditRepair, trace.AuditScaleUp:
+			if e.Time >= ep.Onset && e.Time <= ep.Recovery {
+				reactions = append(reactions, fmt.Sprintf("%s %s %s @ %s",
+					e.Kind, e.Tier, e.Detail, trace.FormatSimTime(e.Time)))
+			}
+		}
+	}
+	return causes, reactions
+}
+
+// sctCauses scans consecutive SCT estimates per server: a refresh landing
+// in [onset − BaselineWindow, onset + 5 s] that moves the range midpoint
+// by ≥25% becomes a 0.9-scored suspect — the signal the concurrency
+// adapters act on shifted under them.
+func (f *Forensics) sctCauses(ep Episode) []Cause {
+	last := map[string]SCTRec{}
+	var out []Cause
+	for _, r := range f.Rec.SCT() {
+		prev, seen := last[r.Server]
+		last[r.Server] = r
+		if !seen || r.Time < ep.Onset-f.cfg.BaselineWindow || r.Time > ep.Onset+5*des.Second {
+			continue
+		}
+		mid := float64(r.Qlower+r.Qupper) / 2
+		pmid := float64(prev.Qlower+prev.Qupper) / 2
+		if pmid <= 0 {
+			continue
+		}
+		rel := math.Abs(mid-pmid) / pmid
+		if rel < 0.25 {
+			continue
+		}
+		out = append(out, Cause{
+			Kind:   CauseSCTShift,
+			Score:  0.9,
+			At:     r.Time,
+			Detail: fmt.Sprintf("sct %s [%d,%d]->[%d,%d]", r.Server, prev.Qlower, prev.Qupper, r.Qlower, r.Qupper),
+			Evidence: fmt.Sprintf("SCT range midpoint moved %.0f%% at %s, within the onset window",
+				100*rel, trace.FormatSimTime(r.Time)),
+		})
+	}
+	// Map iteration fed append order only through the ring scan (which is
+	// deterministic); sort anyway so the list never depends on map order.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+// blameDeltas diffs the tracer's tier×component decomposition between the
+// episode span and the pre-onset baseline window, returning the positive
+// movers (≥1 ms growth), largest first, capped at eight rows. Falls back
+// from the p99 class to the mean class when the tail class has no rows in
+// either window (thin sampling).
+func (f *Forensics) blameDeltas(ep Episode, rows []trace.BlameRow) []BlameDelta {
+	if len(rows) == 0 {
+		return nil
+	}
+	base, epi, ok := summarizePair(rows, "p99", ep, f.cfg.BaselineWindow)
+	if !ok {
+		if base, epi, ok = summarizePair(rows, "mean", ep, f.cfg.BaselineWindow); !ok {
+			return nil
+		}
+	}
+	var out []BlameDelta
+	for tier := trace.TierID(0); tier < trace.NumTiers; tier++ {
+		for kind := trace.SegKind(0); kind < trace.NumSegKinds; kind++ {
+			b := base.Comp[tier][kind] * 1000
+			e := epi.Comp[tier][kind] * 1000
+			if e-b >= 1 {
+				out = append(out, BlameDelta{
+					Component:  tier.String() + "/" + kind.String(),
+					BaselineMs: b,
+					EpisodeMs:  e,
+					DeltaMs:    e - b,
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].DeltaMs != out[j].DeltaMs {
+			return out[i].DeltaMs > out[j].DeltaMs
+		}
+		return out[i].Component < out[j].Component
+	})
+	if len(out) > 8 {
+		out = out[:8]
+	}
+	return out
+}
+
+func summarizePair(rows []trace.BlameRow, class string, ep Episode, baseWin des.Time) (base, epi trace.BlameRow, ok bool) {
+	base, okB := trace.BlameSummary(rows, class, ep.Onset-baseWin, ep.Onset)
+	// Blame rows are keyed by aligned window start; stretch a short
+	// episode's query span so it always covers at least one boundary.
+	end := ep.Recovery
+	if min := ep.Onset + 12*des.Second; end < min {
+		end = min
+	}
+	epi, okE := trace.BlameSummary(rows, class, ep.Onset, end)
+	return base, epi, okB && okE
+}

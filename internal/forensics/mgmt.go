@@ -1,0 +1,45 @@
+package forensics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"conscale/internal/mgmt"
+)
+
+// RegisterMgmt exposes the forensics layer through a management Store
+// (the same JMX-substitute path the tracer and telemetry use):
+//
+//	forensics.enabled     RW  "true"/"false" — recorder + detector switch
+//	forensics.episodes    RO  confirmed episode count
+//	forensics.in_episode  RO  "true" while inside an episode
+//	forensics.recorded    RO  "snaps/decisions/faults/sct/spans" counters
+//
+// The setters only touch atomics, so an Agent can drive them from its
+// connection goroutines while the simulation runs.
+func (f *Forensics) RegisterMgmt(s *mgmt.Store) {
+	if f == nil || s == nil {
+		return
+	}
+	s.Register("forensics.enabled",
+		func() string { return strconv.FormatBool(f.Enabled()) },
+		func(v string) error {
+			on, err := strconv.ParseBool(strings.TrimSpace(v))
+			if err != nil {
+				return fmt.Errorf("forensics.enabled: %w", err)
+			}
+			f.SetEnabled(on)
+			return nil
+		})
+	s.Register("forensics.episodes", func() string {
+		return strconv.FormatUint(f.Det.Count(), 10)
+	}, nil)
+	s.Register("forensics.in_episode", func() string {
+		return strconv.FormatBool(f.Det.InEpisode())
+	}, nil)
+	s.Register("forensics.recorded", func() string {
+		sn, de, fa, sc, sp := f.Rec.Counts()
+		return fmt.Sprintf("%d/%d/%d/%d/%d", sn, de, fa, sc, sp)
+	}, nil)
+}

@@ -1,0 +1,156 @@
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"conscale/internal/des"
+	"conscale/internal/trace"
+)
+
+// WriteJSON writes the attribution report as indented JSON (the
+// machine-readable artifact the episodes experiment uploads).
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rep)
+}
+
+// sparkGlyphs are the ASCII intensity levels of the timeline sparkline,
+// calm to catastrophic.
+const sparkGlyphs = " .:-=+*#%@"
+
+// WriteASCII renders the report as a human-readable timeline: one block
+// per episode with a p99 sparkline (onset−15 s .. recovery+10 s), the
+// ranked causes, the blame movers, and the controller reactions. All
+// clocks are mm:ss.mmm, matching the audit CSV's time_hms column.
+func WriteASCII(w io.Writer, rep *Report) error {
+	if _, err := fmt.Fprintf(w, "== fluctuation episodes: %s (%d confirmed)\n", rep.Label, len(rep.Episodes)); err != nil {
+		return err
+	}
+	for i, er := range rep.Episodes {
+		ep := er.Episode
+		open := ""
+		if ep.Open {
+			open = "  [open at run end]"
+		}
+		if _, err := fmt.Fprintf(w, "\nepisode #%d  onset %s  peak %s (p99 %.0f ms)  recovery %s  depth %.0f ms  area %.1f s*s%s\n",
+			i+1, trace.FormatSimTime(ep.Onset), trace.FormatSimTime(ep.Peak), ep.PeakP99*1000,
+			trace.FormatSimTime(ep.Recovery), ep.Depth*1000, ep.AreaOverSLO, open); err != nil {
+			return err
+		}
+		if line := sparkline(rep.Series, ep.Onset-15*des.Second, ep.Recovery+10*des.Second, 60); line != "" {
+			if _, err := fmt.Fprintf(w, "  p99 [%s] scale 0..%.0f ms\n", line, ep.PeakP99*1000); err != nil {
+				return err
+			}
+		}
+		for j, c := range er.Causes {
+			if _, err := fmt.Fprintf(w, "  cause %d: %-14s %-36s score %.2f — %s\n",
+				j+1, c.Kind, c.Detail, c.Score, c.Evidence); err != nil {
+				return err
+			}
+		}
+		for _, b := range er.Blame {
+			if _, err := fmt.Fprintf(w, "  blame %-20s %+8.1f ms (%.1f -> %.1f)\n",
+				b.Component, b.DeltaMs, b.BaselineMs, b.EpisodeMs); err != nil {
+				return err
+			}
+		}
+		for _, r := range er.Reactions {
+			if _, err := fmt.Fprintf(w, "  reaction: %s\n", r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sparkline downsamples the series points inside [from, to] to width
+// buckets of glyphs scaled to the segment maximum.
+func sparkline(series []TickPoint, from, to des.Time, width int) string {
+	if to <= from || width <= 0 {
+		return ""
+	}
+	sums := make([]float64, width)
+	ns := make([]int, width)
+	maxV := 0.0
+	for _, p := range series {
+		if p.Time < from || p.Time > to || math.IsNaN(p.P99) {
+			continue
+		}
+		b := int(float64(p.Time-from) / float64(to-from) * float64(width))
+		if b >= width {
+			b = width - 1
+		}
+		sums[b] += p.P99
+		ns[b]++
+		if p.P99 > maxV {
+			maxV = p.P99
+		}
+	}
+	if maxV <= 0 {
+		return ""
+	}
+	out := make([]byte, width)
+	for i := range out {
+		if ns[i] == 0 {
+			out[i] = ' '
+			continue
+		}
+		level := int(sums[i] / float64(ns[i]) / maxV * float64(len(sparkGlyphs)-1))
+		if level >= len(sparkGlyphs) {
+			level = len(sparkGlyphs) - 1
+		}
+		out[i] = sparkGlyphs[level]
+	}
+	return string(out)
+}
+
+// AppendChrome adds the report as a Perfetto annotation track to a Chrome
+// trace document: each episode is an "X" slice on pid 0 (named by its top
+// cause), each ranked cause an "i" instant at its anchor time — loadable
+// next to the span waterfall and the audit instants trace already emits.
+func AppendChrome(doc *trace.ChromeTrace, rep *Report) {
+	if doc == nil || rep == nil {
+		return
+	}
+	const episodeTid = 999
+	for i, er := range rep.Episodes {
+		ep := er.Episode
+		top := er.TopCause()
+		doc.TraceEvents = append(doc.TraceEvents, trace.ChromeEvent{
+			Name: fmt.Sprintf("episode#%d %s", i+1, top.Kind),
+			Cat:  "episode",
+			Ph:   "X",
+			Ts:   float64(ep.Onset) * 1e6,
+			Dur:  float64(ep.Duration()) * 1e6,
+			Pid:  0,
+			Tid:  episodeTid,
+			Args: map[string]any{
+				"depth_ms":      ep.Depth * 1000,
+				"peak_p99_ms":   ep.PeakP99 * 1000,
+				"area_over_slo": ep.AreaOverSLO,
+				"top_cause":     top.Detail,
+				"top_score":     top.Score,
+			},
+		})
+		for _, c := range er.Causes {
+			doc.TraceEvents = append(doc.TraceEvents, trace.ChromeEvent{
+				Name: "cause:" + c.Kind.String(),
+				Cat:  "episode",
+				Ph:   "i",
+				Ts:   float64(c.At) * 1e6,
+				Pid:  0,
+				Tid:  episodeTid,
+				S:    "g",
+				Args: map[string]any{
+					"detail":   c.Detail,
+					"score":    c.Score,
+					"evidence": c.Evidence,
+				},
+			})
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package forensics
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"conscale/internal/telemetry"
+)
+
+// TestEpisodeMetricsPromRoundTrip drives the detector into an episode,
+// serves the registry through the live Prometheus handler, and parses
+// the exposition back — the satellite contract that
+// forensics_episodes_total / forensics_in_episode survive the full
+// register → expose → parse loop.
+func TestEpisodeMetricsPromRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	f := New(Config{})
+	f.Det.Register(reg)
+
+	scrape := func() map[string]float64 {
+		srv := httptest.NewServer(telemetry.Handler(reg))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fams, err := telemetry.ParseProm(strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("exposition does not round-trip: %v\n%s", err, body)
+		}
+		vals := map[string]float64{}
+		for _, fam := range fams {
+			for _, s := range fam.Samples {
+				vals[s.Name] = s.Value
+			}
+		}
+		return vals
+	}
+
+	vals := scrape()
+	if vals["forensics_episodes_total"] != 0 || vals["forensics_in_episode"] != 0 {
+		t.Fatalf("pre-episode scrape = %v", vals)
+	}
+
+	now := feedCalm(f.Det, 0, 30)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 20; j++ {
+			f.Det.Observe(now, 1.5, true)
+		}
+		f.Det.Tick(now)
+		now++
+	}
+	vals = scrape()
+	if vals["forensics_episodes_total"] != 1 {
+		t.Fatalf("episodes_total = %v, want 1", vals["forensics_episodes_total"])
+	}
+	if vals["forensics_in_episode"] != 1 {
+		t.Fatalf("in_episode = %v, want 1 mid-episode", vals["forensics_in_episode"])
+	}
+
+	feedCalm(f.Det, now, 12)
+	vals = scrape()
+	if vals["forensics_in_episode"] != 0 {
+		t.Fatalf("in_episode = %v after recovery, want 0", vals["forensics_in_episode"])
+	}
+	if vals["forensics_episodes_total"] != 1 {
+		t.Fatalf("episodes_total = %v after recovery, want 1", vals["forensics_episodes_total"])
+	}
+}

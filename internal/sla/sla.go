@@ -138,6 +138,16 @@ func (q *P2Quantile) Value() float64 {
 
 // WindowTail tracks exact percentiles over a sliding time window of
 // response-time samples — the controller-facing SLA signal.
+//
+// Step response: after a level shift in the stream, the windowed
+// percentile is a mix of old and new samples until the old ones age
+// out, so the reported p99 reaches the new level no later than one full
+// window span after the step (the flush bound) — and much sooner for
+// high percentiles, since p99 needs only ~1% of the window's samples at
+// the new level before rank interpolation lands on them. P² has no such
+// bound: its markers chase a step asymptotically (see the step-bias
+// test for the measured lag), which is why episode detection feeds on
+// WindowTail rather than P2Quantile.
 type WindowTail struct {
 	window des.Time
 	times  []des.Time

@@ -119,9 +119,10 @@ func (e AuditEvent) String() string {
 // atomics so a management agent can toggle and poll it live. A nil *Audit
 // is a valid, inert receiver.
 type Audit struct {
-	enabled atomic.Bool
-	count   atomic.Uint64
-	events  []AuditEvent
+	enabled  atomic.Bool
+	count    atomic.Uint64
+	events   []AuditEvent
+	observer func(AuditEvent)
 }
 
 // NewAudit returns an enabled, empty trail.
@@ -141,6 +142,17 @@ func (a *Audit) SetEnabled(on bool) {
 // Enabled reports the live switch.
 func (a *Audit) Enabled() bool { return a != nil && a.enabled.Load() }
 
+// SetObserver installs a tap called synchronously from Record with every
+// event that lands on the trail (simulation goroutine only — set it
+// before the run starts). The forensics flight recorder uses this to see
+// decisions, faults, and SCT estimates live without polling; the observer
+// must only read, never schedule or draw randomness.
+func (a *Audit) SetObserver(fn func(AuditEvent)) {
+	if a != nil {
+		a.observer = fn
+	}
+}
+
 // Record appends one event (no-op when nil or disabled).
 func (a *Audit) Record(e AuditEvent) {
 	if a == nil || !a.enabled.Load() {
@@ -148,6 +160,9 @@ func (a *Audit) Record(e AuditEvent) {
 	}
 	a.events = append(a.events, e)
 	a.count.Add(1)
+	if a.observer != nil {
+		a.observer(e)
+	}
 }
 
 // Len returns the recorded event count (safe from any goroutine).

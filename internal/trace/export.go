@@ -221,14 +221,30 @@ func WriteBlameCSV(w io.Writer, label string, rows []BlameRow) error {
 	return nil
 }
 
-// WriteAuditCSV writes the controller decision trail as CSV.
+// FormatSimTime renders a simulated timestamp as mm:ss.mmm (minutes grow
+// past two digits as needed) — the human-readable clock shared by the
+// audit CSV and the forensics episode reports, so rows from both can be
+// eyeballed side by side.
+func FormatSimTime(t des.Time) string {
+	sign := ""
+	s := float64(t)
+	if s < 0 {
+		sign, s = "-", -s
+	}
+	min := int(s) / 60
+	return fmt.Sprintf("%s%02d:%06.3f", sign, min, s-float64(min*60))
+}
+
+// WriteAuditCSV writes the controller decision trail as CSV. time_s is
+// the raw simulated-seconds clock; time_hms repeats it as mm:ss.mmm for
+// eyeballing against episode reports.
 func WriteAuditCSV(w io.Writer, events []AuditEvent) error {
-	if _, err := fmt.Fprintln(w, "time_s,kind,tier,cause,detail,qlower,qupper,value"); err != nil {
+	if _, err := fmt.Fprintln(w, "time_s,time_hms,kind,tier,cause,detail,qlower,qupper,value"); err != nil {
 		return err
 	}
 	for _, e := range events {
-		if _, err := fmt.Fprintf(w, "%.3f,%s,%s,%s,%s,%d,%d,%.3f\n",
-			float64(e.Time), e.Kind, e.Tier, csvField(e.Cause), csvField(e.Detail),
+		if _, err := fmt.Fprintf(w, "%.3f,%s,%s,%s,%s,%s,%d,%d,%.3f\n",
+			float64(e.Time), FormatSimTime(e.Time), e.Kind, e.Tier, csvField(e.Cause), csvField(e.Detail),
 			e.Qlower, e.Qupper, e.Value); err != nil {
 			return err
 		}

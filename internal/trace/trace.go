@@ -347,6 +347,7 @@ type Tracer struct {
 
 	blame blameAgg
 	audit *Audit
+	onEnd func(root *Span)
 }
 
 // New builds a tracer, enabled, with its audit trail armed.
@@ -465,10 +466,26 @@ func (t *Tracer) EndRequest(root *Span, now des.Time, ok bool) {
 		t.failed.Add(1)
 	}
 	t.blame.add(root)
+	if t.onEnd != nil {
+		t.onEnd(root)
+	}
 	if t.offer(root) {
 		return
 	}
 	t.recycle(root)
+}
+
+// SetOnEnd installs a tap called from EndRequest with every sampled,
+// fully closed span tree, before the tree is offered to the reservoir or
+// recycled (simulation goroutine only — set it before the run starts).
+// The callback must not retain the tree: spans are pooled, so anything it
+// wants to keep has to be summarized by value. The unsampled/disabled
+// path never reaches the hook, so the nil-span fast path stays
+// allocation-free.
+func (t *Tracer) SetOnEnd(fn func(root *Span)) {
+	if t != nil {
+		t.onEnd = fn
+	}
 }
 
 func closeOpen(s *Span, now des.Time, ok bool) {

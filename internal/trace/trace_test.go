@@ -329,11 +329,33 @@ func TestBlameAndAuditCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines = strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if lines[0] != "time_s,kind,tier,cause,detail,qlower,qupper,value" {
+	if lines[0] != "time_s,time_hms,kind,tier,cause,detail,qlower,qupper,value" {
 		t.Fatalf("header: %s", lines[0])
 	}
-	if strings.Count(lines[1], ",") != 7 {
+	if strings.Count(lines[1], ",") != 8 {
 		t.Fatalf("cause comma not escaped: %s", lines[1])
+	}
+	if !strings.HasPrefix(lines[1], "1.000,00:01.000,") {
+		t.Fatalf("sim-time columns: %s", lines[1])
+	}
+}
+
+func TestFormatSimTime(t *testing.T) {
+	cases := []struct {
+		in   des.Time
+		want string
+	}{
+		{0, "00:00.000"},
+		{1, "00:01.000"},
+		{61.5, "01:01.500"},
+		{245.678, "04:05.678"},
+		{-3.25, "-00:03.250"},
+		{7200.001, "120:00.001"},
+	}
+	for _, c := range cases {
+		if got := FormatSimTime(c.in); got != c.want {
+			t.Errorf("FormatSimTime(%v) = %q, want %q", float64(c.in), got, c.want)
+		}
 	}
 }
 
