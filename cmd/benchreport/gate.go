@@ -24,6 +24,8 @@ var gatePairs = [][2]string{
 	{"forensics/recorder_snapshot", "des/schedule_fire"},
 	{"forensics/recorder_audit_event", "des/schedule_fire"},
 	{"forensics/detector_tick", "des/schedule_fire"},
+	{"twin/tick_steady", "des/schedule_fire"},
+	{"qnet/snapshot_solve", "des/schedule_fire"},
 }
 
 // historyReport is the slice of a committed BENCH_*.json the gate
@@ -147,19 +149,58 @@ func gateCheck(current []Result, history []historyReport, slack float64) []strin
 	return violations
 }
 
-// runGate is the `-gate` mode: re-measure the hot-path microbenchmarks,
-// diff them against the committed BENCH_2..7 trajectory, and exit 1 on
-// regression. slowdown (normally 1) multiplies the measured des-side
-// nanoseconds — the self-test hook that proves the gate trips on an
-// injected hot-path slowdown.
+// gatePasses is how many times the gate re-runs the microbenchmark
+// suite before judging. Per benchmark it keeps the minimum ns/op and
+// the maximum allocs/op across passes: co-tenant load, GC pauses, and
+// frequency scaling only ever push a time measurement *up*, so the
+// minimum is the observation closest to the true cost — single-shot
+// runs of the ~100 µs benches (MVA solves, detector ticks) otherwise
+// flake either side of the slack limit on busy 1-core runners — while
+// allocs/op is deterministic, so taking the maximum can only surface a
+// real allocation, never hide one.
+const gatePasses = 3
+
+// bestOf merges repeated microbenchmark passes per the gatePasses rule.
+func bestOf(passes [][]Result) []Result {
+	best := passes[0]
+	for _, pass := range passes[1:] {
+		idx := resultIndex(pass)
+		for i, r := range best {
+			p, ok := idx[r.Name]
+			if !ok {
+				continue
+			}
+			if p.NsPerOp < best[i].NsPerOp {
+				best[i].NsPerOp = p.NsPerOp
+			}
+			if p.AllocsPerOp > best[i].AllocsPerOp {
+				best[i].AllocsPerOp = p.AllocsPerOp
+			}
+			if p.BytesPerOp > best[i].BytesPerOp {
+				best[i].BytesPerOp = p.BytesPerOp
+			}
+		}
+	}
+	return best
+}
+
+// runGate is the `-gate` mode: re-measure the hot-path microbenchmarks
+// (best of gatePasses runs), diff them against the committed BENCH_2..9
+// trajectory, and exit 1 on regression. slowdown (normally 1) multiplies
+// the measured des-side nanoseconds — the self-test hook that proves the
+// gate trips on an injected hot-path slowdown.
 func runGate(historyPaths []string, slack, slowdown float64) {
 	history, err := loadHistory(historyPaths)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("== trend gate: %d committed reports, slack %.2fx\n", len(history), slack)
-	current := microBenches()
+	fmt.Printf("== trend gate: %d committed reports, slack %.2fx, best of %d passes\n", len(history), slack, gatePasses)
+	passes := make([][]Result, gatePasses)
+	for i := range passes {
+		passes[i] = microBenches()
+	}
+	current := bestOf(passes)
 	if slowdown != 1 {
 		fmt.Printf("   injecting %.1fx slowdown into the des hot paths (self-test)\n", slowdown)
 		for i, r := range current {

@@ -1,5 +1,5 @@
 // Command benchreport measures the repo's performance-critical paths and
-// writes the results as a machine-readable JSON file (BENCH_8.json), so
+// writes the results as a machine-readable JSON file (BENCH_9.json), so
 // every future change has a perf trajectory to compare against:
 //
 //   - DES engine microbenchmarks (inline 4-ary heap) against the frozen
@@ -36,10 +36,15 @@
 //     recording, and the episode detector's observe and tick costs;
 //   - forensics overhead end to end: the same run bare and with the
 //     whole forensics layer armed (recorder rings, episode detector,
-//     1 s snapshot ticker), with a timeline byte-identity check.
+//     1 s snapshot ticker), with a timeline byte-identity check;
+//   - analytical-twin microbenchmarks (the disabled observer hot path
+//     must stay at zero allocations; the steady tick with its MVA solve;
+//     the qnet snapshot+solve cost at 2500 clients) and twin overhead
+//     end to end: the same run bare and twin-armed, with a timeline
+//     byte-identity check.
 //
 // The -gate mode re-measures only the hot-path microbenchmarks and
-// diffs them against the committed BENCH_2..8 trajectory: the
+// diffs them against the committed BENCH_2..9 trajectory: the
 // machine-independent same-process ns ratios (des vs the frozen
 // baseline, striper barrier vs the engine hot path) must stay within
 // the slack factor of the worst committed ratio, and allocs/op must
@@ -47,9 +52,9 @@
 //
 // Usage:
 //
-//	benchreport -out BENCH_8.json          # full measurement
-//	benchreport -short -out BENCH_8.json   # CI smoke (seconds, not minutes)
-//	benchreport -gate                      # trend gate vs committed BENCH_2..8
+//	benchreport -out BENCH_9.json          # full measurement
+//	benchreport -short -out BENCH_9.json   # CI smoke (seconds, not minutes)
+//	benchreport -gate                      # trend gate vs committed BENCH_2..9
 package main
 
 import (
@@ -68,10 +73,13 @@ import (
 	"conscale/internal/experiment"
 	"conscale/internal/forensics"
 	"conscale/internal/metrics"
+	"conscale/internal/qnet"
 	"conscale/internal/rng"
+	"conscale/internal/rubbos"
 	"conscale/internal/scaling"
 	"conscale/internal/telemetry"
 	"conscale/internal/trace"
+	"conscale/internal/twin"
 	"conscale/internal/workload"
 )
 
@@ -148,7 +156,20 @@ type Forensics struct {
 	TimelineIdentical bool    `json:"timeline_byte_identical"`
 }
 
-// Report is the BENCH_8.json document.
+// Twin records the analytical-twin overhead measurement: one run bare
+// and the same run with the twin observer armed.
+type Twin struct {
+	Experiment        string  `json:"experiment"`
+	OffSec            float64 `json:"twin_off_seconds"`
+	OnSec             float64 `json:"twin_on_seconds"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	Ticks             uint64  `json:"ticks"`
+	Applicable        uint64  `json:"applicable_ticks"`
+	Drifts            uint64  `json:"drift_flags"`
+	TimelineIdentical bool    `json:"timeline_byte_identical"`
+}
+
+// Report is the BENCH_9.json document.
 type Report struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -161,6 +182,7 @@ type Report struct {
 	Scale      Scale              `json:"scale"`
 	Tournament Tournament         `json:"tournament"`
 	Forensics  Forensics          `json:"forensics"`
+	Twin       Twin               `json:"twin"`
 	Derived    map[string]float64 `json:"derived"`
 }
 
@@ -177,10 +199,10 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	var (
-		out          = flag.String("out", "BENCH_8.json", "output path for the JSON report")
+		out          = flag.String("out", "BENCH_9.json", "output path for the JSON report")
 		short        = flag.Bool("short", false, "shrink the harness measurement for CI smoke runs")
 		gate         = flag.Bool("gate", false, "trend-gate mode: measure only the hot-path microbenchmarks, diff against the committed history, exit 1 on regression")
-		history      = flag.String("gate-history", "BENCH_2.json,BENCH_3.json,BENCH_4.json,BENCH_5.json,BENCH_6.json,BENCH_7.json,BENCH_8.json", "comma-separated committed reports the gate diffs against")
+		history      = flag.String("gate-history", "BENCH_2.json,BENCH_3.json,BENCH_4.json,BENCH_5.json,BENCH_6.json,BENCH_7.json,BENCH_8.json,BENCH_9.json", "comma-separated committed reports the gate diffs against")
 		gateSlack    = flag.Float64("gate-slack", 1.25, "allowed growth factor over the worst committed ratio before the gate fails")
 		gateSlowdown = flag.Float64("gate-slowdown", 1, "multiply the measured des hot-path nanoseconds (self-test hook: 2 must fail the gate)")
 	)
@@ -192,7 +214,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:     "conscale-bench/8",
+		Schema:     "conscale-bench/9",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Short:      *short,
@@ -219,6 +241,9 @@ func main() {
 	rep.Derived["forensics_disabled_allocs_per_op"] = float64(byName["forensics/recorder_disabled"].AllocsPerOp)
 	rep.Derived["forensics_snapshot_ns_per_op"] = byName["forensics/recorder_snapshot"].NsPerOp
 	rep.Derived["forensics_tick_ns_per_op"] = byName["forensics/detector_tick"].NsPerOp
+	rep.Derived["twin_disabled_allocs_per_op"] = float64(byName["twin/observe_disabled"].AllocsPerOp)
+	rep.Derived["twin_tick_ns_per_op"] = byName["twin/tick_steady"].NsPerOp
+	rep.Derived["qnet_snapshot_solve_ns_per_op"] = byName["qnet/snapshot_solve"].NsPerOp
 	runEndToEnd(&rep, *short, *out)
 }
 
@@ -579,6 +604,64 @@ func microBenches() []Result {
 			}
 		}),
 	)
+	fmt.Println("== analytical-twin microbenchmarks (disabled observer hot path must stay 0 allocs/op)")
+	twinModel := func() twin.Model {
+		wl := rubbos.NewWorkload(rubbos.BrowseOnly, 1)
+		return twin.Model{
+			Workload:  func() *rubbos.Workload { return wl },
+			ThinkTime: 3,
+			WebCores:  1, AppCores: 1, DBCores: 1,
+			DiskChans: 1,
+		}
+	}
+	results = append(results,
+		measure("twin/observe_disabled", func(b *testing.B) {
+			b.ReportAllocs()
+			o := twin.New(twin.Config{}, twinModel())
+			o.SetEnabled(false)
+			for i := 0; i < b.N; i++ {
+				o.ObserveArrival()
+				o.Observe(1, 0.05, true)
+			}
+		}),
+		measure("twin/tick_steady", func(b *testing.B) {
+			// One full twin evaluation per op: window harvest, config
+			// snapshot, MVA solve at 2500 clients, residuals, drift update.
+			b.ReportAllocs()
+			o := twin.New(twin.Config{}, twinModel())
+			obs := twin.Observation{Clients: 2500,
+				Web: twin.TierObs{Ready: 2, CPU: 0.5},
+				App: twin.TierObs{Ready: 4, CPU: 0.5},
+				DB:  twin.TierObs{Ready: 2, CPU: 0.5}}
+			for i := 0; i < b.N; i++ {
+				obs.Time += o.Config().Interval
+				for j := 0; j < 100; j++ {
+					o.ObserveArrival()
+					o.Observe(obs.Time, 0.05, true)
+				}
+				o.Tick(obs)
+			}
+		}),
+		measure("qnet/snapshot_solve", func(b *testing.B) {
+			// The twin's analytical core in isolation: build the network
+			// from a live-state snapshot and solve the MVA recursion at
+			// 2500 clients.
+			b.ReportAllocs()
+			wl := rubbos.NewWorkload(rubbos.BrowseOnly, 1)
+			for i := 0; i < b.N; i++ {
+				net, err := qnet.SnapshotNetwork(qnet.LiveState{
+					Workload: wl, ThinkTime: 3,
+					WebVMs: 1, AppVMs: 2, DBVMs: 1,
+					WebCores: 1, AppCores: 1, DBCores: 1,
+					DiskChans: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				net.Solve(2500)
+			}
+		}),
+	)
 	return results
 }
 
@@ -644,6 +727,13 @@ func runEndToEnd(rep *Report, short bool, out string) {
 		rep.Forensics.OverheadPct, rep.Forensics.Episodes, rep.Forensics.Snapshots,
 		rep.Forensics.TimelineIdentical)
 
+	fmt.Println("== twin overhead end to end (bare vs analytical-twin observer armed)")
+	rep.Twin = measureTwin(short)
+	rep.Derived["twin_overhead_pct"] = rep.Twin.OverheadPct
+	fmt.Printf("   %s: off %.1fs, on %.1fs (+%.1f%%, %d ticks / %d applicable / %d drifts), timeline identical=%v\n",
+		rep.Twin.Experiment, rep.Twin.OffSec, rep.Twin.OnSec, rep.Twin.OverheadPct,
+		rep.Twin.Ticks, rep.Twin.Applicable, rep.Twin.Drifts, rep.Twin.TimelineIdentical)
+
 	fmt.Println("== controller-zoo smoke tournament (every controller, one trace)")
 	rep.Tournament = measureTournament(short)
 	rep.Derived["tournament_controllers"] = float64(len(rep.Tournament.Ranking))
@@ -698,6 +788,14 @@ func runEndToEnd(rep *Report, short bool, out string) {
 	}
 	if rep.Derived["forensics_disabled_allocs_per_op"] != 0 {
 		fmt.Fprintln(os.Stderr, "FAIL: disabled forensics hot path allocates")
+		os.Exit(1)
+	}
+	if !rep.Twin.TimelineIdentical {
+		fmt.Fprintln(os.Stderr, "FAIL: twin-armed run's timeline diverged from the bare run")
+		os.Exit(1)
+	}
+	if rep.Derived["twin_disabled_allocs_per_op"] != 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: disabled twin hot path allocates")
 		os.Exit(1)
 	}
 }
@@ -914,6 +1012,55 @@ func measureForensics(short bool) Forensics {
 		Snapshots:         snaps,
 		TimelineIdentical: bytes.Equal(offCSV, onCSV),
 	}
+}
+
+// measureTwin runs the same ConScale Large Variations experiment bare
+// and with the analytical-twin observer armed — the 5 s snapshot/solve
+// ticker plus the per-request taps — and verifies the observer never
+// perturbs the client-observed timeline.
+func measureTwin(short bool) Twin {
+	duration := 720 * des.Second
+	users := 7500
+	label := "conscale large-variations (720s)"
+	if short {
+		duration = 120 * des.Second
+		users = 3000
+		label = "conscale large-variations (120s smoke)"
+	}
+	run := func(armed bool) (float64, []byte, *experiment.RunResult) {
+		cfg := experiment.DefaultRunConfig(scaling.ConScale, workload.LargeVariations)
+		cfg.Duration = duration
+		cfg.MaxUsers = users
+		if armed {
+			cfg.Twin = &twin.Config{}
+		}
+		t0 := time.Now()
+		res := experiment.Run(cfg)
+		sec := time.Since(t0).Seconds()
+		var buf bytes.Buffer
+		if err := experiment.WriteTimelineCSV(&buf, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return sec, buf.Bytes(), res
+	}
+
+	offSec, offCSV, _ := run(false)
+	onSec, onCSV, res := run(true)
+
+	t := Twin{
+		Experiment:        label,
+		OffSec:            offSec,
+		OnSec:             onSec,
+		OverheadPct:       100 * (onSec - offSec) / offSec,
+		TimelineIdentical: bytes.Equal(offCSV, onCSV),
+	}
+	if res.Twin != nil {
+		t.Ticks = res.Twin.Ticks()
+		t.Applicable = res.Twin.Applicable()
+		t.Drifts = res.Twin.DriftCount()
+	}
+	return t
 }
 
 // measureScale runs the scale-mode client-count sweep — {10k, 100k, 1M}

@@ -6,12 +6,12 @@ import (
 	"testing"
 )
 
-// repoHistory loads the committed BENCH_2..8 trajectory from the repo
+// repoHistory loads the committed BENCH_2..9 trajectory from the repo
 // root (the test binary runs in cmd/benchreport).
 func repoHistory(t *testing.T) []historyReport {
 	t.Helper()
-	paths := make([]string, 0, 7)
-	for _, f := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json", "BENCH_8.json"} {
+	paths := make([]string, 0, 8)
+	for _, f := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json", "BENCH_8.json", "BENCH_9.json"} {
 		paths = append(paths, filepath.Join("..", "..", f))
 	}
 	history, err := loadHistory(paths)
@@ -95,5 +95,34 @@ func TestGateIgnoresSlowMachines(t *testing.T) {
 	}
 	if v := gateCheck(current, history, 1.25); len(v) != 0 {
 		t.Fatalf("uniformly slower machine failed the gate: %v", v)
+	}
+}
+
+func TestBestOfKeepsMinNsAndMaxAllocs(t *testing.T) {
+	passes := [][]Result{
+		{
+			{Name: "a", NsPerOp: 100, AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "b", NsPerOp: 50, AllocsPerOp: 2, BytesPerOp: 64},
+		},
+		{
+			{Name: "a", NsPerOp: 80, AllocsPerOp: 1, BytesPerOp: 16}, // faster pass, but it allocated
+			{Name: "b", NsPerOp: 70, AllocsPerOp: 1, BytesPerOp: 32},
+		},
+		{
+			{Name: "a", NsPerOp: 120, AllocsPerOp: 0, BytesPerOp: 0},
+			// "b" missing from this pass: earlier values must survive
+		},
+	}
+	best := bestOf(passes)
+	idx := resultIndex(best)
+	a, b := idx["a"], idx["b"]
+	if a.NsPerOp != 80 {
+		t.Errorf("a: want min ns 80, got %v", a.NsPerOp)
+	}
+	if a.AllocsPerOp != 1 || a.BytesPerOp != 16 {
+		t.Errorf("a: want max allocs 1 / bytes 16 (an allocation seen in any pass is real), got %d/%d", a.AllocsPerOp, a.BytesPerOp)
+	}
+	if b.NsPerOp != 50 || b.AllocsPerOp != 2 || b.BytesPerOp != 64 {
+		t.Errorf("b: want 50ns/2allocs/64B, got %v/%d/%d", b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
 	}
 }

@@ -52,6 +52,8 @@ var defaultPackages = []string{
 	"internal/scaling",
 	"internal/controller",
 	"internal/forensics",
+	"internal/twin",
+	"internal/qnet",
 }
 
 func main() {

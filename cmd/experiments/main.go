@@ -32,6 +32,7 @@ import (
 	"conscale/internal/forensics"
 	"conscale/internal/scaling"
 	"conscale/internal/trace"
+	"conscale/internal/twin"
 	"conscale/internal/workload"
 )
 
@@ -59,12 +60,13 @@ var runners = []runner{
 	{"scale", "Million-client scale mode: streaming population over striped cells", runScale},
 	{"tournament", "Full-factorial controller tournament: every controller × trace × tier", runTournament},
 	{"episodes", "Fluctuation forensics: episode detection + causal attribution per controller", runEpisodes},
+	{"hypothesis", "Declared-hypothesis validation: DES≡MVA steady-state, calm-regime drift, SCT tail dominance", runHypothesis},
 }
 
 // heavyRunners are excluded from `-run all` and must be requested by id:
-// the scale sweep's 1M-client tier and the tournament's full factorial
-// multiply the whole-suite wall time.
-var heavyRunners = map[string]bool{"scale": true, "tournament": true, "episodes": true}
+// the scale sweep's 1M-client tier, the tournament's full factorial, and
+// the hypothesis sweeps multiply the whole-suite wall time.
+var heavyRunners = map[string]bool{"scale": true, "tournament": true, "episodes": true, "hypothesis": true}
 
 // selectRunners resolves a -run spec ("all" or a comma-separated id list)
 // against the runner table, preserving table order and deduplicating.
@@ -138,6 +140,15 @@ var (
 	tournDuration    = flag.Float64("tournament-duration", 300, "tournament: simulated seconds per cell")
 )
 
+// Hypothesis-validation flags (the `-run hypothesis` experiment).
+var (
+	hypoIDs      = flag.String("hypothesis-ids", "", "hypothesis: comma-separated hypothesis ids (default: all declared)")
+	hypoSeeds    = flag.Int("hypothesis-seeds", 0, "hypothesis: seeds per cell (default 5)")
+	hypoDuration = flag.Float64("hypothesis-duration", 0, "hypothesis: steady-cell simulated seconds (default 300)")
+	hypoUsers    = flag.Int("hypothesis-users", 0, "hypothesis: trace-sweep peak client population (default 7500)")
+	hypoTraces   = flag.String("hypothesis-traces", "", "hypothesis: comma-separated sweep traces (default: all six)")
+)
+
 // Episode-forensics flags (the `-run episodes` experiment).
 var (
 	epControllers = flag.String("episodes-controllers", "", "episodes: comma-separated controller names (default: ec2,dcm,conscale,target-tracking-sct)")
@@ -174,6 +185,10 @@ func main() {
 			os.Exit(2)
 		}
 		if _, err := parseEpisodes(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := parseHypothesis(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -930,6 +945,126 @@ func runEpisodes(seed uint64, outDir string) error {
 		}); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// parseHypothesis expands the hypothesis flags, validating ids and
+// trace names up front.
+func parseHypothesis(seed uint64) (experiment.HypothesisConfig, error) {
+	cfg := experiment.HypothesisConfig{BaseSeed: seed}
+	if s := strings.TrimSpace(*hypoIDs); s != "" {
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(strings.ToLower(tok))
+			if tok == "" {
+				continue
+			}
+			known := false
+			for _, id := range experiment.HypothesisIDs() {
+				if tok == id {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return cfg, fmt.Errorf("unknown hypothesis %q; available: %s",
+					tok, strings.Join(experiment.HypothesisIDs(), ", "))
+			}
+			cfg.IDs = append(cfg.IDs, tok)
+		}
+	}
+	if *hypoSeeds < 0 {
+		return cfg, fmt.Errorf("-hypothesis-seeds must be positive")
+	}
+	cfg.Seeds = *hypoSeeds
+	if *hypoDuration < 0 {
+		return cfg, fmt.Errorf("-hypothesis-duration must be positive")
+	}
+	cfg.Duration = des.Time(*hypoDuration) * des.Second
+	if *hypoUsers < 0 {
+		return cfg, fmt.Errorf("-hypothesis-users must be positive")
+	}
+	cfg.Users = *hypoUsers
+	if s := strings.TrimSpace(*hypoTraces); s != "" {
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(strings.ToLower(tok))
+			if tok == "" {
+				continue
+			}
+			known := false
+			for _, n := range workload.Names() {
+				if tok == n {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return cfg, fmt.Errorf("unknown trace %q; available: %s",
+					tok, strings.Join(workload.Names(), ", "))
+			}
+			cfg.Traces = append(cfg.Traces, tok)
+		}
+	}
+	return cfg, nil
+}
+
+// runHypothesis executes the declared hypotheses, prints the FINDINGS
+// table, writes results/hypothesis_<id>.csv + hypothesis_summary.csv
+// plus a twin showcase (sample CSV and Perfetto annotation track from
+// one fully-armed steady run), and fails the process when a CI-gated
+// hypothesis does not come back SUPPORTED.
+func runHypothesis(seed uint64, outDir string) error {
+	cfg, err := parseHypothesis(seed)
+	if err != nil {
+		return err
+	}
+	results, err := experiment.RunHypotheses(cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiment.RenderHypotheses(os.Stdout, results); err != nil {
+		return err
+	}
+	for i := range results {
+		r := &results[i]
+		if err := writeCSV(outDir, "hypothesis_"+sanitize(r.ID)+".csv", func(f *os.File) error {
+			return experiment.WriteHypothesisCSV(f, r)
+		}); err != nil {
+			return err
+		}
+	}
+	if err := writeCSV(outDir, "hypothesis_summary.csv", func(f *os.File) error {
+		return experiment.WriteHypothesisSummaryCSV(f, results)
+	}); err != nil {
+		return err
+	}
+
+	// Twin showcase: one fully-armed steady run for the sample timeline
+	// and the Perfetto "twin" annotation track.
+	rc := experiment.DefaultRunConfig(scaling.EC2, workload.Constant)
+	rc.MaxUsers = 2500
+	rc.Duration = 300 * des.Second
+	rc.Seed = seed
+	rc.Tracing = &trace.Config{}
+	rc.Forensics = &forensics.Config{}
+	rc.Twin = &twin.Config{}
+	res := experiment.Run(rc)
+	if err := writeCSV(outDir, "hypothesis_twin_timeline.csv", func(f *os.File) error {
+		return experiment.WriteTwinCSV(f, res)
+	}); err != nil {
+		return err
+	}
+	if err := writeCSV(outDir, "hypothesis_twin_perfetto.json", func(f *os.File) error {
+		doc := trace.BuildChromeTrace(res.Tracer.Slowest(), res.Audit)
+		twin.AppendChrome(&doc, res.Twin.Samples(), res.Twin.Drifts())
+		enc := json.NewEncoder(f)
+		return enc.Encode(&doc)
+	}); err != nil {
+		return err
+	}
+
+	if fails := experiment.GatedFailures(results); len(fails) != 0 {
+		return fmt.Errorf("gated hypothesis failed:\n  %s", strings.Join(fails, "\n  "))
 	}
 	return nil
 }

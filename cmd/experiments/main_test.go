@@ -139,6 +139,44 @@ func TestRunnerNamesUniqueAndLower(t *testing.T) {
 	}
 }
 
+func TestParseHypothesis(t *testing.T) {
+	oldIDs, oldTraces, oldSeeds := *hypoIDs, *hypoTraces, *hypoSeeds
+	defer func() { *hypoIDs, *hypoTraces, *hypoSeeds = oldIDs, oldTraces, oldSeeds }()
+
+	cfg, err := parseHypothesis(9)
+	if err != nil {
+		t.Fatalf("parseHypothesis: %v", err)
+	}
+	if cfg.BaseSeed != 9 || len(cfg.IDs) != 0 || len(cfg.Traces) != 0 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+
+	*hypoIDs = "twin-steady, DRIFT-CALM"
+	*hypoTraces = "big-spike"
+	cfg, err = parseHypothesis(1)
+	if err != nil {
+		t.Fatalf("parseHypothesis: %v", err)
+	}
+	if len(cfg.IDs) != 2 || cfg.IDs[1] != "drift-calm" || len(cfg.Traces) != 1 {
+		t.Fatalf("parsed: %+v", cfg)
+	}
+
+	*hypoIDs = "nope"
+	if _, err := parseHypothesis(1); err == nil {
+		t.Error("unknown hypothesis id must be rejected")
+	}
+	*hypoIDs = ""
+	*hypoTraces = "not-a-trace"
+	if _, err := parseHypothesis(1); err == nil {
+		t.Error("unknown trace must be rejected")
+	}
+	*hypoTraces = ""
+	*hypoSeeds = -1
+	if _, err := parseHypothesis(1); err == nil {
+		t.Error("negative seed count must be rejected")
+	}
+}
+
 func TestParseScaleSweepWorkers(t *testing.T) {
 	old := *scaleWorkers
 	defer func() { *scaleWorkers = old }()

@@ -51,12 +51,14 @@ import (
 	"conscale/internal/lb"
 	"conscale/internal/metrics"
 	"conscale/internal/mgmt"
+	"conscale/internal/qnet"
 	"conscale/internal/rng"
 	"conscale/internal/rubbos"
 	"conscale/internal/scaling"
 	"conscale/internal/sct"
 	"conscale/internal/telemetry"
 	"conscale/internal/trace"
+	"conscale/internal/twin"
 	"conscale/internal/workload"
 )
 
@@ -167,6 +169,11 @@ const (
 	TraceDualPhase       = workload.DualPhase
 	TraceSteepTriPhase   = workload.SteepTriPhase
 )
+
+// TraceConstant names the flat trace — not one of the six evaluation
+// traces, but the calibrated steady-state regime of the analytical twin
+// and the hypothesis harness.
+const TraceConstant = workload.Constant
 
 // NewTrace builds one of the six standard traces.
 func NewTrace(name string, maxUsers int, duration Time) *Trace {
@@ -546,6 +553,13 @@ func AppendForensicsChrome(doc *ChromeTrace, rep *ForensicsReport) {
 	forensics.AppendChrome(doc, rep)
 }
 
+// BuildChromeTrace builds the Chrome trace-event document from sampled
+// span trees and the audit trail — the base document the forensics and
+// twin annotation tracks append to.
+func BuildChromeTrace(roots []*Span, audit []AuditEvent) ChromeTrace {
+	return trace.BuildChromeTrace(roots, audit)
+}
+
 // FormatSimTime renders simulated seconds as a human-readable mm:ss.mmm
 // clock (minutes unpadded past 99).
 func FormatSimTime(t Time) string { return trace.FormatSimTime(t) }
@@ -668,3 +682,73 @@ func RenderTournament(w io.Writer, res *TournamentResult) { experiment.RenderTou
 
 // WriteTournamentCSV writes every factorial cell as CSV.
 func WriteTournamentCSV(w io.Writer, res *TournamentResult) { experiment.WriteTournamentCSV(w, res) }
+
+// Analytical twin: an online MVA model solved beside the live
+// simulation, invariant probes over steady-state regimes, and
+// model-drift detection classified against forensics episodes.
+type (
+	// TwinConfig tunes the observer cadence, residual thresholds, and
+	// drift hysteresis; zero values take the documented defaults.
+	TwinConfig = twin.Config
+	// TwinModel supplies the static inputs the live cluster cannot be
+	// asked for: the workload, think time, and per-tier core counts.
+	TwinModel = twin.Model
+	// TwinObserver snapshots the cluster into a closed MVA network each
+	// tick and streams predicted-vs-observed residuals.
+	TwinObserver = twin.Observer
+	// TwinSample is one tick's prediction, observation, and residuals
+	// (or the regime-inapplicability reason).
+	TwinSample = twin.Sample
+	// TwinDrift is one raised model-drift flag with its classification
+	// (transient inside a forensics episode vs model-bug candidate).
+	TwinDrift = twin.DriftEvent
+	// TwinObservation is the per-tick cluster view handed to Tick.
+	TwinObservation = twin.Observation
+	// QNetLiveState is a point-in-time cluster configuration that
+	// SnapshotNetwork turns into a solvable MVA network.
+	QNetLiveState = qnet.LiveState
+	// QNetwork is a closed queueing network solved by exact MVA.
+	QNetwork = qnet.Network
+	// HypothesisConfig tunes the declared-hypothesis validation harness.
+	HypothesisConfig = experiment.HypothesisConfig
+	// HypothesisResult is one executed hypothesis: claim, regime,
+	// verdict, and checked metrics with confidence intervals.
+	HypothesisResult = experiment.HypothesisResult
+	// HypothesisMetric is one checked quantity with its 95% CI and
+	// declared bound.
+	HypothesisMetric = experiment.HypoMetric
+)
+
+// NewTwin returns an enabled analytical-twin observer. Arm it on an
+// experiment via RunConfig.Twin; the observer only reads, so armed runs
+// stay byte-identical to bare ones.
+func NewTwin(cfg TwinConfig, m TwinModel) *TwinObserver { return twin.New(cfg, m) }
+
+// SnapshotNetwork builds the closed MVA network for a live cluster
+// configuration (tier VM/core counts, workload demands, think time).
+func SnapshotNetwork(s QNetLiveState) (*QNetwork, error) { return qnet.SnapshotNetwork(s) }
+
+// WriteTwinCSV writes a twin-armed run's predicted-vs-observed sample
+// series as CSV.
+func WriteTwinCSV(w io.Writer, r *RunResult) error { return experiment.WriteTwinCSV(w, r) }
+
+// AppendTwinChrome adds the twin annotation track — predicted and
+// observed counters, inapplicability instants, drift slices — to a
+// Chrome trace-event document.
+func AppendTwinChrome(doc *ChromeTrace, samples []TwinSample, drifts []TwinDrift) {
+	twin.AppendChrome(doc, samples, drifts)
+}
+
+// HypothesisIDs returns the declared hypothesis ids in execution order.
+func HypothesisIDs() []string { return experiment.HypothesisIDs() }
+
+// RunHypotheses executes the selected declared hypotheses (all when
+// cfg.IDs is empty) as multi-seed sweeps and returns their verdicts.
+func RunHypotheses(cfg HypothesisConfig) ([]HypothesisResult, error) {
+	return experiment.RunHypotheses(cfg)
+}
+
+// RenderHypotheses prints the per-hypothesis FINDINGS table.
+func RenderHypotheses(w io.Writer, results []HypothesisResult) error {
+	return experiment.RenderHypotheses(w, results)
+}

@@ -1,0 +1,80 @@
+// Analytical twin: online MVA predictions beside the live simulation.
+// A constant 2500-user load is replayed under EC2-AutoScaling with the
+// twin observer armed. Every 5 simulated seconds the twin snapshots the
+// live configuration (ready VMs, cores, workload demands), solves it as
+// a closed MVA queueing network, and compares the prediction against
+// the measured window: response time, throughput, per-tier utilization,
+// Little's law, and flow conservation. Transitions (the EC2 scale-out
+// the 2500-user load triggers) are gated "regime inapplicable" instead
+// of being scored — the twin only claims accuracy where the steady-state
+// model applies.
+//
+// Run with:
+//
+//	go run ./examples/twin
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"conscale"
+)
+
+func main() {
+	fmt.Println("replaying constant 2500-user load under EC2-AutoScaling with the analytical twin armed")
+	fmt.Println()
+
+	cfg := conscale.DefaultRunConfig(conscale.ModeEC2, conscale.TraceConstant)
+	cfg.Seed = 1
+	cfg.Duration = 300 * conscale.Second
+	cfg.MaxUsers = 2500
+	// The twin only reads: arming it (plus the tracer that lands its
+	// drift events on the audit trail and the forensics layer that
+	// classifies them) leaves the trajectory byte-identical to a bare run.
+	cfg.Tracing = &conscale.TraceConfig{SampleRate: 1.0 / 8}
+	cfg.Forensics = &conscale.ForensicsConfig{}
+	cfg.Twin = &conscale.TwinConfig{}
+
+	res := conscale.Run(cfg)
+	tw := res.Twin
+	fmt.Printf("run done: p99 %.0f ms; twin ticks %d, applicable %d, drift flags %d\n\n",
+		res.P99*1000, tw.Ticks(), tw.Applicable(), tw.DriftCount())
+
+	fmt.Println("  time    clients  obs rt   pred rt  rel err  little   utilgap  state")
+	var relSum float64
+	var relN int
+	for _, s := range tw.Samples() {
+		state := "ok"
+		if !s.Applicable {
+			state = s.Reason
+		} else {
+			relSum += s.RTRelErr
+			relN++
+		}
+		if int(s.Time)%30 != 0 && s.Applicable {
+			continue // print every 6th applicable tick; transitions always
+		}
+		if s.Applicable {
+			fmt.Printf("  %5.0fs  %7d  %5.1fms  %5.1fms  %7.3f  %7.3f  %7.3f  %s\n",
+				float64(s.Time), s.Clients, s.ObsMeanRT*1000, s.PredRT*1000,
+				s.RTRelErr, s.LittlesResidual, s.UtilGap, state)
+		} else {
+			fmt.Printf("  %5.0fs  %7d  %s\n", float64(s.Time), s.Clients, state)
+		}
+	}
+	if relN > 0 {
+		fmt.Printf("\nmean RT relative error over %d applicable ticks: %.3f\n", relN, relSum/float64(relN))
+	}
+
+	// The same samples feed the CSV artifact and the Perfetto "twin"
+	// annotation track (predicted vs observed counters, drift slices).
+	doc := conscale.BuildChromeTrace(res.Tracer.Slowest(), res.Audit)
+	conscale.AppendTwinChrome(&doc, tw.Samples(), tw.Drifts())
+	fmt.Printf("perfetto document carries %d trace events (twin counters + annotations)\n", len(doc.TraceEvents))
+
+	if tw.DriftCount() != 0 {
+		fmt.Fprintln(os.Stderr, "unexpected model drift on a calm run")
+		os.Exit(1)
+	}
+}

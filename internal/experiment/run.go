@@ -22,6 +22,7 @@ import (
 	"conscale/internal/sct"
 	"conscale/internal/telemetry"
 	"conscale/internal/trace"
+	"conscale/internal/twin"
 	"conscale/internal/workload"
 )
 
@@ -84,6 +85,17 @@ type RunConfig struct {
 	// to a bare one. Arm Tracing alongside it — without the audit trail
 	// the recorder sees no decisions, faults, or SCT refreshes.
 	Forensics *forensics.Config
+
+	// Twin (if non-nil) arms the analytical-twin observer: a periodic
+	// snapshot of the live configuration solved as a closed MVA network,
+	// streaming predicted-vs-observed residuals and a model-drift flag.
+	// The twin only reads simulation state (its taps and its tick draw
+	// no randomness and schedule nothing but read-only callbacks), so an
+	// armed run's timeline is byte-identical to a bare one
+	// (TestTwinRunByteIdentical). Arm Tracing alongside it to land the
+	// twin-drift events on the audit trail, and Forensics to classify
+	// drift against fluctuation episodes.
+	Twin *twin.Config
 
 	// WarmupSkip excludes the initial span from tail-latency statistics.
 	WarmupSkip des.Time
@@ -176,6 +188,11 @@ type RunResult struct {
 	// RunConfig.Forensics was nil): the flight recorder's rings and the
 	// detector's confirmed episodes, ready for Report().
 	Forensics *forensics.Forensics
+
+	// Twin is the armed analytical-twin observer (nil when
+	// RunConfig.Twin was nil): the predicted-vs-observed sample series,
+	// the residual gauges, and the sealed drift events.
+	Twin *twin.Observer
 }
 
 // tierMap pairs cluster tiers with their trace tier IDs for forensics
@@ -307,12 +324,42 @@ func Run(cfg RunConfig) *RunResult {
 		}
 	}
 
-	f.Start()
-
 	think := cfg.ThinkTime
 	if think == 0 {
 		think = 7
 	}
+
+	var tw *twin.Observer
+	if cfg.Twin != nil {
+		tw = twin.New(*cfg.Twin, twin.Model{
+			Workload:  c.Workload, // a getter: SetDatasetScale replaces the pointer mid-run
+			ThinkTime: think,
+			WebCores:  ccfg.WebCores,
+			AppCores:  ccfg.AppCores,
+			DBCores:   ccfg.DBCores,
+			DiskChans: ccfg.DiskChans,
+		})
+		tw.SetAudit(tracer.Audit())
+		if fx != nil {
+			tw.SetEpisodeSource(fx.Det)
+		}
+		tw.Register(reg)
+		// Feed the twin's flow/RT window from the client stream — another
+		// clock-only read, same determinism argument as the taps above.
+		inner := submit
+		submit = func(done func(ok bool)) {
+			tw.ObserveArrival()
+			start := c.Eng.Now()
+			inner(func(ok bool) {
+				now := c.Eng.Now()
+				tw.Observe(now, float64(now-start), ok)
+				done(ok)
+			})
+		}
+	}
+
+	f.Start()
+
 	tr := workload.NewTrace(cfg.TraceName, cfg.MaxUsers, cfg.Duration)
 	gen := workload.NewGenerator(c.Eng, rng.New(cfg.Seed^0x9e3779b9), workload.GeneratorConfig{
 		Trace:     tr,
@@ -356,6 +403,32 @@ func Run(cfg RunConfig) *RunResult {
 		})
 	}
 
+	// Twin snapshot tick: reads cluster accessors and the live client
+	// count, solves the model off to the side. Read-only, like the
+	// forensics ticker above.
+	var ttick *des.Ticker
+	if tw != nil {
+		ttick = c.Eng.Every(tw.Config().Interval, func() {
+			now := c.Eng.Now()
+			obs := twin.Observation{Time: now, Clients: gen.Active()}
+			for _, m := range [...]struct {
+				ct cluster.Tier
+				to *twin.TierObs
+			}{
+				{cluster.Web, &obs.Web},
+				{cluster.App, &obs.App},
+				{cluster.DB, &obs.DB},
+			} {
+				m.to.Ready = c.ReadyCount(m.ct)
+				m.to.Queue, m.to.Active = c.TierOccupancy(m.ct)
+				m.to.CPU = c.TierCPU(m.ct)
+			}
+			ready := obs.Web.Ready + obs.App.Ready + obs.DB.Ready + c.ReadyCount(cluster.Cache)
+			obs.BootingVMs = c.TotalVMs() - ready
+			tw.Tick(obs)
+		})
+	}
+
 	if cfg.DatasetChangeAt > 0 {
 		c.Eng.At(cfg.DatasetChangeAt, func() { c.SetDatasetScale(cfg.DatasetChangeTo) })
 	}
@@ -377,6 +450,10 @@ func Run(cfg RunConfig) *RunResult {
 	if fx != nil {
 		fx.Det.Finish(cfg.Duration)
 	}
+	if ttick != nil {
+		ttick.Stop()
+	}
+	tw.Finish(cfg.Duration)
 	scr.Stop()
 	f.Stop()
 	// Drain in-flight work briefly so final samples are complete.
@@ -401,6 +478,7 @@ func Run(cfg RunConfig) *RunResult {
 		res.Samples = gen.Samples()
 	}
 	res.Forensics = fx
+	res.Twin = tw
 
 	warm := cfg.WarmupSkip
 	res.P50 = gen.TailLatency(50, warm)

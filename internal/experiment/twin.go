@@ -1,0 +1,18 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"conscale/internal/twin"
+)
+
+// WriteTwinCSV writes the run's analytical-twin sample series
+// (predicted vs observed, residuals, applicability) as CSV. Errors when
+// the run was not twin-armed.
+func WriteTwinCSV(w io.Writer, r *RunResult) error {
+	if r.Twin == nil {
+		return fmt.Errorf("experiment: run has no twin (RunConfig.Twin was nil)")
+	}
+	return twin.WriteCSV(w, r.Twin.Samples())
+}

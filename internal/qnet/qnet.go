@@ -32,7 +32,9 @@ const (
 
 // Station is one service centre of the network.
 type Station struct {
+	// Name labels the station in results and lookups.
 	Name string
+	// Kind selects queueing or delay semantics.
 	Kind StationKind
 	// Demand is the total service demand per customer visit cycle
 	// (visit count × per-visit service time), in seconds.
@@ -55,6 +57,7 @@ type Network struct {
 
 // Result is the MVA solution at one population.
 type Result struct {
+	// N is the customer population the solution is for.
 	N            int
 	Throughput   float64   // customers per second
 	ResponseTime float64   // seconds per cycle, excluding think time
@@ -101,9 +104,63 @@ func (net *Network) effective() ([]Station, float64) {
 // Solve runs exact MVA for population n and returns the solution. It
 // panics on invalid networks (Validate first for error returns) and on
 // non-positive n.
+//
+// Solve runs the same recursion as SolveRange but keeps only O(K)
+// state (K = station count) instead of materialising all n intermediate
+// results — the analytical twin solves at live populations in the tens
+// of thousands every tick, where the O(n·K) slice of SolveRange is pure
+// waste. The arithmetic (order of operations included) is identical, so
+// Solve(n) == SolveRange(n)[n-1] field for field; the equivalence is
+// pinned by TestSolveMatchesSolveRange rather than assumed.
 func (net *Network) Solve(n int) Result {
-	results := net.SolveRange(n)
-	return results[len(results)-1]
+	if err := net.Validate(); err != nil {
+		panic(err)
+	}
+	if n <= 0 {
+		panic("qnet: non-positive population")
+	}
+	stations, extraDelay := net.effective()
+	k := len(stations)
+	queue := make([]float64, k) // Q_k(n-1), starts at 0
+	resp := make([]float64, k)
+	var res Result
+
+	for pop := 1; pop <= n; pop++ {
+		total := 0.0
+		for i, s := range stations {
+			if s.Kind == Delay {
+				resp[i] = s.Demand
+			} else {
+				resp[i] = s.Demand * (1 + queue[i])
+			}
+			total += resp[i]
+		}
+		x := float64(pop) / (net.ThinkTime + extraDelay + total)
+		res = Result{
+			N:            pop,
+			Throughput:   x,
+			ResponseTime: total + extraDelay,
+			QueueLen:     res.QueueLen,
+			Utilization:  res.Utilization,
+		}
+		if res.QueueLen == nil {
+			res.QueueLen = make([]float64, k)
+			res.Utilization = make([]float64, k)
+		}
+		for i, s := range stations {
+			queue[i] = x * resp[i]
+			res.QueueLen[i] = queue[i]
+			if s.Kind == Queueing {
+				res.Utilization[i] = x * s.Demand
+				if res.Utilization[i] > 1 {
+					res.Utilization[i] = 1
+				}
+			} else {
+				res.Utilization[i] = 0
+			}
+		}
+	}
+	return res
 }
 
 // SolveRange runs exact MVA for populations 1..n and returns all

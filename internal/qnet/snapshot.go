@@ -1,0 +1,114 @@
+package qnet
+
+import (
+	"fmt"
+
+	"conscale/internal/rubbos"
+)
+
+// LiveState is a moment-in-time capture of the running 3-tier cluster,
+// the input of SnapshotNetwork. The analytical twin fills it from
+// cluster accessors every tick; tests fill it by hand to probe the
+// degenerate corners.
+type LiveState struct {
+	// Workload is the active servlet mix and dataset scale. Callers must
+	// pass the *current* workload object — cluster.SetDatasetScale and
+	// SetMix replace the pointer, so holding an old one silently models
+	// the wrong demands.
+	Workload *rubbos.Workload
+	// ThinkTime is the client think time Z in seconds.
+	ThinkTime float64
+	// WebVMs, AppVMs, DBVMs are the *ready* VM counts per tier. Booting
+	// or crashed VMs serve no traffic and must not be counted; a tier
+	// with zero ready VMs is "dark" and the model does not apply.
+	WebVMs, AppVMs, DBVMs int
+	// WebCores, AppCores, DBCores are per-VM core counts.
+	WebCores, AppCores, DBCores int
+	// DiskChans is the per-DB-VM disk channel count (0 means 1).
+	DiskChans int
+}
+
+// SnapshotNetwork builds the closed MVA network for a live cluster
+// state, returning errors instead of panicking — mid-run states are
+// routinely degenerate (a tier dark mid-repair, a workload swap in
+// flight) and the twin must classify those as "regime inapplicable",
+// not crash the run.
+//
+// Differences from SystemNetwork, which models a declared configuration:
+//
+//   - Zero ready VMs in any tier is an error ("tier dark"): a closed
+//     network with an unreachable queueing station has no steady state.
+//   - Zero-visit stations are dropped, not kept at demand 0: a mix with
+//     no DB queries (Means().Queries == 0) simply has no db-cpu/db-disk
+//     station, so the Result slices only carry stations that exist. Use
+//     (*Network).StationIndex to map names to indices robustly.
+//   - All inputs are validated up front with named errors so callers can
+//     surface the reason string directly in telemetry.
+//
+// Numerical error of the solved network is the Seidmann multi-server
+// approximation's, not the recursion's: exact MVA is exact for the
+// transformed network, and the transform's error is small when stations
+// are either lightly loaded or saturated (see snapshot_test.go for the
+// pinned bounds at the calibrated operating points).
+func SnapshotNetwork(s LiveState) (*Network, error) {
+	if s.Workload == nil {
+		return nil, fmt.Errorf("qnet: snapshot without workload")
+	}
+	if s.ThinkTime < 0 {
+		return nil, fmt.Errorf("qnet: negative think time %g", s.ThinkTime)
+	}
+	if s.WebVMs <= 0 {
+		return nil, fmt.Errorf("qnet: web tier dark (%d ready VMs)", s.WebVMs)
+	}
+	if s.AppVMs <= 0 {
+		return nil, fmt.Errorf("qnet: app tier dark (%d ready VMs)", s.AppVMs)
+	}
+	if s.DBVMs <= 0 {
+		return nil, fmt.Errorf("qnet: db tier dark (%d ready VMs)", s.DBVMs)
+	}
+	if s.WebCores <= 0 || s.AppCores <= 0 || s.DBCores <= 0 {
+		return nil, fmt.Errorf("qnet: non-positive core count (web %d, app %d, db %d)",
+			s.WebCores, s.AppCores, s.DBCores)
+	}
+	m := s.Workload.Means()
+	diskChans := s.DiskChans
+	if diskChans <= 0 {
+		diskChans = 1
+	}
+	all := []Station{
+		{Name: "web-cpu", Kind: Queueing, Demand: m.WebCPU, Servers: s.WebVMs * s.WebCores},
+		{Name: "app-cpu", Kind: Queueing, Demand: m.AppCPU, Servers: s.AppVMs * s.AppCores},
+		{Name: "app-dwell", Kind: Delay, Demand: m.AppWait},
+		{Name: "db-cpu", Kind: Queueing, Demand: m.Queries * m.QueryCPU, Servers: s.DBVMs * s.DBCores},
+		{Name: "db-dwell", Kind: Delay, Demand: m.Queries * m.QueryWait},
+		{Name: "db-disk", Kind: Queueing, Demand: m.Queries * m.QueryDisk, Servers: s.DBVMs * diskChans},
+	}
+	stations := all[:0:0]
+	for _, st := range all {
+		if st.Demand <= 0 {
+			continue // zero-visit station: the mix never touches it
+		}
+		stations = append(stations, st)
+	}
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("qnet: all stations have zero demand")
+	}
+	net := &Network{Stations: stations, ThinkTime: s.ThinkTime}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// StationIndex returns the index of the named station in the network's
+// Stations slice (and therefore in Result.QueueLen/Utilization), or -1
+// when the station does not exist — snapshot networks drop zero-visit
+// stations, so positional indexing is not safe across workload mixes.
+func (net *Network) StationIndex(name string) int {
+	for i, s := range net.Stations {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}

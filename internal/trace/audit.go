@@ -49,6 +49,13 @@ const (
 	// AuditSLOClear marks the alert clearing (fast-window burn back under
 	// the threshold).
 	AuditSLOClear
+	// AuditTwinDrift marks the analytical twin flagging sustained
+	// model/measurement divergence (Value carries the RT relative error
+	// at the crossing; Cause classifies it against forensics episodes).
+	AuditTwinDrift
+	// AuditTwinClear marks the twin's drift flag clearing (Value carries
+	// the episode's worst relative error).
+	AuditTwinClear
 )
 
 // String implements fmt.Stringer.
@@ -80,6 +87,10 @@ func (k AuditKind) String() string {
 		return "slo-alert"
 	case AuditSLOClear:
 		return "slo-clear"
+	case AuditTwinDrift:
+		return "twin-drift"
+	case AuditTwinClear:
+		return "twin-clear"
 	default:
 		return "audit?"
 	}

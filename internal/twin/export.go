@@ -1,0 +1,102 @@
+package twin
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"conscale/internal/trace"
+)
+
+// WriteCSV writes the sample series as CSV, one row per tick. Times are
+// seconds, response times milliseconds, utilizations 0..1; inapplicable
+// ticks carry their reason and empty prediction columns.
+func WriteCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"time_s", "clients", "applicable", "reason",
+		"obs_tp", "pred_tp", "obs_rt_ms", "pred_rt_ms",
+		"rt_rel_err", "tp_rel_err", "littles_resid", "flow_resid", "util_gap",
+		"web_util_obs", "web_util_pred", "app_util_obs", "app_util_pred",
+		"db_util_obs", "db_util_pred", "in_drift",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for _, s := range samples {
+		row := []string{
+			f(float64(s.Time)), strconv.Itoa(s.Clients),
+			strconv.FormatBool(s.Applicable), s.Reason,
+		}
+		if s.Applicable {
+			row = append(row,
+				f(s.ObsThroughput), f(s.PredThroughput),
+				f(s.ObsMeanRT*1000), f(s.PredRT*1000),
+				f(s.RTRelErr), f(s.TPRelErr), f(s.LittlesResidual), f(s.FlowResidual), f(s.UtilGap),
+				f(s.Web.ObsUtil), f(s.Web.PredUtil),
+				f(s.App.ObsUtil), f(s.App.PredUtil),
+				f(s.DB.ObsUtil), f(s.DB.PredUtil),
+			)
+		} else {
+			row = append(row,
+				f(s.ObsThroughput), "", f(s.ObsMeanRT*1000), "",
+				"", "", "", f(s.FlowResidual), "",
+				f(s.Web.ObsUtil), "", f(s.App.ObsUtil), "", f(s.DB.ObsUtil), "",
+			)
+		}
+		row = append(row, strconv.FormatBool(s.InDrift))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// AppendChrome adds the twin as a Perfetto annotation track to a Chrome
+// trace document: predicted-vs-observed RT and throughput as "C"
+// counter series (they render as stacked area charts the viewer plots
+// beside the span waterfall), each drift event as an "X" slice on pid 0
+// / tid 998 named by its classification, and each inapplicable tick as
+// an "i" instant carrying the reason.
+func AppendChrome(doc *trace.ChromeTrace, samples []Sample, drifts []DriftEvent) {
+	if doc == nil {
+		return
+	}
+	const twinTid = 998
+	for _, s := range samples {
+		ts := float64(s.Time) * 1e6
+		if s.Applicable {
+			doc.TraceEvents = append(doc.TraceEvents,
+				trace.ChromeEvent{
+					Name: "twin rt (ms)", Cat: "twin", Ph: "C", Ts: ts, Pid: 0, Tid: twinTid,
+					Args: map[string]any{"pred": s.PredRT * 1000, "obs": s.ObsMeanRT * 1000},
+				},
+				trace.ChromeEvent{
+					Name: "twin throughput (1/s)", Cat: "twin", Ph: "C", Ts: ts, Pid: 0, Tid: twinTid,
+					Args: map[string]any{"pred": s.PredThroughput, "obs": s.ObsThroughput},
+				})
+			continue
+		}
+		doc.TraceEvents = append(doc.TraceEvents, trace.ChromeEvent{
+			Name: "twin:inapplicable", Cat: "twin", Ph: "i", Ts: ts, Pid: 0, Tid: twinTid, S: "t",
+			Args: map[string]any{"reason": s.Reason},
+		})
+	}
+	for i, d := range drifts {
+		doc.TraceEvents = append(doc.TraceEvents, trace.ChromeEvent{
+			Name: fmt.Sprintf("twin-drift#%d", i+1),
+			Cat:  "twin", Ph: "X",
+			Ts: float64(d.At) * 1e6, Dur: float64(d.ClearedAt-d.At) * 1e6,
+			Pid: 0, Tid: twinTid,
+			Args: map[string]any{
+				"class":       d.Class,
+				"in_episode":  d.InEpisode,
+				"max_rel_err": d.MaxRelErr,
+				"open":        d.Open,
+			},
+		})
+	}
+}

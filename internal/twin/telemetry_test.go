@@ -1,0 +1,99 @@
+package twin
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"conscale/internal/des"
+	"conscale/internal/telemetry"
+)
+
+// TestTwinMetricsPromRoundTrip drives the observer into drift, serves
+// the registry through the live Prometheus handler, and parses the
+// exposition back — the satellite contract that twin_rt_rel_err /
+// twin_littles_residual / twin_in_drift survive the full
+// register → expose → parse loop (mirrors
+// forensics.TestEpisodeMetricsPromRoundTrip).
+func TestTwinMetricsPromRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := testModel()
+	o := New(Config{DriftTicks: 2, ClearTicks: 2}, m)
+	o.Register(reg)
+
+	scrape := func() map[string]float64 {
+		srv := httptest.NewServer(telemetry.Handler(reg))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fams, err := telemetry.ParseProm(strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("exposition does not round-trip: %v\n%s", err, body)
+		}
+		vals := map[string]float64{}
+		for _, fam := range fams {
+			for _, s := range fam.Samples {
+				vals[s.Name] = s.Value
+			}
+		}
+		return vals
+	}
+
+	vals := scrape()
+	if vals["twin_in_drift"] != 0 || vals["twin_ticks_total"] != 0 {
+		t.Fatalf("pre-run scrape = %v", vals)
+	}
+	// NaN-before-first-sample must expose as 0, not break the parser.
+	if vals["twin_rt_rel_err"] != 0 || vals["twin_littles_residual"] != 0 {
+		t.Fatalf("NaN gauges leaked: %v", vals)
+	}
+
+	// One steady tick, then enough divergent ticks to raise the flag.
+	now := o.Config().Interval
+	o.Tick(steadyObs(t, o, m, now, 300))
+	for i := 0; i < 2; i++ {
+		now += o.Config().Interval
+		for j := 0; j < 100; j++ {
+			o.ObserveArrival()
+			o.Observe(now, 3.0, true)
+		}
+		o.Tick(Observation{Time: now, Clients: 300,
+			Web: TierObs{Ready: 1}, App: TierObs{Ready: 2}, DB: TierObs{Ready: 1}})
+	}
+	vals = scrape()
+	if vals["twin_in_drift"] != 1 {
+		t.Fatalf("twin_in_drift = %v mid-drift", vals["twin_in_drift"])
+	}
+	if vals["twin_drift_total"] != 1 {
+		t.Fatalf("twin_drift_total = %v", vals["twin_drift_total"])
+	}
+	if vals["twin_ticks_total"] != 3 || vals["twin_applicable_total"] != 3 {
+		t.Fatalf("tick counters = %v", vals)
+	}
+	if vals["twin_rt_rel_err"] < 0.5 {
+		t.Fatalf("twin_rt_rel_err = %v, want the huge divergence visible", vals["twin_rt_rel_err"])
+	}
+
+	// Matching ticks clear the flag; the gauge must follow.
+	for i := 0; i < 2; i++ {
+		now += o.Config().Interval
+		o.Tick(steadyObs(t, o, m, now, 300))
+	}
+	vals = scrape()
+	if vals["twin_in_drift"] != 0 {
+		t.Fatalf("twin_in_drift = %v after clear", vals["twin_in_drift"])
+	}
+	if vals["twin_rt_rel_err"] > 0.01 {
+		t.Fatalf("twin_rt_rel_err = %v after recovery", vals["twin_rt_rel_err"])
+	}
+	_ = des.Time(0)
+}

@@ -74,6 +74,12 @@ const (
 	SteepTriPhase   = "steep-tri-phase"
 )
 
+// Constant names the flat trace (NewConstantTrace's shape) so run
+// configurations can request it by name like the six standard traces —
+// the hypothesis harness's calibrated steady-state regime. It is not
+// part of Names(): the paper's factorials stay six-way.
+const Constant = "constant"
+
 // smoothstep is the classic cubic ease between edges a and b.
 func smoothstep(a, b, x float64) float64 {
 	if x <= a {
@@ -100,6 +106,9 @@ func NewTrace(name string, maxUsers int, duration des.Time) *Trace {
 	}
 	var shape func(u float64) float64
 	switch name {
+	case Constant:
+		// Flat load at maxUsers for the whole run.
+		shape = func(float64) float64 { return 1 }
 	case LargeVariations:
 		// Several big swings: three major peaks with deep valleys.
 		shape = func(u float64) float64 {
