@@ -1,5 +1,5 @@
 // Command benchreport measures the repo's performance-critical paths and
-// writes the results as a machine-readable JSON file (BENCH_9.json), so
+// writes the results as a machine-readable JSON file (BENCH_10.json), so
 // every future change has a perf trajectory to compare against:
 //
 //   - DES engine microbenchmarks (inline 4-ary heap) against the frozen
@@ -41,10 +41,17 @@
 //     must stay at zero allocations; the steady tick with its MVA solve;
 //     the qnet snapshot+solve cost at 2500 clients) and twin overhead
 //     end to end: the same run bare and twin-armed, with a timeline
-//     byte-identity check.
+//     byte-identity check;
+//   - admission-control microbenchmarks: every policy family's Admit
+//     hot path (always, queue-cap, priority, and CoDel's admit+feedback
+//     cycle — all must stay at zero allocations) plus the shed-rate
+//     meter, and admission overhead end to end: the same run bare,
+//     with an explicit always-admit policy installed (must stay
+//     byte-identical to no policy at all), and with the queue-cap
+//     shedder armed to smoke the drop path.
 //
 // The -gate mode re-measures only the hot-path microbenchmarks and
-// diffs them against the committed BENCH_2..9 trajectory: the
+// diffs them against the committed BENCH_2..10 trajectory: the
 // machine-independent same-process ns ratios (des vs the frozen
 // baseline, striper barrier vs the engine hot path) must stay within
 // the slack factor of the worst committed ratio, and allocs/op must
@@ -52,9 +59,9 @@
 //
 // Usage:
 //
-//	benchreport -out BENCH_9.json          # full measurement
-//	benchreport -short -out BENCH_9.json   # CI smoke (seconds, not minutes)
-//	benchreport -gate                      # trend gate vs committed BENCH_2..9
+//	benchreport -out BENCH_10.json          # full measurement
+//	benchreport -short -out BENCH_10.json   # CI smoke (seconds, not minutes)
+//	benchreport -gate                       # trend gate vs committed BENCH_2..10
 package main
 
 import (
@@ -68,6 +75,8 @@ import (
 	"testing"
 	"time"
 
+	"conscale/internal/admission"
+	"conscale/internal/cluster"
 	"conscale/internal/des"
 	"conscale/internal/des/baseline"
 	"conscale/internal/experiment"
@@ -169,7 +178,24 @@ type Twin struct {
 	TimelineIdentical bool    `json:"timeline_byte_identical"`
 }
 
-// Report is the BENCH_9.json document.
+// Admission records the admission-layer overhead measurement: one run
+// bare (no policy installed), the same run with an explicit always-admit
+// policy on the web and app tiers — the installed no-op must be
+// byte-identical to no policy at all — and one run with the queue-cap
+// shedder armed to smoke the drop path end to end.
+type Admission struct {
+	Experiment        string  `json:"experiment"`
+	OffSec            float64 `json:"admission_off_seconds"`
+	AlwaysSec         float64 `json:"always_admit_seconds"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	TimelineIdentical bool    `json:"timeline_byte_identical"`
+	ShedPolicy        string  `json:"shed_policy"`
+	Sheds             uint64  `json:"sheds"`
+	BrowseSheds       uint64  `json:"browse_sheds"`
+	RWSheds           uint64  `json:"read_write_sheds"`
+}
+
+// Report is the BENCH_10.json document.
 type Report struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -183,6 +209,7 @@ type Report struct {
 	Tournament Tournament         `json:"tournament"`
 	Forensics  Forensics          `json:"forensics"`
 	Twin       Twin               `json:"twin"`
+	Admission  Admission          `json:"admission"`
 	Derived    map[string]float64 `json:"derived"`
 }
 
@@ -199,10 +226,10 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	var (
-		out          = flag.String("out", "BENCH_9.json", "output path for the JSON report")
+		out          = flag.String("out", "BENCH_10.json", "output path for the JSON report")
 		short        = flag.Bool("short", false, "shrink the harness measurement for CI smoke runs")
 		gate         = flag.Bool("gate", false, "trend-gate mode: measure only the hot-path microbenchmarks, diff against the committed history, exit 1 on regression")
-		history      = flag.String("gate-history", "BENCH_2.json,BENCH_3.json,BENCH_4.json,BENCH_5.json,BENCH_6.json,BENCH_7.json,BENCH_8.json,BENCH_9.json", "comma-separated committed reports the gate diffs against")
+		history      = flag.String("gate-history", "BENCH_2.json,BENCH_3.json,BENCH_4.json,BENCH_5.json,BENCH_6.json,BENCH_7.json,BENCH_8.json,BENCH_9.json,BENCH_10.json", "comma-separated committed reports the gate diffs against")
 		gateSlack    = flag.Float64("gate-slack", 1.25, "allowed growth factor over the worst committed ratio before the gate fails")
 		gateSlowdown = flag.Float64("gate-slowdown", 1, "multiply the measured des hot-path nanoseconds (self-test hook: 2 must fail the gate)")
 	)
@@ -214,7 +241,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:     "conscale-bench/9",
+		Schema:     "conscale-bench/10",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Short:      *short,
@@ -244,6 +271,15 @@ func main() {
 	rep.Derived["twin_disabled_allocs_per_op"] = float64(byName["twin/observe_disabled"].AllocsPerOp)
 	rep.Derived["twin_tick_ns_per_op"] = byName["twin/tick_steady"].NsPerOp
 	rep.Derived["qnet_snapshot_solve_ns_per_op"] = byName["qnet/snapshot_solve"].NsPerOp
+	var admitAllocs float64
+	for _, n := range []string{"admission/always_admit", "admission/queue_cap_admit",
+		"admission/priority_admit", "admission/codel_admit_observe"} {
+		if a := float64(byName[n].AllocsPerOp); a > admitAllocs {
+			admitAllocs = a
+		}
+	}
+	rep.Derived["admission_admit_allocs_per_op"] = admitAllocs
+	rep.Derived["admission_codel_ns_per_op"] = byName["admission/codel_admit_observe"].NsPerOp
 	runEndToEnd(&rep, *short, *out)
 }
 
@@ -662,6 +698,68 @@ func microBenches() []Result {
 			}
 		}),
 	)
+	fmt.Println("== admission-control microbenchmarks (every Admit hot path must stay 0 allocs/op)")
+	newPolicy := func(spec string) admission.Policy {
+		cfg, err := admission.Parse(spec)
+		if err != nil {
+			panic(err)
+		}
+		p, err := admission.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	results = append(results,
+		measure("admission/always_admit", func(b *testing.B) {
+			b.ReportAllocs()
+			p := newPolicy("always")
+			for i := 0; i < b.N; i++ {
+				p.Admit(des.Time(i)*des.Millisecond, admission.ClassBrowse, i&1023)
+			}
+		}),
+		measure("admission/queue_cap_admit", func(b *testing.B) {
+			b.ReportAllocs()
+			p := newPolicy("queue-cap:cap=300")
+			for i := 0; i < b.N; i++ {
+				p.Admit(des.Time(i)*des.Millisecond, admission.ClassBrowse, i&1023)
+			}
+		}),
+		measure("admission/priority_admit", func(b *testing.B) {
+			b.ReportAllocs()
+			p := newPolicy("priority:cap=300,browse=75")
+			for i := 0; i < b.N; i++ {
+				class := admission.ClassBrowse
+				if i&1 == 1 {
+					class = admission.ClassReadWrite
+				}
+				p.Admit(des.Time(i)*des.Millisecond, class, i&1023)
+			}
+		}),
+		measure("admission/codel_admit_observe", func(b *testing.B) {
+			// One admit decision plus one dequeue-sojourn feedback per
+			// op, alternating below/above target so the control law
+			// exercises both the reset and the dropping branch.
+			b.ReportAllocs()
+			p := newPolicy("codel:target=100ms,interval=200ms")
+			for i := 0; i < b.N; i++ {
+				now := des.Time(i) * des.Millisecond
+				sojourn := 50 * des.Millisecond
+				if i&1 == 1 {
+					sojourn = 250 * des.Millisecond
+				}
+				p.ObserveDequeue(now, sojourn)
+				p.Admit(now, admission.ClassBrowse, i&1023)
+			}
+		}),
+		measure("admission/meter_observe", func(b *testing.B) {
+			b.ReportAllocs()
+			m := admission.NewMeter(5*des.Second, func(admission.Class, float64) {})
+			for i := 0; i < b.N; i++ {
+				m.Observe(des.Time(i)*des.Millisecond, admission.ClassBrowse, i&7 == 0)
+			}
+		}),
+	)
 	return results
 }
 
@@ -734,6 +832,14 @@ func runEndToEnd(rep *Report, short bool, out string) {
 		rep.Twin.Experiment, rep.Twin.OffSec, rep.Twin.OnSec, rep.Twin.OverheadPct,
 		rep.Twin.Ticks, rep.Twin.Applicable, rep.Twin.Drifts, rep.Twin.TimelineIdentical)
 
+	fmt.Println("== admission overhead end to end (bare vs always-admit installed, byte-identity checked)")
+	rep.Admission = measureAdmission(short)
+	rep.Derived["admission_overhead_pct"] = rep.Admission.OverheadPct
+	fmt.Printf("   %s: off %.1fs, always %.1fs (+%.1f%%), timeline identical=%v; %s shed %d (browse %d, rw %d)\n",
+		rep.Admission.Experiment, rep.Admission.OffSec, rep.Admission.AlwaysSec,
+		rep.Admission.OverheadPct, rep.Admission.TimelineIdentical,
+		rep.Admission.ShedPolicy, rep.Admission.Sheds, rep.Admission.BrowseSheds, rep.Admission.RWSheds)
+
 	fmt.Println("== controller-zoo smoke tournament (every controller, one trace)")
 	rep.Tournament = measureTournament(short)
 	rep.Derived["tournament_controllers"] = float64(len(rep.Tournament.Ranking))
@@ -797,6 +903,73 @@ func runEndToEnd(rep *Report, short bool, out string) {
 	if rep.Derived["twin_disabled_allocs_per_op"] != 0 {
 		fmt.Fprintln(os.Stderr, "FAIL: disabled twin hot path allocates")
 		os.Exit(1)
+	}
+	if !rep.Admission.TimelineIdentical {
+		fmt.Fprintln(os.Stderr, "FAIL: always-admit run's timeline diverged from the bare run")
+		os.Exit(1)
+	}
+	if rep.Derived["admission_admit_allocs_per_op"] != 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: admission Admit hot path allocates")
+		os.Exit(1)
+	}
+}
+
+// measureAdmission runs the same ConScale Big Spike experiment bare,
+// with an explicit always-admit policy installed on the web and app
+// tiers — the installed no-op must be byte-identical to no policy at
+// all — and with the queue-cap shedder armed to smoke the drop path
+// end to end (shed counts recorded, not gated: whether the cap engages
+// depends on the configuration's headroom).
+func measureAdmission(short bool) Admission {
+	duration := 720 * des.Second
+	users := 7500
+	label := "conscale big-spike (720s)"
+	if short {
+		duration = 120 * des.Second
+		users = 3000
+		label = "conscale big-spike (120s smoke)"
+	}
+	run := func(spec string) (float64, []byte, *experiment.RunResult) {
+		cfg := experiment.DefaultRunConfig(scaling.ConScale, workload.BigSpike)
+		cfg.Duration = duration
+		cfg.MaxUsers = users
+		if spec != "" {
+			pc, err := admission.Parse(spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			cfg.Admission = map[cluster.Tier]admission.Config{
+				cluster.Web: pc,
+				cluster.App: pc,
+			}
+		}
+		t0 := time.Now()
+		res := experiment.Run(cfg)
+		sec := time.Since(t0).Seconds()
+		var buf bytes.Buffer
+		if err := experiment.WriteTimelineCSV(&buf, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return sec, buf.Bytes(), res
+	}
+
+	offSec, offCSV, _ := run("")
+	alwaysSec, alwaysCSV, _ := run("always")
+	const shedSpec = "queue-cap:cap=300"
+	_, _, shedRes := run(shedSpec)
+
+	return Admission{
+		Experiment:        label,
+		OffSec:            offSec,
+		AlwaysSec:         alwaysSec,
+		OverheadPct:       100 * (alwaysSec - offSec) / offSec,
+		TimelineIdentical: bytes.Equal(offCSV, alwaysCSV),
+		ShedPolicy:        shedSpec,
+		Sheds:             shedRes.Sheds,
+		BrowseSheds:       shedRes.ShedsByClass[admission.ClassBrowse],
+		RWSheds:           shedRes.ShedsByClass[admission.ClassReadWrite],
 	}
 }
 

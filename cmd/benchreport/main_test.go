@@ -6,12 +6,12 @@ import (
 	"testing"
 )
 
-// repoHistory loads the committed BENCH_2..9 trajectory from the repo
+// repoHistory loads the committed BENCH_2..10 trajectory from the repo
 // root (the test binary runs in cmd/benchreport).
 func repoHistory(t *testing.T) []historyReport {
 	t.Helper()
-	paths := make([]string, 0, 8)
-	for _, f := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json", "BENCH_8.json", "BENCH_9.json"} {
+	paths := make([]string, 0, 9)
+	for _, f := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json", "BENCH_8.json", "BENCH_9.json", "BENCH_10.json"} {
 		paths = append(paths, filepath.Join("..", "..", f))
 	}
 	history, err := loadHistory(paths)

@@ -47,6 +47,7 @@ var defaultPackages = []string{
 	".",
 	"internal/des",
 	"internal/workload",
+	"internal/admission",
 	"internal/cluster",
 	"internal/sct",
 	"internal/scaling",

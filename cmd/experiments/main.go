@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"conscale/internal/admission"
 	"conscale/internal/controller"
 	"conscale/internal/des"
 	"conscale/internal/experiment"
@@ -60,13 +61,15 @@ var runners = []runner{
 	{"scale", "Million-client scale mode: streaming population over striped cells", runScale},
 	{"tournament", "Full-factorial controller tournament: every controller × trace × tier", runTournament},
 	{"episodes", "Fluctuation forensics: episode detection + causal attribution per controller", runEpisodes},
-	{"hypothesis", "Declared-hypothesis validation: DES≡MVA steady-state, calm-regime drift, SCT tail dominance", runHypothesis},
+	{"hypothesis", "Declared-hypothesis validation: DES≡MVA steady-state, calm-regime drift, blame conservation, SCT tail dominance", runHypothesis},
+	{"frontier", "Admission frontier: admission policy × controller × trace on the p99-vs-goodput plane", runFrontier},
 }
 
 // heavyRunners are excluded from `-run all` and must be requested by id:
-// the scale sweep's 1M-client tier, the tournament's full factorial, and
-// the hypothesis sweeps multiply the whole-suite wall time.
-var heavyRunners = map[string]bool{"scale": true, "tournament": true, "episodes": true, "hypothesis": true}
+// the scale sweep's 1M-client tier, the tournament and frontier full
+// factorials, and the hypothesis sweeps multiply the whole-suite wall
+// time.
+var heavyRunners = map[string]bool{"scale": true, "tournament": true, "episodes": true, "hypothesis": true, "frontier": true}
 
 // selectRunners resolves a -run spec ("all" or a comma-separated id list)
 // against the runner table, preserving table order and deduplicating.
@@ -158,6 +161,19 @@ var (
 	epChaos       = flag.Bool("episodes-chaos", true, "episodes: arm the deterministic fault overlay (the attribution score's ground truth)")
 )
 
+// Admission-frontier flags (the `-run frontier` experiment). Policy
+// specs carry commas ("codel:target=250ms,interval=1s"), so the policy
+// list is semicolon-separated.
+var (
+	frControllers = flag.String("frontier-controllers", "", "frontier: comma-separated controller names (default: ec2,dcm,conscale,target-tracking-sct)")
+	frPolicies    = flag.String("frontier-policies", "", "frontier: semicolon-separated admission policy specs (default: always; queue-cap:cap=300; codel:target=100ms,interval=200ms; priority:cap=300,browse=75)")
+	frTraces      = flag.String("frontier-traces", "", "frontier: comma-separated trace names (default: all six)")
+	frClients     = flag.Int("frontier-clients", 0, "frontier: peak client count per cell (default 100000)")
+	frDuration    = flag.Float64("frontier-duration", 0, "frontier: simulated seconds per run (default 120)")
+	frThink       = flag.Float64("frontier-think", 0, "frontier: mean client think time in seconds (default 3, the paper's evaluation setting)")
+	frSeq         = flag.Bool("frontier-seq", false, "frontier: force the sequential striper fallback")
+)
+
 func main() {
 	var (
 		run        = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
@@ -189,6 +205,10 @@ func main() {
 			os.Exit(2)
 		}
 		if _, err := parseHypothesis(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := parseFrontier(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -791,6 +811,136 @@ func runTournament(seed uint64, outDir string) error {
 	}
 	return writeCSV(outDir, "BENCH_6.json", func(f *os.File) error {
 		return experiment.WriteTournamentReport(f, res)
+	})
+}
+
+// parseFrontier expands the frontier flags into the factorial
+// configuration, validating controller names, trace names, and
+// admission policy specs up front so a typo fails before hours of
+// simulation.
+func parseFrontier(seed uint64) (experiment.FrontierConfig, error) {
+	cfg := experiment.DefaultFrontierConfig()
+	cfg.Seed = seed
+	if s := strings.TrimSpace(*frControllers); s != "" {
+		cfg.Controllers = nil
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(strings.ToLower(tok))
+			if tok == "" {
+				continue
+			}
+			if _, err := controller.New(tok, controller.Options{}); err != nil {
+				return cfg, err
+			}
+			cfg.Controllers = append(cfg.Controllers, tok)
+		}
+		if len(cfg.Controllers) == 0 {
+			return cfg, fmt.Errorf("-frontier-controllers is empty")
+		}
+	}
+	if s := strings.TrimSpace(*frPolicies); s != "" {
+		cfg.Policies = nil
+		hasAlways := false
+		for _, tok := range strings.Split(s, ";") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			acfg, err := admission.Parse(tok)
+			if err != nil {
+				return cfg, err
+			}
+			if _, err := admission.New(acfg); err != nil {
+				return cfg, err
+			}
+			if acfg.Policy == admission.Always {
+				hasAlways = true
+			}
+			cfg.Policies = append(cfg.Policies, tok)
+		}
+		if len(cfg.Policies) == 0 {
+			return cfg, fmt.Errorf("-frontier-policies is empty")
+		}
+		if !hasAlways {
+			return cfg, fmt.Errorf("-frontier-policies must include %q (the baseline of the delta columns)", admission.Always)
+		}
+	}
+	if s := strings.TrimSpace(*frTraces); s != "" {
+		cfg.Traces = nil
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(strings.ToLower(tok))
+			if tok == "" {
+				continue
+			}
+			known := false
+			for _, n := range workload.Names() {
+				if tok == n {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return cfg, fmt.Errorf("unknown trace %q; available: %s",
+					tok, strings.Join(workload.Names(), ", "))
+			}
+			cfg.Traces = append(cfg.Traces, tok)
+		}
+		if len(cfg.Traces) == 0 {
+			return cfg, fmt.Errorf("-frontier-traces is empty")
+		}
+	}
+	if *frClients < 0 {
+		return cfg, fmt.Errorf("-frontier-clients must be positive")
+	}
+	if *frClients > 0 {
+		cfg.Clients = *frClients
+	}
+	if *frDuration < 0 {
+		return cfg, fmt.Errorf("-frontier-duration must be positive")
+	}
+	if *frDuration > 0 {
+		cfg.Duration = des.Time(*frDuration) * des.Second
+	}
+	if *frThink < 0 {
+		return cfg, fmt.Errorf("-frontier-think must be positive")
+	}
+	cfg.ThinkTime = *frThink
+	cfg.Parallel = !*frSeq
+	return cfg, nil
+}
+
+// runFrontier executes the admission factorial, prints the per-cell
+// frontier table, and writes frontier_summary.csv plus BENCH_10.json
+// (schema conscale-bench/10, frontier section).
+func runFrontier(seed uint64, outDir string) error {
+	cfg, err := parseFrontier(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d policies × %d controllers × %d traces = %d runs (%d clients, %.0fs each)\n",
+		len(cfg.Policies), len(cfg.Controllers), len(cfg.Traces),
+		len(cfg.Policies)*len(cfg.Controllers)*len(cfg.Traces),
+		cfg.Clients, float64(cfg.Duration))
+	cfg.Progress = func(done, total int, row experiment.FrontierRow) {
+		fmt.Printf("   [%3d/%3d] %-16s %-20s %-10s p99=%.0fms goodput=%d sheds=%d wall=%.1fs\n",
+			done, total, row.Trace, row.Controller, row.Policy,
+			row.P99Ms, row.Goodput, row.Sheds, row.WallSec)
+	}
+	res := experiment.RunFrontier(cfg)
+	fmt.Println()
+	experiment.RenderFrontier(os.Stdout, res)
+	if best, ok := res.BestTailCut(10); ok {
+		fmt.Printf("\n   best tail cut within 10%% goodput loss: %s/%s/%s Δp99=%.1f%% Δgoodput=%.2f%%\n",
+			best.Trace, best.Controller, best.Policy, best.P99DeltaPct, best.GoodputDeltaPct)
+	}
+
+	if err := writeCSV(outDir, "frontier_summary.csv", func(f *os.File) error {
+		experiment.WriteFrontierCSV(f, res)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "BENCH_10.json", func(f *os.File) error {
+		return experiment.WriteFrontierReport(f, res)
 	})
 }
 

@@ -42,6 +42,7 @@ import (
 	"io"
 	"net/http"
 
+	"conscale/internal/admission"
 	"conscale/internal/chaos"
 	"conscale/internal/cluster"
 	"conscale/internal/controller"
@@ -751,4 +752,69 @@ func RunHypotheses(cfg HypothesisConfig) ([]HypothesisResult, error) {
 // RenderHypotheses prints the per-hypothesis FINDINGS table.
 func RenderHypotheses(w io.Writer, results []HypothesisResult) error {
 	return experiment.RenderHypotheses(w, results)
+}
+
+// Admission control: pluggable load shedding at each server's accept
+// queue, and the policy × controller × trace frontier experiment that
+// maps the p99-vs-goodput trade-off.
+type (
+	// AdmissionConfig selects and parameterises a policy family
+	// ("always", "queue-cap", "codel", "priority"); zero fields take
+	// the documented defaults.
+	AdmissionConfig = admission.Config
+	// AdmissionPolicy is the per-accept-queue decision contract:
+	// Admit at queue entry, ObserveDequeue as sojourn feedback.
+	AdmissionPolicy = admission.Policy
+	// AdmissionClass is a request's shedding class, mapped from the
+	// RUBBoS servlet mix (browse sheds before read-write).
+	AdmissionClass = admission.Class
+	// AdmissionMeter aggregates per-class shed rates over fixed
+	// sim-time windows for telemetry.
+	AdmissionMeter = admission.Meter
+	// FrontierConfig describes the admission-policy × controller ×
+	// trace factorial on the scale-mode skeleton.
+	FrontierConfig = experiment.FrontierConfig
+	// FrontierResult holds every frontier cell with p99/goodput deltas
+	// against the matching always-admit baseline.
+	FrontierResult = experiment.FrontierResult
+	// FrontierRow is one trace × controller × policy cell.
+	FrontierRow = experiment.FrontierRow
+)
+
+// Admission classes.
+const (
+	ClassBrowse    = admission.ClassBrowse
+	ClassReadWrite = admission.ClassReadWrite
+)
+
+// NewAdmissionPolicy builds a fresh policy instance from the config.
+// Each server needs its own instance — policies carry per-queue state.
+func NewAdmissionPolicy(cfg AdmissionConfig) (AdmissionPolicy, error) { return admission.New(cfg) }
+
+// ParseAdmission decodes a policy spec string such as
+// "codel:target=50ms,interval=500ms" into an AdmissionConfig.
+func ParseAdmission(spec string) (AdmissionConfig, error) { return admission.Parse(spec) }
+
+// AdmissionPolicyNames lists the built-in policy families, sorted.
+func AdmissionPolicyNames() []string { return admission.Names() }
+
+// DefaultFrontierConfig returns the standard frontier factorial:
+// four policies × four controllers × all six traces at 100k clients.
+func DefaultFrontierConfig() FrontierConfig { return experiment.DefaultFrontierConfig() }
+
+// RunFrontier executes the admission frontier factorial. Always-admit
+// cells run with no policy installed — byte-identical to the pre-layer
+// simulation — and serve as each (controller, trace) delta baseline.
+func RunFrontier(cfg FrontierConfig) *FrontierResult { return experiment.RunFrontier(cfg) }
+
+// RenderFrontier prints the frontier as an ASCII table grouped by
+// trace and controller, best p99 first.
+func RenderFrontier(w io.Writer, res *FrontierResult) { experiment.RenderFrontier(w, res) }
+
+// WriteFrontierCSV writes every frontier cell as CSV.
+func WriteFrontierCSV(w io.Writer, res *FrontierResult) { experiment.WriteFrontierCSV(w, res) }
+
+// WriteFrontierReport writes the frontier as the BENCH_10 JSON schema.
+func WriteFrontierReport(w io.Writer, res *FrontierResult) error {
+	return experiment.WriteFrontierReport(w, res)
 }

@@ -1,0 +1,286 @@
+package admission
+
+import (
+	"strings"
+	"testing"
+
+	"conscale/internal/des"
+)
+
+func mustNew(t *testing.T, cfg Config) Policy {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return p
+}
+
+func TestAlwaysAdmitsEverything(t *testing.T) {
+	p := mustNew(t, Config{})
+	if p.Name() != Always {
+		t.Fatalf("default policy = %q, want %q", p.Name(), Always)
+	}
+	for q := 0; q < 100000; q += 997 {
+		if !p.Admit(des.Time(q), ClassBrowse, q) || !p.Admit(des.Time(q), ClassReadWrite, q) {
+			t.Fatalf("always shed at queueLen=%d", q)
+		}
+	}
+}
+
+func TestQueueCapBoundaries(t *testing.T) {
+	p := mustNew(t, Config{Policy: QueueCap, QueueCap: 10})
+	cases := []struct {
+		queueLen int
+		want     bool
+	}{
+		{0, true}, {1, true}, {9, true}, {10, false}, {11, false}, {1000, false},
+	}
+	for _, c := range cases {
+		for _, class := range []Class{ClassBrowse, ClassReadWrite} {
+			if got := p.Admit(1, class, c.queueLen); got != c.want {
+				t.Errorf("queue-cap(10).Admit(%v, queueLen=%d) = %v, want %v", class, c.queueLen, got, c.want)
+			}
+		}
+	}
+}
+
+func TestPriorityOrderingUnderMixedClasses(t *testing.T) {
+	p := mustNew(t, Config{Policy: Priority, QueueCap: 20, BrowseCap: 5})
+	cases := []struct {
+		class    Class
+		queueLen int
+		want     bool
+	}{
+		// Browse sheds at the low threshold...
+		{ClassBrowse, 4, true}, {ClassBrowse, 5, false}, {ClassBrowse, 19, false},
+		// ...while read-write rides to the full cap.
+		{ClassReadWrite, 4, true}, {ClassReadWrite, 5, true}, {ClassReadWrite, 19, true}, {ClassReadWrite, 20, false},
+	}
+	for _, c := range cases {
+		if got := p.Admit(1, c.class, c.queueLen); got != c.want {
+			t.Errorf("priority.Admit(%v, queueLen=%d) = %v, want %v", c.class, c.queueLen, got, c.want)
+		}
+	}
+	// At every queue length, browse must never be admitted where
+	// read-write is shed.
+	for q := 0; q <= 25; q++ {
+		b := p.Admit(1, ClassBrowse, q)
+		rw := p.Admit(1, ClassReadWrite, q)
+		if b && !rw {
+			t.Fatalf("queueLen=%d: browse admitted while read-write shed", q)
+		}
+	}
+}
+
+func TestPriorityBrowseCapDefault(t *testing.T) {
+	cfg := Config{Policy: Priority, QueueCap: 100}.withDefaults()
+	if cfg.BrowseCap != 25 {
+		t.Fatalf("default BrowseCap = %d, want QueueCap/4 = 25", cfg.BrowseCap)
+	}
+	if _, err := New(Config{Policy: Priority, QueueCap: 10, BrowseCap: 20}); err == nil {
+		t.Fatal("New accepted BrowseCap > QueueCap")
+	}
+}
+
+// TestCoDelControlLaw walks the policy through a full episode: standing
+// queue arms dropping after one interval, drops space at
+// interval/sqrt(count), and a below-target dequeue resets everything.
+func TestCoDelControlLaw(t *testing.T) {
+	const (
+		target   = 100 * des.Millisecond
+		interval = des.Second
+	)
+	p := mustNew(t, Config{Policy: CoDel, Target: target, Interval: interval}).(*codelPolicy)
+
+	// Below-target sojourns never arm dropping.
+	for i := 0; i < 10; i++ {
+		now := des.Time(i) * 10 * des.Millisecond
+		p.ObserveDequeue(now, target/2)
+		if !p.Admit(now, ClassBrowse, 50) {
+			t.Fatal("shed while sojourn below target")
+		}
+	}
+
+	// Sojourn above target: no drop until a full interval has passed.
+	p.ObserveDequeue(10, 2*target)
+	if p.dropping {
+		t.Fatal("entered dropping on first above-target sojourn")
+	}
+	p.ObserveDequeue(10+interval/2, 2*target)
+	if p.dropping || !p.Admit(10+interval/2, ClassBrowse, 50) {
+		t.Fatal("dropping before the interval elapsed")
+	}
+
+	// A dip below target inside the interval resets the episode.
+	p.ObserveDequeue(10+interval*3/4, target/2)
+	if p.firstAbove != 0 {
+		t.Fatal("below-target dequeue did not reset the episode")
+	}
+
+	// Re-arm and let the full interval elapse: dropping starts.
+	p.ObserveDequeue(20, 2*target)
+	p.ObserveDequeue(20+interval, 2*target)
+	if !p.dropping {
+		t.Fatal("standing queue for a full interval did not arm dropping")
+	}
+
+	// First arrival sheds immediately; the next drop is one full
+	// interval out (count=1), then interval/sqrt(2), shrinking.
+	now := 20 + interval
+	if p.Admit(now, ClassBrowse, 50) {
+		t.Fatal("first arrival in dropping state was admitted")
+	}
+	gap1 := p.dropNext - now
+	if gap1 != interval {
+		t.Fatalf("first drop spacing = %v, want %v", gap1, interval)
+	}
+	if p.Admit(now+gap1/2, ClassBrowse, 50) == false {
+		t.Fatal("shed before dropNext")
+	}
+	now = p.dropNext
+	if p.Admit(now, ClassBrowse, 50) {
+		t.Fatal("second drop not taken at dropNext")
+	}
+	gap2 := p.dropNext - now
+	if gap2 >= gap1 {
+		t.Fatalf("drop spacing did not shrink: %v then %v", gap1, gap2)
+	}
+
+	// An empty queue is never shed into, even while dropping.
+	if !p.Admit(p.dropNext, ClassBrowse, 0) {
+		t.Fatal("shed into an empty queue")
+	}
+
+	// Recovery: one below-target dequeue exits dropping.
+	p.ObserveDequeue(now+1, target/2)
+	if p.dropping {
+		t.Fatal("below-target dequeue did not exit dropping")
+	}
+	if !p.Admit(now+1, ClassBrowse, 50) {
+		t.Fatal("shed after recovery")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Config
+	}{
+		{"always", Config{Policy: Always}},
+		{"queue-cap:cap=200", Config{Policy: QueueCap, QueueCap: 200}},
+		{"codel:target=50ms,interval=500ms", Config{Policy: CoDel, Target: 50 * des.Millisecond, Interval: 500 * des.Millisecond}},
+		{"priority:cap=200,browse=40", Config{Policy: Priority, QueueCap: 200, BrowseCap: 40}},
+		{"codel:target=0.2s", Config{Policy: CoDel, Target: 200 * des.Millisecond}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		// Spec() must parse back to an equivalent config.
+		back, err := Parse(got.Spec())
+		if err != nil {
+			t.Fatalf("Parse(Spec(%q)=%q): %v", c.spec, got.Spec(), err)
+		}
+		if back.withDefaults() != got.withDefaults() {
+			t.Errorf("round trip %q -> %q changed config", c.spec, got.Spec())
+		}
+	}
+	for _, bad := range []string{"", "nope", "queue-cap:cap=-1", "codel:target=zz", "priority:cap=5,browse=50", "queue-cap:cap"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestNamesCoverRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("Names() = %v, want 4 entries", names)
+	}
+	for _, n := range names {
+		p, err := New(Config{Policy: n})
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Errorf("New(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if _, err := New(Config{Policy: "bogus"}); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("New(bogus) error = %v", err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassBrowse.String() != "browse" || ClassReadWrite.String() != "read-write" {
+		t.Fatalf("class names: %q %q", ClassBrowse, ClassReadWrite)
+	}
+}
+
+func TestMeterWindowsAndRates(t *testing.T) {
+	type obs struct {
+		class Class
+		rate  float64
+	}
+	var got []obs
+	m := NewMeter(des.Second, func(c Class, r float64) { got = append(got, obs{c, r}) })
+
+	// Window [0,1): 4 browse offered, 1 shed; 2 read-write, 0 shed.
+	for i := 0; i < 4; i++ {
+		m.Observe(des.Time(i)*100*des.Millisecond, ClassBrowse, i == 0)
+	}
+	m.Observe(0.5, ClassReadWrite, false)
+	m.Observe(0.6, ClassReadWrite, false)
+	// Crossing into the next window flushes the previous one.
+	m.Observe(1.5, ClassBrowse, true)
+	if len(got) != 2 {
+		t.Fatalf("flush emitted %d rates, want 2: %v", len(got), got)
+	}
+	if got[0].class != ClassBrowse || got[0].rate != 0.25 {
+		t.Errorf("browse rate = %+v, want 0.25", got[0])
+	}
+	if got[1].class != ClassReadWrite || got[1].rate != 0 {
+		t.Errorf("read-write rate = %+v, want 0", got[1])
+	}
+	got = got[:0]
+	m.Flush()
+	if len(got) != 1 || got[0].rate != 1 {
+		t.Fatalf("final flush = %v, want one browse rate of 1", got)
+	}
+
+	// Nil meter is a no-op.
+	var nilMeter *Meter
+	nilMeter.Observe(0, ClassBrowse, true)
+	nilMeter.Flush()
+}
+
+// TestPolicyZeroAlloc pins the per-request hot path at zero
+// allocations for every policy, admitting and shedding alike.
+func TestPolicyZeroAlloc(t *testing.T) {
+	for _, name := range Names() {
+		p := mustNew(t, Config{Policy: name, QueueCap: 8})
+		var now des.Time
+		if n := testing.AllocsPerRun(1000, func() {
+			now += 10 * des.Millisecond
+			p.Admit(now, ClassBrowse, 50)
+			p.Admit(now, ClassReadWrite, 3)
+			p.ObserveDequeue(now, 200*des.Millisecond)
+			p.ObserveDequeue(now, des.Millisecond)
+		}); n != 0 {
+			t.Errorf("%s hot path allocates %.1f/op", name, n)
+		}
+	}
+	m := NewMeter(des.Second, nil)
+	var now des.Time
+	if n := testing.AllocsPerRun(1000, func() {
+		now += 10 * des.Millisecond
+		m.Observe(now, ClassBrowse, false)
+	}); n != 0 {
+		t.Errorf("meter hot path allocates %.1f/op", n)
+	}
+}

@@ -1,0 +1,65 @@
+package admission
+
+import "conscale/internal/des"
+
+// Meter folds per-class shed rates over fixed sim-time windows and
+// hands each closed window's rate (shed/offered) to a callback —
+// typically a telemetry histogram's Observe — so Prometheus scrapes
+// see a *distribution* of drop rates rather than a single running
+// ratio. The fold happens lazily on the request path itself: no
+// scheduled events, so an armed meter cannot perturb the trajectory,
+// and the disabled (nil) meter costs one comparison.
+type Meter struct {
+	window    des.Time
+	onRate    func(class Class, rate float64)
+	windowEnd des.Time
+	offered   [NumClasses]uint32
+	shed      [NumClasses]uint32
+}
+
+// NewMeter builds a meter flushing every window (default 5 s) into
+// onRate. A nil onRate disables flushing but keeps the counts.
+func NewMeter(window des.Time, onRate func(class Class, rate float64)) *Meter {
+	if window <= 0 {
+		window = 5 * des.Second
+	}
+	return &Meter{window: window, onRate: onRate}
+}
+
+// Observe records one admission decision. Nil-safe: a nil meter is a
+// no-op.
+func (m *Meter) Observe(now des.Time, class Class, shed bool) {
+	if m == nil {
+		return
+	}
+	if now >= m.windowEnd {
+		m.flush()
+		// Align the window edge to the grid so idle stretches don't
+		// smear window boundaries across runs.
+		m.windowEnd = (des.Time(int64(now/m.window)) + 1) * m.window
+	}
+	m.offered[class]++
+	if shed {
+		m.shed[class]++
+	}
+}
+
+// Flush closes the current window early (end of run).
+func (m *Meter) Flush() {
+	if m == nil {
+		return
+	}
+	m.flush()
+}
+
+func (m *Meter) flush() {
+	for c := range m.offered {
+		if m.offered[c] == 0 {
+			continue
+		}
+		if m.onRate != nil {
+			m.onRate(Class(c), float64(m.shed[c])/float64(m.offered[c]))
+		}
+		m.offered[c], m.shed[c] = 0, 0
+	}
+}

@@ -9,6 +9,7 @@ package cluster
 import (
 	"fmt"
 
+	"conscale/internal/admission"
 	"conscale/internal/des"
 	"conscale/internal/lb"
 	"conscale/internal/metrics"
@@ -99,6 +100,12 @@ type Config struct {
 	// AcceptQueue is the per-server pending-request bound.
 	AcceptQueue int
 
+	// Admission optionally installs a per-tier admission policy: every
+	// VM of a configured tier gets its own policy instance guarding its
+	// accept queue (nil map or missing tier = admit everything on the
+	// untouched request path). See internal/admission.
+	Admission map[Tier]admission.Config
+
 	// DemandCV is the lognormal jitter of service demands.
 	DemandCV float64
 
@@ -187,6 +194,12 @@ type Cluster struct {
 	// telReg is the continuous-metrics registry (nil = telemetry off).
 	// VMs booted after SetTelemetry are armed as they come up.
 	telReg *telemetry.Registry
+
+	// admission holds the active per-tier policy configs; VMs booted
+	// later inherit them. onShed is the read-only shed observer fanned
+	// out to every server (forensics tap).
+	admission map[Tier]admission.Config
+	onShed    func(now des.Time, t Tier, class admission.Class)
 }
 
 // New builds the initial topology on a fresh engine (or on cfg.Engine
@@ -219,6 +232,13 @@ func New(cfg Config) *Cluster {
 		pendingBoots: make(map[Tier]int),
 		netDelay:     make(map[Tier]des.Time),
 		bootFactor:   1,
+		admission:    make(map[Tier]admission.Config),
+	}
+	for t, acfg := range cfg.Admission {
+		if _, err := admission.New(acfg); err != nil {
+			panic(fmt.Sprintf("cluster: tier %s: %v", t, err))
+		}
+		c.admission[t] = acfg
 	}
 	for i := 0; i < cfg.Web; i++ {
 		c.boot(Web)
@@ -307,6 +327,19 @@ func (c *Cluster) newVM(t Tier) *vm {
 	srv := server.New(c.Eng, c.rnd.Split(), cfg)
 	if t == App {
 		srv.SetCallPool(server.NewConnPool(c.dbConns))
+	}
+	if acfg, ok := c.admission[t]; ok {
+		p, err := admission.New(acfg)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: tier %s: %v", t, err))
+		}
+		srv.SetAdmission(p)
+	}
+	if c.onShed != nil {
+		tier := t
+		srv.SetShedObserver(func(now des.Time, class admission.Class) {
+			c.onShed(now, tier, class)
+		})
 	}
 	if c.telReg != nil {
 		c.armServer(t, srv)
@@ -474,6 +507,85 @@ func (c *Cluster) SetDBConns(n int) {
 	}
 }
 
+// SetAdmission installs (cfg non-nil) or removes (cfg nil) the tier's
+// admission policy at runtime: every current VM gets a fresh policy
+// instance and future VMs inherit the config. The mgmt admission.*
+// toggles route here.
+func (c *Cluster) SetAdmission(t Tier, cfg *admission.Config) error {
+	if cfg == nil {
+		delete(c.admission, t)
+		for _, v := range c.vms[t] {
+			v.srv.SetAdmission(nil)
+		}
+		return nil
+	}
+	if _, err := admission.New(*cfg); err != nil {
+		return err
+	}
+	c.admission[t] = *cfg
+	for _, v := range c.vms[t] {
+		p, err := admission.New(*cfg)
+		if err != nil {
+			return err
+		}
+		v.srv.SetAdmission(p)
+		if c.telReg != nil {
+			// Re-arm so the shed instruments exist (registration is
+			// idempotent on name+labels).
+			c.armServer(t, v.srv)
+		}
+	}
+	return nil
+}
+
+// AdmissionConfig returns the tier's active admission config and
+// whether one is installed.
+func (c *Cluster) AdmissionConfig(t Tier) (admission.Config, bool) {
+	cfg, ok := c.admission[t]
+	return cfg, ok
+}
+
+// SetShedObserver installs a read-only callback invoked on every
+// admission shed anywhere in the cluster (the forensics tap); nil
+// disarms it for future VMs.
+func (c *Cluster) SetShedObserver(fn func(now des.Time, t Tier, class admission.Class)) {
+	c.onShed = fn
+	for _, t := range Tiers() {
+		tier := t
+		for _, v := range c.vms[t] {
+			if fn == nil {
+				v.srv.SetShedObserver(nil)
+				continue
+			}
+			v.srv.SetShedObserver(func(now des.Time, class admission.Class) {
+				fn(now, tier, class)
+			})
+		}
+	}
+}
+
+// TierSheds returns the tier's admission drops per class, summed over
+// its VMs (including drained and crashed ones).
+func (c *Cluster) TierSheds(t Tier) (perClass [admission.NumClasses]uint64) {
+	for _, v := range c.vms[t] {
+		for cl := 0; cl < admission.NumClasses; cl++ {
+			perClass[cl] += v.srv.ShedCount(admission.Class(cl))
+		}
+	}
+	return perClass
+}
+
+// Sheds returns the cluster-wide admission drop count.
+func (c *Cluster) Sheds() uint64 {
+	var total uint64
+	for _, t := range Tiers() {
+		for _, v := range c.vms[t] {
+			total += v.srv.ShedTotal()
+		}
+	}
+	return total
+}
+
 // TierCPU returns the mean 1-second CPU utilization across the tier's
 // ready VMs — the signal the threshold scalers act on.
 func (c *Cluster) TierCPU(t Tier) float64 {
@@ -520,10 +632,15 @@ func (c *Cluster) Submit(done func(ok bool)) {
 			inner(ok)
 		}
 	}
+	class := admission.ClassBrowse
+	if sv.Write {
+		class = admission.ClassReadWrite
+	}
 	req := &server.Request{
 		Phases: c.webPhases(sv),
 		Done:   done,
 		Span:   root,
+		Class:  class,
 	}
 	if d := c.netDelay[Web]; d > 0 {
 		// Jitter on the client->web edge: the request transits the slow

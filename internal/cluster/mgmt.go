@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"conscale/internal/admission"
+	"conscale/internal/mgmt"
+)
+
+// RegisterMgmt exposes per-tier admission policy selection through a
+// management Store (the JMX-substitute path that reconfigures pools):
+//
+//	admission.web        RW  policy spec or "off" (web tier)
+//	admission.tomcat     RW  policy spec or "off" (app tier)
+//	admission.mysql      RW  policy spec or "off" (DB tier)
+//	admission.memcached  RW  policy spec or "off" (cache tier)
+//	admission.sheds      RO  cluster-wide admission drop count
+//
+// Specs use admission.Parse syntax ("codel:target=100ms,interval=1s",
+// "queue-cap:cap=200", "priority:cap=200,browse=40", "always"); writing
+// "off" removes the tier's policy entirely. Unlike the tracer's atomic
+// toggles, these setters swap policy instances on live servers — drive
+// them between engine steps (mgmt agents on a paused or single-stepped
+// simulation), exactly like the pool-resize actuators.
+func (c *Cluster) RegisterMgmt(s *mgmt.Store) {
+	if c == nil || s == nil {
+		return
+	}
+	for _, t := range Tiers() {
+		tier := t
+		s.Register("admission."+t.String(),
+			func() string {
+				cfg, ok := c.AdmissionConfig(tier)
+				if !ok {
+					return "off"
+				}
+				return cfg.Spec()
+			},
+			func(v string) error {
+				v = strings.TrimSpace(v)
+				if v == "off" || v == "" {
+					return c.SetAdmission(tier, nil)
+				}
+				cfg, err := admission.Parse(v)
+				if err != nil {
+					return fmt.Errorf("admission.%s: %w", tier, err)
+				}
+				return c.SetAdmission(tier, &cfg)
+			})
+	}
+	s.Register("admission.sheds", func() string {
+		return strconv.FormatUint(c.Sheds(), 10)
+	}, nil)
+}

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"conscale/internal/admission"
+	"conscale/internal/des"
 	"conscale/internal/server"
 	"conscale/internal/telemetry"
 )
@@ -141,6 +143,19 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 				emit(c.TierCPU(t), "tier", t.String())
 			}
 		})
+
+	reg.Collect("conscale_tier_sheds_total", "Admission-policy drops per tier and class.",
+		telemetry.KindCounter, func(emit func(float64, ...string)) {
+			for _, t := range Tiers() {
+				if _, ok := c.admission[t]; !ok {
+					continue
+				}
+				perClass := c.TierSheds(t)
+				for cl, n := range perClass {
+					emit(float64(n), "tier", t.String(), "class", admission.Class(cl).String())
+				}
+			}
+		})
 }
 
 // Telemetry returns the armed registry (nil when telemetry is off).
@@ -150,12 +165,32 @@ func (c *Cluster) Telemetry() *telemetry.Registry { return c.telReg }
 // idempotent on (name, labels), so re-arming is harmless.
 func (c *Cluster) armServer(t Tier, s *server.Server) {
 	tier := t.String()
-	s.SetTelemetry(server.Telemetry{
+	tel := server.Telemetry{
 		RT: c.telReg.Histogram("conscale_server_rt_seconds",
 			"Per-server response time of successful requests.", "tier", tier, "server", s.Name()),
 		Rejects: c.telReg.Counter("conscale_server_rejects_total",
 			"Accept-queue overflows and draining/crashed rejections.", "tier", tier, "server", s.Name()),
 		Drops: c.telReg.Counter("conscale_server_drops_total",
 			"Requests failed after admission.", "tier", tier, "server", s.Name()),
-	})
+	}
+	if s.Admission() != nil {
+		// Shed instruments only exist where a policy can shed: per-class
+		// counters plus the windowed drop-rate histogram (5 s windows,
+		// folded lazily on the request path — no scheduled events).
+		for cl := 0; cl < admission.NumClasses; cl++ {
+			tel.Sheds[cl] = c.telReg.Counter("conscale_server_sheds_total",
+				"Requests dropped by the admission policy.",
+				"tier", tier, "server", s.Name(), "class", admission.Class(cl).String())
+		}
+		hists := [admission.NumClasses]*telemetry.Histogram{}
+		for cl := 0; cl < admission.NumClasses; cl++ {
+			hists[cl] = c.telReg.Histogram("conscale_shed_rate",
+				"Per-window admission drop rate (shed/offered over 5 s windows).",
+				"tier", tier, "server", s.Name(), "class", admission.Class(cl).String())
+		}
+		s.SetShedMeter(admission.NewMeter(5*des.Second, func(class admission.Class, rate float64) {
+			hists[class].Observe(rate)
+		}))
+	}
+	s.SetTelemetry(tel)
 }

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"conscale/internal/admission"
+	"conscale/internal/cluster"
+	"conscale/internal/forensics"
+	"conscale/internal/scaling"
+	"conscale/internal/workload"
+)
+
+// admissionBaseline is the committed pre-admission-layer artifact: the
+// shortRun ConScale Big Spike timeline captured before internal/admission
+// existed. Regenerate (only if the simulator's trajectory legitimately
+// changes) with:
+//
+//	GEN_ADMISSION_BASELINE=1 go test ./internal/experiment -run TestAlwaysAdmitByteIdentical
+const admissionBaseline = "testdata/admission_baseline_big-spike.csv"
+
+func timelineCSV(t *testing.T, cfg RunConfig) ([]byte, *RunResult) {
+	t.Helper()
+	res := Run(cfg)
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestAlwaysAdmitByteIdentical pins the admission layer's identity
+// contract both ways: a run with no policy installed reproduces the
+// committed pre-layer timeline byte for byte, and so does a run with
+// an explicit always-admit policy on every tier.
+func TestAlwaysAdmitByteIdentical(t *testing.T) {
+	bare, _ := timelineCSV(t, shortRun(scaling.ConScale, workload.BigSpike, 1))
+	if os.Getenv("GEN_ADMISSION_BASELINE") != "" {
+		if err := os.WriteFile(admissionBaseline, bare, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(admissionBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bare, want) {
+		t.Fatalf("run with no admission policy diverged from the committed pre-layer baseline %s", admissionBaseline)
+	}
+
+	cfg := shortRun(scaling.ConScale, workload.BigSpike, 1)
+	cfg.Admission = map[cluster.Tier]admission.Config{}
+	for _, tier := range cluster.Tiers() {
+		cfg.Admission[tier] = admission.Config{Policy: admission.Always}
+	}
+	armed, res := timelineCSV(t, cfg)
+	if res.Sheds != 0 {
+		t.Fatalf("always-admit shed %d requests", res.Sheds)
+	}
+	if !bytes.Equal(armed, want) {
+		t.Fatal("run with always-admit installed diverged from the committed pre-layer baseline")
+	}
+}
+
+// TestShedObserversWired runs a genuinely shedding configuration with
+// telemetry and forensics armed and checks every observation surface
+// agrees on the drop count.
+func TestShedObserversWired(t *testing.T) {
+	cfg := shortRun(scaling.EC2, workload.BigSpike, 1)
+	pc, err := admission.Parse("queue-cap:cap=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Admission = map[cluster.Tier]admission.Config{
+		cluster.Web: pc,
+		cluster.App: pc,
+	}
+	cfg.Telemetry = &TelemetryOptions{}
+	cfg.Forensics = &forensics.Config{}
+	res := Run(cfg)
+
+	if res.Sheds == 0 {
+		t.Fatal("the overloaded run never shed — the scenario no longer exercises admission")
+	}
+	var byClass uint64
+	for _, n := range res.ShedsByClass {
+		byClass += n
+	}
+	if byClass != res.Sheds {
+		t.Fatalf("per-class sheds sum to %d, total says %d", byClass, res.Sheds)
+	}
+	if got := res.Forensics.Rec.ShedCount(); got != res.Sheds {
+		t.Fatalf("forensics shed ring saw %d drops, cluster counted %d", got, res.Sheds)
+	}
+	if got := res.SLO.Sheds(); got != res.Sheds {
+		t.Fatalf("SLO monitor attributed %d sheds, cluster counted %d", got, res.Sheds)
+	}
+}

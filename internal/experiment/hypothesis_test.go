@@ -32,8 +32,14 @@ func TestMeanCI(t *testing.T) {
 
 func TestHypothesisIDsAndUnknown(t *testing.T) {
 	ids := HypothesisIDs()
-	if len(ids) != 3 {
+	want := []string{"twin-steady", "drift-calm", "blame-conservation", "sct-dominance"}
+	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids[%d] = %q, want %q (full list %v)", i, ids[i], id, ids)
+		}
 	}
 	if _, err := RunHypotheses(HypothesisConfig{IDs: []string{"nope"}}); err == nil {
 		t.Fatal("unknown id accepted")

@@ -9,6 +9,7 @@ package experiment
 import (
 	"math"
 
+	"conscale/internal/admission"
 	"conscale/internal/chaos"
 	"conscale/internal/cluster"
 	"conscale/internal/controller"
@@ -49,6 +50,14 @@ type RunConfig struct {
 
 	// Cluster overrides; zero values take cluster.DefaultConfig.
 	Cluster *cluster.Config
+
+	// Admission (if non-empty) installs per-tier admission policies on
+	// every VM of the named tiers (merged over Cluster's own Admission
+	// map, per-tier entries here winning). A nil/empty map — or an
+	// explicit always-admit policy — leaves the run's trajectory
+	// byte-identical to the pre-admission code path
+	// (TestAlwaysAdmitByteIdentical).
+	Admission map[cluster.Tier]admission.Config
 
 	// Framework overrides; zero value takes scaling.DefaultConfig(Mode).
 	Framework *scaling.Config
@@ -156,6 +165,12 @@ type RunResult struct {
 	Goodput   int
 	ErrorRate float64
 
+	// Sheds counts admission-policy drops across the whole cluster and
+	// run (0 without admission policies); ShedsByClass splits the count
+	// by priority class.
+	Sheds        uint64
+	ShedsByClass [admission.NumClasses]uint64
+
 	// Warehouse retains the per-server fine-grained samples for scatter
 	// analyses (Fig. 5/6).
 	Warehouse *metrics.Warehouse
@@ -228,6 +243,16 @@ func Run(cfg RunConfig) *RunResult {
 		ccfg = *cfg.Cluster
 	}
 	ccfg.Seed = cfg.Seed
+	if len(cfg.Admission) > 0 {
+		merged := make(map[cluster.Tier]admission.Config, len(cfg.Admission)+len(ccfg.Admission))
+		for t, a := range ccfg.Admission {
+			merged[t] = a
+		}
+		for t, a := range cfg.Admission {
+			merged[t] = a
+		}
+		ccfg.Admission = merged
+	}
 	c := cluster.New(ccfg)
 
 	fcfg := scaling.DefaultConfig(cfg.Mode)
@@ -322,6 +347,20 @@ func Run(cfg RunConfig) *RunResult {
 				done(ok)
 			})
 		}
+	}
+
+	// Route admission drops into the observability tails: each shed lands
+	// in the forensics shed ring (by tier and class) and the SLO monitor's
+	// deliberate-burn split. The observer only copies values on the
+	// simulation goroutine — no randomness, no scheduling — so wiring it
+	// preserves byte-identity.
+	if fx != nil || slo != nil {
+		c.SetShedObserver(func(now des.Time, t cluster.Tier, class admission.Class) {
+			if fx != nil {
+				fx.Rec.ObserveShed(forensics.ShedRec{Time: now, Tier: t.String(), Class: class.String()})
+			}
+			slo.ObserveShed()
+		})
 	}
 
 	think := cfg.ThinkTime
@@ -486,6 +525,13 @@ func Run(cfg RunConfig) *RunResult {
 	res.P99 = gen.TailLatency(99, warm)
 	res.ErrorRate = gen.ErrorRate()
 	res.Goodput = gen.GoodputTotal()
+	res.Sheds = c.Sheds()
+	for _, t := range cluster.Tiers() {
+		per := c.TierSheds(t)
+		for cl, n := range per {
+			res.ShedsByClass[cl] += n
+		}
+	}
 
 	sum, n := 0.0, 0
 	for _, s := range gen.Samples() {

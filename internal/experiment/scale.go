@@ -11,7 +11,9 @@ import (
 	"strings"
 	"time"
 
+	"conscale/internal/admission"
 	"conscale/internal/cluster"
+	"conscale/internal/controller"
 	"conscale/internal/des"
 	"conscale/internal/rng"
 	"conscale/internal/scaling"
@@ -28,6 +30,22 @@ import (
 type ScaleConfig struct {
 	// Mode selects the scaling framework every cell runs.
 	Mode scaling.Mode
+	// Controller (if non-empty) names a zoo controller to drive every
+	// cell instead of the Mode switch — same contract as
+	// RunConfig.Controller: the legacy names route through byte-identical
+	// adapters, any other name runs under the controller Runtime.
+	Controller string
+	// Admission optionally installs per-tier admission policies on every
+	// cell (each cell's cluster.Config copies the entries). Empty — or an
+	// explicit always-admit policy — leaves the trajectory byte-identical
+	// to the pre-admission code path.
+	Admission map[cluster.Tier]admission.Config
+	// CellConfig overrides the per-cell deployment (nil takes
+	// ScaleCellConfig, the beefy 4/8/8-core skeleton sized for ~10⁶
+	// clients). The admission frontier swaps in the paper-sized
+	// cluster.DefaultConfig so its 100k population genuinely stresses
+	// the cells. Seed and Engine are overwritten per cell.
+	CellConfig *cluster.Config
 	// Clients is the peak notional client count across the whole
 	// population (the trace's MaxUsers).
 	Clients int
@@ -105,10 +123,13 @@ func ScaleCellConfig() cluster.Config {
 // the streaming population, fleet state, and the execution-cost metrics
 // (wall time, events, peak heap) the BENCH_5 report tracks.
 type ScaleResult struct {
-	// Mode and the population parameters of the run.
-	Mode    scaling.Mode
-	Clients int
-	Cells   int
+	// Mode and the population parameters of the run. Controller names the
+	// zoo controller that drove the cells ("" when the Mode switch drove
+	// them directly).
+	Mode       scaling.Mode
+	Controller string
+	Clients    int
+	Cells      int
 	// Duration is the simulated trace length.
 	Duration des.Time
 
@@ -150,6 +171,12 @@ type ScaleResult struct {
 	// the OS-level high-water mark of the whole process.
 	PeakHeapBytes  uint64
 	FinalHeapBytes uint64
+
+	// Sheds counts admission-policy drops across all cells (zero without
+	// admission policies); ShedsByClass splits the count by priority
+	// class.
+	Sheds        uint64
+	ShedsByClass [admission.NumClasses]uint64
 
 	// Registry is the frontdoor telemetry registry (nil unless
 	// ScaleConfig.Telemetry).
@@ -203,12 +230,19 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 	// independent seed; the generator gets its own derived stream.
 	master := rng.New(cfg.Seed)
 	ccfg := ScaleCellConfig()
+	if cfg.CellConfig != nil {
+		ccfg = *cfg.CellConfig
+	}
+	if len(cfg.Admission) > 0 {
+		ccfg.Admission = cfg.Admission // cluster.New copies the entries
+	}
+	needDCM := cfg.Mode == scaling.DCM || cfg.Controller == "dcm"
 	var profile scaling.DCMProfile
-	if cfg.Mode == scaling.DCM {
+	if needDCM {
 		profile = AnalyticDCMProfile(ccfg)
 	}
 	cells := make([]*cluster.Cluster, cfg.Cells)
-	fws := make([]*scaling.Framework, cfg.Cells)
+	drs := make([]driver, cfg.Cells)
 	for i := range cells {
 		cc := ccfg
 		cc.Seed = master.Uint64()
@@ -220,11 +254,20 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 		fcfg.SCT.CollectionWindow = 45 * des.Second
 		fcfg.SCT.MinTotalSamples = 30
 		fcfg.SCT.MinDistinctBins = 3
-		if cfg.Mode == scaling.DCM {
+		if needDCM {
 			fcfg.Profile = profile
 		}
-		fws[i] = scaling.New(cells[i], fcfg)
-		fws[i].Start()
+		if cfg.Controller == "" {
+			drs[i] = scaling.New(cells[i], fcfg)
+		} else {
+			opts := controller.Options{Seed: cc.Seed, Base: fcfg}
+			ctrl, err := controller.New(cfg.Controller, opts)
+			if err != nil {
+				panic(err) // validated by callers; a typo here is a programming error
+			}
+			drs[i] = controller.NewRuntime(cells[i], ctrl, opts)
+		}
+		drs[i].Start()
 	}
 
 	// Frontdoor: the streaming population submits over the network edge
@@ -294,7 +337,7 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 	gen.Start()
 	t0 := time.Now()
 	str.RunUntil(cfg.Duration)
-	for _, f := range fws {
+	for _, f := range drs {
 		f.Stop()
 	}
 	heapTick.Stop()
@@ -303,16 +346,17 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 	wall := time.Since(t0).Seconds()
 
 	res := &ScaleResult{
-		Mode:     cfg.Mode,
-		Clients:  cfg.Clients,
-		Cells:    cfg.Cells,
-		Duration: cfg.Duration,
-		Workers:  str.Workers(),
-		Timeline: trimTimeline(gen.Timeline(), cfg.Duration),
-		Stream:   gen.Stream(),
-		WallSec:  wall,
-		Events:   str.Fired(),
-		Registry: reg,
+		Mode:       cfg.Mode,
+		Controller: cfg.Controller,
+		Clients:    cfg.Clients,
+		Cells:      cfg.Cells,
+		Duration:   cfg.Duration,
+		Workers:    str.Workers(),
+		Timeline:   trimTimeline(gen.Timeline(), cfg.Duration),
+		Stream:     gen.Stream(),
+		WallSec:    wall,
+		Events:     str.Fired(),
+		Registry:   reg,
 	}
 	if wall > 0 {
 		res.EventsPerSec = float64(res.Events) / wall
@@ -326,7 +370,14 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 	res.Requests = res.Stream.Issued
 	for i, c := range cells {
 		res.VMs += c.TotalVMs()
-		res.ScaleActions += len(fws[i].Events())
+		res.ScaleActions += len(drs[i].Events())
+		res.Sheds += c.Sheds()
+		for _, t := range cluster.Tiers() {
+			per := c.TierSheds(t)
+			for cl, n := range per {
+				res.ShedsByClass[cl] += n
+			}
+		}
 	}
 	res.PeakHeapBytes = peakHeap
 	var ms runtime.MemStats

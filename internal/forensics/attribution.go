@@ -14,9 +14,10 @@ type CauseKind uint8
 
 // The suspected-cause classes, in rough prior-strength order: an injected
 // fault outranks a workload surge outranks a controller decision outranks
-// an SCT signal shift. The scoring ranges are disjoint by design (fault
-// scores start at 2.5, surges cap at 2.0, decisions at 1.8, SCT shifts at
-// 0.9) so a fault overlapping the episode always tops the ranking.
+// an SCT signal shift outranks admission shedding. The scoring ranges are
+// disjoint by design (fault scores start at 2.5, surges cap at 2.0,
+// decisions at 1.8, SCT shifts at 0.9, sheds at 0.5) so a fault
+// overlapping the episode always tops the ranking.
 const (
 	// CauseFault blames an injected chaos fault overlapping the episode.
 	CauseFault CauseKind = iota
@@ -27,6 +28,10 @@ const (
 	CauseDecision
 	// CauseSCTShift blames an abrupt move of the SCT concurrency range.
 	CauseSCTShift
+	// CauseShed notes heavy admission-policy dropping during the episode —
+	// context rather than root cause (shedding is a symptom of pressure and
+	// a shaper of the recovery), hence the low score.
+	CauseShed
 	// CauseUnknown is the explicit "no recorded signal explains this".
 	CauseUnknown
 )
@@ -42,6 +47,8 @@ func (k CauseKind) String() string {
 		return "decision"
 	case CauseSCTShift:
 		return "sct-shift"
+	case CauseShed:
+		return "shed"
 	case CauseUnknown:
 		return "unknown"
 	default:
@@ -145,6 +152,9 @@ func (f *Forensics) attribute(ep Episode, blame []trace.BlameRow) EpisodeReport 
 	er.Causes = append(er.Causes, causes...)
 	er.Reactions = reactions
 	er.Causes = append(er.Causes, f.sctCauses(ep)...)
+	if c, ok := f.shedCause(ep); ok {
+		er.Causes = append(er.Causes, c)
+	}
 	if len(er.Causes) == 0 {
 		er.Causes = []Cause{{
 			Kind:     CauseUnknown,
@@ -329,6 +339,45 @@ func (f *Forensics) sctCauses(ep Episode) []Cause {
 		return out[i].Detail < out[j].Detail
 	})
 	return out
+}
+
+// shedCause counts admission drops inside the episode: ten or more
+// becomes a 0.5-scored context entry naming the busiest shedding tier.
+// Shedding is never the root cause — it is the policy reacting to the
+// same pressure the episode measures — so it ranks below every other
+// recorded signal but above the unknown floor, keeping reports honest
+// about p99 "recoveries" bought with dropped requests.
+func (f *Forensics) shedCause(ep Episode) (Cause, bool) {
+	total := 0
+	perTier := map[string]int{}
+	first := des.Time(0)
+	for _, s := range f.Rec.Sheds() {
+		if s.Time < ep.Onset || s.Time > ep.Recovery {
+			continue
+		}
+		if total == 0 {
+			first = s.Time
+		}
+		total++
+		perTier[s.Tier]++
+	}
+	if total < 10 {
+		return Cause{}, false
+	}
+	top, topN := "", 0
+	for tier, n := range perTier {
+		if n > topN || (n == topN && tier < top) {
+			top, topN = tier, n
+		}
+	}
+	return Cause{
+		Kind:   CauseShed,
+		Score:  0.5,
+		At:     first,
+		Detail: fmt.Sprintf("admission shed x%d (%s)", total, top),
+		Evidence: fmt.Sprintf("%d requests dropped by admission policies during the episode (%d on %s) — load shedding shaped this episode's tail",
+			total, topN, top),
+	}, true
 }
 
 // blameDeltas diffs the tracer's tier×component decomposition between the

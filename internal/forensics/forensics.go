@@ -133,6 +133,18 @@ type FaultRec struct {
 	Target string `json:"target"`
 }
 
+// ShedRec is one admission-policy drop as seen through the cluster's
+// shed observer tap: the entry-point moment a request was turned away
+// to protect the tier's queue, by tier and priority class.
+type ShedRec struct {
+	// Time is the drop time.
+	Time des.Time `json:"time_s"`
+	// Tier names the shedding tier.
+	Tier string `json:"tier"`
+	// Class is the dropped request's priority class ("browse", "read-write").
+	Class string `json:"class"`
+}
+
 // SCTRec is one refreshed per-server SCT estimate.
 type SCTRec struct {
 	// Time is when the estimate refreshed.
@@ -152,9 +164,10 @@ type SCTRec struct {
 type Config struct {
 	// SnapshotInterval is the occupancy-snapshot cadence (default 1 s).
 	SnapshotInterval des.Time
-	// SnapshotCap / DecisionCap / FaultCap / SCTCap / SpanCap bound the
-	// ring buffers (defaults 512 / 1024 / 256 / 1024 / 512 entries).
-	SnapshotCap, DecisionCap, FaultCap, SCTCap, SpanCap int
+	// SnapshotCap / DecisionCap / FaultCap / SCTCap / SpanCap / ShedCap
+	// bound the ring buffers (defaults 512 / 1024 / 256 / 1024 / 512 /
+	// 1024 entries).
+	SnapshotCap, DecisionCap, FaultCap, SCTCap, SpanCap, ShedCap int
 	// Detector tunes the episode detector.
 	Detector DetectorConfig
 	// BaselineWindow is how far before an episode's onset the attribution
@@ -185,6 +198,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.SpanCap <= 0 {
 		cfg.SpanCap = 512
 	}
+	if cfg.ShedCap <= 0 {
+		cfg.ShedCap = 1024
+	}
 	if cfg.BaselineWindow <= 0 {
 		cfg.BaselineWindow = 30 * des.Second
 	}
@@ -207,6 +223,7 @@ type Recorder struct {
 	faults    ring[FaultRec]
 	sct       ring[SCTRec]
 	spans     ring[SpanSummary]
+	sheds     ring[ShedRec]
 
 	// comp is the span-fold scratch, reused so ObserveSpan allocates
 	// nothing in steady state (simulation goroutine only).
@@ -222,6 +239,7 @@ func NewRecorder(cfg Config) *Recorder {
 		faults:    newRing[FaultRec](cfg.FaultCap),
 		sct:       newRing[SCTRec](cfg.SCTCap),
 		spans:     newRing[SpanSummary](cfg.SpanCap),
+		sheds:     newRing[ShedRec](cfg.ShedCap),
 	}
 	r.enabled.Store(true)
 	return r
@@ -272,6 +290,17 @@ func (r *Recorder) ObserveAudit(e trace.AuditEvent) {
 	default:
 		r.decisions.push(e)
 	}
+}
+
+// ObserveShed is the cluster's admission-drop tap
+// (cluster.SetShedObserver): every policy shed lands in the shed ring
+// by tier and class, so attribution can tell "the p99 improved because
+// we were dropping load" apart from organic recovery. Allocation-free.
+func (r *Recorder) ObserveShed(s ShedRec) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	r.sheds.push(s)
 }
 
 // ObserveSpan is the tracer's end-of-request tap (trace.Tracer.SetOnEnd):
@@ -351,6 +380,23 @@ func (r *Recorder) Spans() []SpanSummary {
 		return nil
 	}
 	return r.spans.snapshot()
+}
+
+// Sheds returns the retained admission drops, oldest first.
+func (r *Recorder) Sheds() []ShedRec {
+	if r == nil {
+		return nil
+	}
+	return r.sheds.snapshot()
+}
+
+// ShedCount returns the lifetime admission-drop push counter (safe from
+// any goroutine; kept out of Counts to preserve its signature).
+func (r *Recorder) ShedCount() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.sheds.n.Load()
 }
 
 // Counts returns the lifetime push counters per ring (safe from any

@@ -413,3 +413,76 @@ func TestReportWriters(t *testing.T) {
 		t.Fatalf("Perfetto track incomplete: slice=%v instant=%v", sawSlice, sawInstant)
 	}
 }
+
+func TestAttributionShedIsContextNotRootCause(t *testing.T) {
+	f := New(Config{})
+	d := f.Det
+	now := feedCalm(d, 0, 60)
+	// Flat population, no faults, no decisions: the only evidence the
+	// recorder holds is the shed stream during the fluctuation.
+	for ts := now - 40; ts < now+20; ts++ {
+		f.Rec.RecordSnapshot(TierSnapshot{Time: ts, Clients: 1000})
+	}
+	for i := 0; i < 10; i++ {
+		f.Rec.ObserveShed(ShedRec{Time: now, Tier: "tomcat", Class: "browse"})
+		f.Rec.ObserveShed(ShedRec{Time: now, Tier: "web", Class: "browse"})
+		for j := 0; j < 20; j++ {
+			d.Observe(now, 1.2, true)
+		}
+		d.Tick(now)
+		now++
+	}
+	now = feedCalm(d, now, 15)
+	d.Finish(now)
+
+	rep := f.Report("shed", nil)
+	if len(rep.Episodes) != 1 {
+		t.Fatalf("episodes = %d", len(rep.Episodes))
+	}
+	var shed *Cause
+	for i, c := range rep.Episodes[0].Causes {
+		if c.Kind == CauseShed {
+			shed = &rep.Episodes[0].Causes[i]
+		}
+	}
+	if shed == nil {
+		t.Fatalf("no shed cause in %+v", rep.Episodes[0].Causes)
+	}
+	if shed.Score != 0.5 {
+		t.Fatalf("shed score = %.2f, want the fixed 0.5 context prior", shed.Score)
+	}
+	if !strings.Contains(shed.Detail, "x20") || !strings.Contains(shed.Detail, "tomcat") {
+		t.Fatalf("shed detail = %q, want count and busiest tier", shed.Detail)
+	}
+}
+
+func TestAttributionIgnoresSparseSheds(t *testing.T) {
+	f := New(Config{})
+	d := f.Det
+	now := feedCalm(d, 0, 60)
+	for ts := now - 40; ts < now+20; ts++ {
+		f.Rec.RecordSnapshot(TierSnapshot{Time: ts, Clients: 1000})
+	}
+	for i := 0; i < 10; i++ {
+		if i < 5 {
+			f.Rec.ObserveShed(ShedRec{Time: now, Tier: "web", Class: "browse"})
+		}
+		for j := 0; j < 20; j++ {
+			d.Observe(now, 1.2, true)
+		}
+		d.Tick(now)
+		now++
+	}
+	now = feedCalm(d, now, 15)
+	d.Finish(now)
+
+	rep := f.Report("sparse", nil)
+	if len(rep.Episodes) != 1 {
+		t.Fatalf("episodes = %d", len(rep.Episodes))
+	}
+	for _, c := range rep.Episodes[0].Causes {
+		if c.Kind == CauseShed {
+			t.Fatalf("%d sheds (< the 10-drop floor) produced a cause: %+v", 5, c)
+		}
+	}
+}

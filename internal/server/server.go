@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"conscale/internal/admission"
 	"conscale/internal/des"
 	"conscale/internal/metrics"
 	"conscale/internal/rng"
@@ -31,6 +32,13 @@ type Request struct {
 	// Span is the request's trace span (nil on unsampled requests — the
 	// common case; every span hook is a no-op then).
 	Span *trace.Span
+	// Class is the admission class (browse vs read-write), propagated
+	// down the call tree so every tier's policy sees it.
+	Class admission.Class
+	// Shed is set when this request — or any downstream call it made —
+	// was dropped by an admission policy rather than failing for another
+	// reason.
+	Shed bool
 
 	arrival des.Time
 	phase   int
@@ -113,6 +121,15 @@ type Server struct {
 
 	rec *metrics.Recorder
 	tel Telemetry
+
+	// adm is the admission policy guarding the accept queue (nil = admit
+	// everything on the untouched pre-admission code path). admMeter and
+	// onShed are passive observers of its decisions; sheds counts drops
+	// per class unconditionally (plain counters, read at scrape time).
+	adm      admission.Policy
+	admMeter *admission.Meter
+	onShed   func(now des.Time, class admission.Class)
+	sheds    [admission.NumClasses]uint64
 
 	callPool *ConnPool // outbound pool for UseServerPool calls (may be nil)
 
@@ -260,6 +277,35 @@ func (s *Server) Kill() {
 // Killed reports whether the VM has crashed.
 func (s *Server) Killed() bool { return s.killed }
 
+// SetAdmission installs (or with nil removes) the admission policy
+// guarding the accept queue. Policies are stateful: every server needs
+// its own instance.
+func (s *Server) SetAdmission(p admission.Policy) { s.adm = p }
+
+// Admission returns the installed admission policy (nil when off).
+func (s *Server) Admission() admission.Policy { return s.adm }
+
+// SetShedMeter installs a drop-rate meter fed with every admission
+// decision (offered and shed) while a policy is armed.
+func (s *Server) SetShedMeter(m *admission.Meter) { s.admMeter = m }
+
+// SetShedObserver installs a read-only callback invoked on every shed —
+// the forensics flight recorder's tap.
+func (s *Server) SetShedObserver(fn func(now des.Time, class admission.Class)) { s.onShed = fn }
+
+// ShedCount returns the number of requests the admission policy dropped
+// in the given class.
+func (s *Server) ShedCount(c admission.Class) uint64 { return s.sheds[c] }
+
+// ShedTotal returns the total admission drops across classes.
+func (s *Server) ShedTotal() uint64 {
+	var t uint64
+	for _, n := range s.sheds {
+		t += n
+	}
+	return t
+}
+
 // Submit implements Service.
 func (s *Server) Submit(req *Request) {
 	if s.draining || len(s.accept) >= s.acceptCap {
@@ -274,6 +320,29 @@ func (s *Server) Submit(req *Request) {
 		// reentrant completion.
 		s.eng.After(0, func() { done(false) })
 		return
+	}
+	if s.adm != nil {
+		// Admission decision point: accept-queue entry, before pool
+		// admit. A shed fails the request immediately without consuming
+		// any server resource; the meter sees every decision.
+		now := s.eng.Now()
+		ok := s.adm.Admit(now, req.Class, len(s.accept))
+		s.admMeter.Observe(now, req.Class, !ok)
+		if !ok {
+			s.sheds[req.Class]++
+			s.rec.Reject(now)
+			s.tel.Rejects.Inc()
+			s.tel.Sheds[req.Class].Inc()
+			req.Shed = true
+			req.Span.Finish(now, trace.OutcomeShed)
+			if s.onShed != nil {
+				s.onShed(now, req.Class)
+			}
+			done := req.Done
+			req.Done = nil
+			s.eng.After(0, func() { done(false) })
+			return
+		}
 	}
 	req.arrival = s.eng.Now()
 	req.Span.EnterServer(s.name, req.arrival)
@@ -290,8 +359,14 @@ func (s *Server) admit() {
 		// holding threads), matching the paper's SCT tuples; accept-queue
 		// time still counts toward the recorded response time because RT
 		// is measured from submission.
-		s.rec.Arrive(s.eng.Now())
-		req.Span.Admitted(s.eng.Now())
+		now := s.eng.Now()
+		if s.adm != nil {
+			// Feed the policy the accept-queue sojourn this request
+			// actually experienced — CoDel's standing-queue signal.
+			s.adm.ObserveDequeue(now, now-req.arrival)
+		}
+		s.rec.Arrive(now)
+		req.Span.Admitted(now)
 		s.step(req)
 	}
 }
@@ -370,15 +445,19 @@ func (s *Server) call(req *Request, out *OutCall) {
 		down := &Request{
 			Phases: out.Build(),
 			Span:   child,
-			Done: func(ok bool) {
-				if pool != nil {
-					pool.Release()
+			Class:  req.Class,
+		}
+		down.Done = func(ok bool) {
+			if pool != nil {
+				pool.Release()
+			}
+			if !ok {
+				req.failed = true
+				if down.Shed {
+					req.Shed = true
 				}
-				if !ok {
-					req.failed = true
-				}
-				s.step(req)
-			},
+			}
+			s.step(req)
 		}
 		out.Target.Submit(down)
 	}

@@ -1,6 +1,9 @@
 package server
 
-import "conscale/internal/telemetry"
+import (
+	"conscale/internal/admission"
+	"conscale/internal/telemetry"
+)
 
 // Telemetry bundles the per-server hot-path instruments. Each field may be
 // nil (and all of them are until SetTelemetry is called): the instruments'
@@ -18,6 +21,9 @@ type Telemetry struct {
 	// Drops counts requests that failed after admission (crashes, failed
 	// downstream calls).
 	Drops *telemetry.Counter
+	// Sheds counts admission-policy drops per class, indexed by
+	// admission.Class.
+	Sheds [admission.NumClasses]*telemetry.Counter
 }
 
 // SetTelemetry installs the server's instruments (typically armed by the

@@ -72,9 +72,16 @@ type SLOMonitor struct {
 
 	alerts []Alert
 
+	// sheds counts the bad observations attributed to admission-policy
+	// drops. Sheds already burn the error budget through Observe (a shed
+	// request completes ok=false, so "bad" catches it without special
+	// casing); this split exists so reports can say how much of the burn
+	// was deliberate load shedding versus organic slowness.
+	sheds uint64
+
 	// Optional registry instruments (nil until Register).
-	goodC, badC, alertsC  *Counter
-	fastG, slowG, activeG *Gauge
+	goodC, badC, alertsC, shedsC *Counter
+	fastG, slowG, activeG        *Gauge
 }
 
 // NewSLOMonitor builds a monitor; zero fields fall back to DefaultSLOConfig.
@@ -133,6 +140,7 @@ func (m *SLOMonitor) Register(reg *Registry) {
 	m.goodC = reg.Counter("conscale_slo_good_total", "Requests meeting the SLO target.")
 	m.badC = reg.Counter("conscale_slo_bad_total", "Requests missing the SLO target (slow or errored).")
 	m.alertsC = reg.Counter("conscale_slo_alerts_total", "Burn-rate alert raise transitions.")
+	m.shedsC = reg.Counter("conscale_slo_sheds_total", "Budget-burning requests attributed to admission drops.")
 	m.fastG = reg.Gauge("conscale_slo_burn_fast", "Fast-window error-budget burn rate.")
 	m.slowG = reg.Gauge("conscale_slo_burn_slow", "Slow-window error-budget burn rate.")
 	m.activeG = reg.Gauge("conscale_slo_alert_active", "1 while a burn-rate alert is raised.")
@@ -195,6 +203,26 @@ func (m *SLOMonitor) Observe(now des.Time, rt float64, ok bool) {
 			al.PeakBurn = fastBurn
 		}
 	}
+}
+
+// ObserveShed attributes one budget-burning request to an admission drop.
+// It does NOT burn budget itself — the shed request's failed completion
+// already flowed through Observe as ok=false and counted as bad there;
+// this only maintains the deliberate-vs-organic split.
+func (m *SLOMonitor) ObserveShed() {
+	if m == nil {
+		return
+	}
+	m.sheds++
+	m.shedsC.Inc()
+}
+
+// Sheds returns how many budget-burning requests were admission drops.
+func (m *SLOMonitor) Sheds() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.sheds
 }
 
 // advance rolls the per-second buckets forward to cover second sec,

@@ -152,3 +152,40 @@ func TestSLONilSafety(t *testing.T) {
 		t.Fatal("nil monitor not inert")
 	}
 }
+
+// TestSLOCountsSheds: a shed burns budget through the ordinary
+// Observe(ok=false) path; ObserveShed only maintains the
+// deliberate-vs-organic attribution split on top.
+func TestSLOCountsSheds(t *testing.T) {
+	reg := NewRegistry()
+	m := NewSLOMonitor(SLOConfig{})
+	m.Register(reg)
+	for sec := des.Time(0); sec < 120*des.Second; sec += des.Second {
+		for i := 0; i < 50; i++ {
+			shed := i >= 25 // half the traffic is dropped at admission
+			m.Observe(sec, 0, !shed)
+			if shed {
+				m.ObserveShed()
+			}
+		}
+	}
+	if len(m.Alerts()) != 1 {
+		t.Fatalf("a 50%% shed storm raised %d alerts, want 1 — sheds must burn budget", len(m.Alerts()))
+	}
+	if m.Sheds() != 25*120 {
+		t.Fatalf("sheds = %d, want %d", m.Sheds(), 25*120)
+	}
+	if got := reg.Counter("conscale_slo_sheds_total", "").Value(); got != 25*120 {
+		t.Fatalf("conscale_slo_sheds_total = %d, want %d", got, 25*120)
+	}
+	if got := reg.Counter("conscale_slo_bad_total", "").Value(); got < 25*120 {
+		t.Fatalf("bad_total = %d — shed requests did not count against the budget", got)
+	}
+
+	// Nil safety for the new surface.
+	var nilM *SLOMonitor
+	nilM.ObserveShed()
+	if nilM.Sheds() != 0 {
+		t.Fatal("nil monitor not inert for sheds")
+	}
+}

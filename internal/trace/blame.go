@@ -14,6 +14,7 @@ type blameRec struct {
 	end  des.Time
 	rt   float64
 	ok   bool
+	shed bool
 	comp [NumTiers][NumSegKinds]float32
 }
 
@@ -31,6 +32,9 @@ func (a *blameAgg) add(root *Span) {
 		ok:  root.Outcome == OutcomeOK,
 	}
 	root.Walk(func(sp *Span, _ int) {
+		if sp.Outcome == OutcomeShed {
+			rec.shed = true
+		}
 		tier := TierOf(sp.Server)
 		for _, seg := range sp.Segs {
 			rec.comp[tier][seg.Kind] += float32(seg.End - seg.Start)
@@ -50,6 +54,9 @@ type BlameRow struct {
 	Class string
 	// Requests is the class population in the window.
 	Requests int
+	// Sheds counts requests in the class whose span tree contains an
+	// admission shed — dropped load attributed to its window and class.
+	Sheds int
 	// RT is the class's mean response time (seconds).
 	RT float64
 	// Comp is the class's mean per-request time in each (tier, kind)
@@ -138,6 +145,9 @@ func (a *blameAgg) table() []BlameRow {
 			row := BlameRow{Window: w, Class: cl.name, Requests: hi - lo}
 			for _, i := range idx[lo:hi] {
 				rec := &a.recs[i]
+				if rec.shed {
+					row.Sheds++
+				}
 				row.RT += rec.rt
 				for tier := TierID(0); tier < NumTiers; tier++ {
 					for kind := SegKind(0); kind < NumSegKinds; kind++ {
@@ -169,6 +179,7 @@ func BlameSummary(rows []BlameRow, class string, from, to des.Time) (BlameRow, b
 			continue
 		}
 		agg.Requests += r.Requests
+		agg.Sheds += r.Sheds
 		agg.RT += r.RT * float64(r.Requests)
 		for tier := TierID(0); tier < NumTiers; tier++ {
 			for kind := SegKind(0); kind < NumSegKinds; kind++ {

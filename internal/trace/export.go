@@ -196,7 +196,7 @@ func WriteWaterfall(w io.Writer, root *Span) error {
 // (window, class, tier, component) with its mean per-request milliseconds
 // and its share of the class's response time.
 func WriteBlameCSV(w io.Writer, label string, rows []BlameRow) error {
-	if _, err := fmt.Fprintln(w, "mode,window_s,class,requests,rt_ms,tier,component,ms,share"); err != nil {
+	if _, err := fmt.Fprintln(w, "mode,window_s,class,requests,sheds,rt_ms,tier,component,ms,share"); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -210,8 +210,8 @@ func WriteBlameCSV(w io.Writer, label string, rows []BlameRow) error {
 				if r.RT > 0 {
 					share = r.Comp[tier][kind] / r.RT
 				}
-				if _, err := fmt.Fprintf(w, "%s,%.0f,%s,%d,%.2f,%s,%s,%.3f,%.4f\n",
-					label, float64(r.Window), r.Class, r.Requests, r.RT*1000,
+				if _, err := fmt.Fprintf(w, "%s,%.0f,%s,%d,%d,%.2f,%s,%s,%.3f,%.4f\n",
+					label, float64(r.Window), r.Class, r.Requests, r.Sheds, r.RT*1000,
 					tier, kind, ms, share); err != nil {
 					return err
 				}

@@ -91,7 +91,9 @@ type SegKind uint8
 // paper's SCT model governs); PoolWait is the connection-pool acquire wait
 // on the calling side; CPUWait/DiskWait are hardware run-queue waits;
 // CPU/Disk are actual service; Dwell is protocol dwell that holds a thread
-// but no hardware (PhaseSleep); Net is injected network-edge latency.
+// but no hardware (PhaseSleep); Net is injected network-edge latency; Shed
+// is queue time a request accrued before an admission policy dropped it —
+// shed load stays attributed instead of vanishing from the decomposition.
 const (
 	SegQueue SegKind = iota
 	SegPoolWait
@@ -101,6 +103,7 @@ const (
 	SegDisk
 	SegDwell
 	SegNet
+	SegShed
 	NumSegKinds
 )
 
@@ -123,6 +126,8 @@ func (k SegKind) String() string {
 		return "dwell"
 	case SegNet:
 		return "net"
+	case SegShed:
+		return "shed"
 	default:
 		return "seg?"
 	}
@@ -132,7 +137,7 @@ func (k SegKind) String() string {
 // served (the numerator of the blame story).
 func (k SegKind) IsWait() bool {
 	switch k {
-	case SegQueue, SegPoolWait, SegCPUWait, SegDiskWait, SegNet:
+	case SegQueue, SegPoolWait, SegCPUWait, SegDiskWait, SegNet, SegShed:
 		return true
 	default:
 		return false
@@ -149,6 +154,10 @@ const (
 	OutcomeOK
 	OutcomeFailed
 	OutcomeRejected
+	// OutcomeShed marks a request dropped by an admission policy at
+	// accept-queue entry (distinct from Rejected, the hard accept-queue
+	// overflow).
+	OutcomeShed
 )
 
 // String implements fmt.Stringer.
@@ -162,6 +171,8 @@ func (o Outcome) String() string {
 		return "failed"
 	case OutcomeRejected:
 		return "rejected"
+	case OutcomeShed:
+		return "shed"
 	default:
 		return "outcome?"
 	}
@@ -286,8 +297,14 @@ func (s *Span) Finish(now des.Time, o Outcome) {
 	}
 	// A span abandoned in the accept queue (drop, kill) spent its whole
 	// server life waiting; book it so failed requests decompose too.
+	// Admission sheds get their own component so dropped load stays
+	// visible in the blame decomposition.
 	if o != OutcomeOK && s.Admit < 0 && s.Server != "" && now > s.Arrive {
-		s.Segs = append(s.Segs, Segment{Kind: SegQueue, Start: s.Arrive, End: now})
+		kind := SegQueue
+		if o == OutcomeShed {
+			kind = SegShed
+		}
+		s.Segs = append(s.Segs, Segment{Kind: kind, Start: s.Arrive, End: now})
 	}
 	s.End = now
 	s.Outcome = o

@@ -315,7 +315,7 @@ func TestBlameAndAuditCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if lines[0] != "mode,window_s,class,requests,rt_ms,tier,component,ms,share" {
+	if lines[0] != "mode,window_s,class,requests,sheds,rt_ms,tier,component,ms,share" {
 		t.Fatalf("header: %s", lines[0])
 	}
 	if len(lines) < 2 || !strings.HasPrefix(lines[1], "conscale,") {
@@ -399,7 +399,7 @@ func TestTierOfAndSegKinds(t *testing.T) {
 			waits++
 		}
 	}
-	if waits != 5 { // queue, pool, cpu-wait, disk-wait, net
+	if waits != 6 { // queue, pool, cpu-wait, disk-wait, net, shed
 		t.Fatalf("wait kinds = %d", waits)
 	}
 }
